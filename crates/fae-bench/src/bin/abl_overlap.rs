@@ -1,0 +1,59 @@
+//! Ablation: compute/communication overlap. The paper measures a
+//! framework that serialises phases; a pipelined runtime could overlap
+//! them. This harness prices every mode both ways (additive vs
+//! critical-path DAG) and shows the conclusion is overlap-robust: the
+//! baseline is CPU-resource-bound, so pipelining cannot save it.
+
+use fae_bench::{print_table, save_json, workloads};
+use fae_models::bridge::profile_for;
+use fae_sysmodel::{pipelining_headroom, ExecMode, SystemConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in workloads() {
+        let profile = profile_for(&w.paper, w.budget_bytes as f64);
+        let sys = SystemConfig::paper_server(4);
+        let batch = w.per_gpu_batch * 4;
+        for (label, mode) in [
+            ("baseline", ExecMode::BaselineHybrid),
+            ("FAE hot", ExecMode::FaeHotGpu),
+        ] {
+            let (serial, overlapped, ratio) =
+                pipelining_headroom(&profile, &sys, mode, batch);
+            rows.push(vec![
+                w.label.to_string(),
+                label.to_string(),
+                format!("{:.1}", serial * 1e3),
+                format!("{:.1}", overlapped * 1e3),
+                format!("{:.0}%", (1.0 - ratio) * 100.0),
+            ]);
+            json.push(serde_json::json!({
+                "workload": w.label, "mode": label,
+                "serial_ms": serial * 1e3, "overlapped_ms": overlapped * 1e3,
+                "headroom": 1.0 - ratio,
+            }));
+        }
+        // The decisive comparison: pipelined baseline vs serial FAE.
+        let (_, base_pipe, _) =
+            pipelining_headroom(&profile, &sys, ExecMode::BaselineHybrid, batch);
+        let (fae_serial, _, _) = pipelining_headroom(&profile, &sys, ExecMode::FaeHotGpu, batch);
+        rows.push(vec![
+            w.label.to_string(),
+            "FAE(serial) vs base(pipelined)".into(),
+            format!("{:.1}", fae_serial * 1e3),
+            format!("{:.1}", base_pipe * 1e3),
+            format!("{:.2}x", base_pipe / fae_serial),
+        ]);
+    }
+    print_table(
+        "Ablation: per-step cost, additive vs critical-path (4 GPUs, ms)",
+        &["workload", "mode", "serial", "overlapped", "headroom/speedup"],
+        &rows,
+    );
+    println!(
+        "\nthe baseline's phases share the CPU, so overlap frees little; even a perfectly \
+         pipelined baseline loses to a fully serialised FAE hot step"
+    );
+    save_json("abl_overlap", &serde_json::Value::Array(json));
+}

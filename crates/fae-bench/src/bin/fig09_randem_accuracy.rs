@@ -1,0 +1,50 @@
+//! Fig 9: Rand-Em Box estimation accuracy — the CLT-sampled hot-table
+//! size vs the exact count, across thresholds. Paper: within 10% (upper
+//! bound) at 99.9% confidence.
+
+use fae_bench::{print_table, save_json};
+use fae_core::calibrator::log_accesses;
+use fae_core::RandEmBox;
+use fae_data::{generate, GenOptions, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut spec = WorkloadSpec::rmc3_terabyte();
+    spec.num_inputs = 120_000;
+    let ds = generate(&spec, &GenOptions::seeded(99));
+    let all: Vec<usize> = (0..ds.len()).collect();
+    let counters = log_accesses(&ds, &all);
+    let counter = &counters[0]; // the 1.14M-row table
+
+    let box_ = RandEmBox::default();
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for cutoff in [1u64, 2, 3, 5, 8, 13, 21] {
+        let exact = counter.rows_at_or_above(cutoff) as f64;
+        let est = box_.estimate(counter, cutoff, &mut rng);
+        let err = if exact > 0.0 { (est.hot_rows - exact).abs() / exact } else { 0.0 };
+        rows.push(vec![
+            cutoff.to_string(),
+            format!("{exact:.0}"),
+            format!("{:.0}", est.hot_rows),
+            format!("{:.0}", est.hot_rows_upper),
+            format!("{:.1}%", err * 100.0),
+            format!("{}", est.rows_scanned),
+        ]);
+        json.push(serde_json::json!({
+            "cutoff": cutoff, "exact": exact, "estimate": est.hot_rows,
+            "upper": est.hot_rows_upper, "rel_err": err, "rows_scanned": est.rows_scanned,
+        }));
+    }
+    print_table(
+        "Fig 9: Rand-Em Box hot-row estimates vs exact (1.14M-row table)",
+        &["cutoff", "exact", "estimate", "upper CI", "rel err", "rows scanned"],
+        &rows,
+    );
+    println!(
+        "\npaper: estimates within 10% of measured at 99.9% confidence (n=35 chunks of m=1024)"
+    );
+    save_json("fig09_randem_accuracy", &serde_json::Value::Array(json));
+}

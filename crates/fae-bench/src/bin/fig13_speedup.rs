@@ -1,0 +1,97 @@
+//! Fig 13 + Table IV: training-time speedup of FAE over the baseline for
+//! 1/2/4 GPUs under weak scaling, at paper scale (cost model), plus the
+//! absolute 10-epoch training times.
+//!
+//! Hot-input fractions are *measured* by running the real calibrator /
+//! classifier / input processor on the scaled datasets, then applied to
+//! the paper-scale schedule simulation.
+
+use fae_bench::{measure_hotness, print_table, save_json, workloads};
+use fae_core::scheduler::Rate;
+use fae_core::simsched::{simulate_baseline, simulate_fae, SimConfig};
+use fae_models::bridge::profile_for;
+use fae_sysmodel::constants::PAPER_EPOCHS;
+
+/// Paper Table IV, minutes for 10 epochs: (baseline, FAE) per GPU count.
+const PAPER_TABLE_IV: [(&str, [(f64, f64); 3]); 3] = [
+    ("Criteo Kaggle", [(245.3, 122.7), (195.2, 116.2), (201.3, 104.7)]),
+    ("Taobao Alibaba", [(996.5, 436.5), (851.8, 387.8), (703.3, 428.5)]),
+    ("Criteo Terabyte", [(491.7, 189.7), (423.6, 201.6), (364.8, 156.4)]),
+];
+
+fn main() {
+    let mut speedup_rows = Vec::new();
+    let mut abs_rows = Vec::new();
+    let mut json = Vec::new();
+    let mut four_gpu_speedups = Vec::new();
+
+    for (wi, w) in workloads().into_iter().enumerate() {
+        let shrink = w.paper.embedding_bytes() as f64 / w.scaled.embedding_bytes() as f64;
+        let scaled_budget = ((w.budget_bytes as f64 / shrink) as usize).max(64 << 10);
+        let stats = measure_hotness(&w.scaled, w.measure_inputs, scaled_budget);
+        let profile = profile_for(&w.paper, w.budget_bytes as f64);
+
+        // Normalisation anchor: the 1-GPU baseline (as in Fig 13).
+        let base_1gpu = {
+            let cfg = SimConfig {
+                total_inputs: w.paper.num_inputs,
+                batch: w.per_gpu_batch,
+                hot_fraction: stats.hot_input_fraction,
+                rate: Rate::new(50),
+                epochs: 1,
+                num_gpus: 1,
+            };
+            simulate_baseline(&profile, &cfg).total()
+        };
+
+        let mut srow = vec![w.label.to_string(), format!("{:.1}%", stats.hot_input_fraction * 100.0)];
+        for (gi, gpus) in [1usize, 2, 4].into_iter().enumerate() {
+            let cfg = SimConfig {
+                total_inputs: w.paper.num_inputs,
+                batch: w.per_gpu_batch * gpus, // weak scaling
+                hot_fraction: stats.hot_input_fraction,
+                rate: Rate::new(50),
+                epochs: 1,
+                num_gpus: gpus,
+            };
+            let base = simulate_baseline(&profile, &cfg).total();
+            let fae = simulate_fae(&profile, &cfg).total();
+            srow.push(format!("{:.2}x/{:.2}x", base_1gpu / base, base_1gpu / fae));
+            let mins = |s: f64| s * PAPER_EPOCHS as f64 / 60.0;
+            let (pb, pf) = PAPER_TABLE_IV[wi].1[gi];
+            abs_rows.push(vec![
+                w.label.to_string(),
+                gpus.to_string(),
+                format!("{:.1}", mins(base)),
+                format!("{:.1}", mins(fae)),
+                format!("{:.2}x", base / fae),
+                format!("{pb:.0}/{pf:.0} = {:.2}x", pb / pf),
+            ]);
+            json.push(serde_json::json!({
+                "workload": w.label, "gpus": gpus,
+                "baseline_min_10ep": mins(base), "fae_min_10ep": mins(fae),
+                "speedup": base / fae,
+                "paper_baseline_min": pb, "paper_fae_min": pf,
+                "hot_input_fraction": stats.hot_input_fraction,
+            }));
+            if gpus == 4 {
+                four_gpu_speedups.push(base / fae);
+            }
+        }
+        speedup_rows.push(srow);
+    }
+
+    print_table(
+        "Fig 13: baseline/FAE speedup normalised to the 1-GPU baseline (base/FAE per column)",
+        &["workload", "hot inputs", "1 GPU", "2 GPUs", "4 GPUs"],
+        &speedup_rows,
+    );
+    print_table(
+        "Table IV: absolute training time, 10 epochs (simulated minutes)",
+        &["workload", "GPUs", "baseline", "FAE", "speedup", "paper (base/FAE)"],
+        &abs_rows,
+    );
+    let avg = four_gpu_speedups.iter().sum::<f64>() / four_gpu_speedups.len() as f64;
+    println!("\naverage 4-GPU FAE speedup: {avg:.2}x  (paper: 2.34x average)");
+    save_json("fig13_speedup", &serde_json::Value::Array(json));
+}

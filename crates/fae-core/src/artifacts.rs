@@ -1,0 +1,164 @@
+//! Persistence of the static-phase artifacts.
+//!
+//! §III-B stores the preprocessed mini-batch stream "in the FAE format for
+//! any subsequent training runs"; a later run also needs the calibration
+//! decision and the hot/cold partitions (to rebuild the hot bags and to
+//! route lookups). This module bundles all three: the mini-batch stream
+//! goes into the FAE binary container, and the calibration + partitions
+//! go into a JSON sidecar next to it.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use fae_data::format::{FaeFile, FormatError};
+use fae_data::BatchKind;
+use fae_embed::HotColdPartition;
+
+use crate::calibrator::CalibrationResult;
+use crate::input_processor::Preprocessed;
+use crate::pipeline::StaticArtifacts;
+
+/// JSON sidecar: everything except the (large, binary) batch stream.
+#[derive(Serialize, Deserialize)]
+struct Sidecar {
+    calibration: CalibrationResult,
+    partitions: Vec<HotColdPartition>,
+    hot_input_fraction: f64,
+}
+
+/// Errors while saving/loading artifacts.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// FAE-container codec failure.
+    Format(FormatError),
+    /// Sidecar JSON failure.
+    Json(serde_json::Error),
+    /// Filesystem failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Format(e) => write!(f, "fae container: {e}"),
+            ArtifactError::Json(e) => write!(f, "sidecar json: {e}"),
+            ArtifactError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<FormatError> for ArtifactError {
+    fn from(e: FormatError) -> Self {
+        ArtifactError::Format(e)
+    }
+}
+impl From<serde_json::Error> for ArtifactError {
+    fn from(e: serde_json::Error) -> Self {
+        ArtifactError::Json(e)
+    }
+}
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+fn sidecar_path(stream: &Path) -> PathBuf {
+    let mut p = stream.as_os_str().to_owned();
+    p.push(".meta.json");
+    PathBuf::from(p)
+}
+
+/// Saves the static artifacts: `<path>` gets the FAE batch stream,
+/// `<path>.meta.json` the calibration + partitions.
+pub fn save(artifacts: &StaticArtifacts, workload: &str, path: &Path) -> Result<(), ArtifactError> {
+    artifacts.preprocessed.to_fae_file(workload).write_file(path)?;
+    let sidecar = Sidecar {
+        calibration: artifacts.calibration.clone(),
+        partitions: artifacts.preprocessed.partitions.clone(),
+        hot_input_fraction: artifacts.preprocessed.hot_input_fraction,
+    };
+    fs::write(sidecar_path(path), serde_json::to_vec_pretty(&sidecar)?)?;
+    Ok(())
+}
+
+/// Loads artifacts saved by [`save`], returning them plus the workload
+/// name recorded in the container.
+pub fn load(path: &Path) -> Result<(StaticArtifacts, String), ArtifactError> {
+    let file = FaeFile::read_file(path)?;
+    let sidecar: Sidecar = serde_json::from_slice(&fs::read(sidecar_path(path))?)?;
+    let (hot, cold): (Vec<_>, Vec<_>) =
+        file.batches.into_iter().partition(|b| b.kind == BatchKind::Hot);
+    Ok((
+        StaticArtifacts {
+            calibration: sidecar.calibration,
+            preprocessed: Preprocessed {
+                hot_batches: hot,
+                cold_batches: cold,
+                hot_input_fraction: sidecar.hot_input_fraction,
+                partitions: sidecar.partitions,
+            },
+        },
+        file.workload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_processor::PreprocessConfig;
+    use crate::pipeline::prepare;
+    use crate::CalibratorConfig;
+    use fae_data::{generate, GenOptions, WorkloadSpec};
+
+    fn artifacts() -> StaticArtifacts {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(3, 4_000));
+        prepare(
+            &ds,
+            CalibratorConfig {
+                gpu_budget_bytes: 40 << 10,
+                small_table_bytes: 2 << 10,
+                ..Default::default()
+            },
+            &PreprocessConfig { minibatch_size: 64, seed: 1 },
+        )
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        save(&a, "tiny-test", &path).expect("save");
+        let (b, workload) = load(&path).expect("load");
+        fs::remove_file(&path).ok();
+        fs::remove_file(sidecar_path(&path)).ok();
+        assert_eq!(workload, "tiny-test");
+        assert_eq!(b.calibration.threshold, a.calibration.threshold);
+        assert_eq!(b.preprocessed.hot_batches.len(), a.preprocessed.hot_batches.len());
+        assert_eq!(b.preprocessed.cold_batches.len(), a.preprocessed.cold_batches.len());
+        assert_eq!(b.preprocessed.partitions.len(), a.preprocessed.partitions.len());
+        for (pa, pb) in a.preprocessed.partitions.iter().zip(&b.preprocessed.partitions) {
+            assert_eq!(pa.hot_ids(), pb.hot_ids());
+        }
+    }
+
+    #[test]
+    fn missing_sidecar_is_an_error_not_a_panic() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orphan.fae");
+        a.preprocessed.to_fae_file("x").write_file(&path).unwrap();
+        let r = load(&path);
+        fs::remove_file(&path).ok();
+        assert!(matches!(r, Err(ArtifactError::Io(_))));
+    }
+}

@@ -1,0 +1,172 @@
+//! The Rand-Em Box (§III-A.3): CLT-based estimation of hot-embedding-table
+//! size without scanning full tables.
+//!
+//! For a table with `N` rows and an access cutoff `H_zt`, the box draws
+//! `n = 35` random chunks of `m = 1024` consecutive rows from the access
+//! counter, counts rows at/above the cutoff in each chunk (Eqs 2–3),
+//! takes the sample mean `ȳ_t` (Eq 4) and forms the 99.9% t-interval
+//! `ȳ_t ± 3.340·s/√35` (Eq 6, valid because `N ≫ n` drops the finite-
+//! population factor). The hot-row estimate scales the chunk mean to the
+//! table: `N · ȳ_t / m`.
+
+use rand::Rng;
+
+use fae_embed::AccessCounter;
+
+/// Configuration of the Rand-Em Box sampling.
+#[derive(Clone, Copy, Debug)]
+pub struct RandEmBox {
+    /// Number of sampled chunks (paper: n = 35, ≥30 for CLT validity).
+    pub chunks: usize,
+    /// Rows per chunk (paper: m = 1024, giving 1/1024 precision).
+    pub chunk_len: usize,
+    /// Student-t critical value (paper: 3.340 for 99.9% CI at n = 35).
+    pub t_value: f64,
+}
+
+impl Default for RandEmBox {
+    fn default() -> Self {
+        Self { chunks: 35, chunk_len: 1024, t_value: 3.340 }
+    }
+}
+
+/// The box's output for one `(table, cutoff)` pair.
+#[derive(Clone, Copy, Debug)]
+pub struct RandEmEstimate {
+    /// Mean hot rows per sampled chunk (`ȳ_t`).
+    pub chunk_mean: f64,
+    /// Half-width of the confidence interval on `ȳ_t`.
+    pub ci_half_width: f64,
+    /// Point estimate of hot rows in the whole table.
+    pub hot_rows: f64,
+    /// Upper-confidence-bound estimate of hot rows (used for capacity
+    /// planning so the bag never overflows the budget).
+    pub hot_rows_upper: f64,
+    /// Rows actually inspected (≤ table size; the latency win of Fig 10).
+    pub rows_scanned: usize,
+}
+
+impl RandEmBox {
+    /// Estimates how many rows of `counter` meet `cutoff` accesses.
+    ///
+    /// Tables not much larger than one sampling pass (`n·m` rows) are
+    /// scanned exactly — sampling only pays off when it reads less than
+    /// the full table.
+    pub fn estimate(
+        &self,
+        counter: &AccessCounter,
+        cutoff: u64,
+        rng: &mut impl Rng,
+    ) -> RandEmEstimate {
+        let n_rows = counter.rows();
+        let sample_span = self.chunks * self.chunk_len;
+        if n_rows <= sample_span {
+            let exact = counter.rows_at_or_above(cutoff) as f64;
+            return RandEmEstimate {
+                chunk_mean: exact,
+                ci_half_width: 0.0,
+                hot_rows: exact,
+                hot_rows_upper: exact,
+                rows_scanned: n_rows,
+            };
+        }
+        let counts = counter.counts();
+        let mut ys = Vec::with_capacity(self.chunks);
+        for _ in 0..self.chunks {
+            let start = rng.gen_range(0..n_rows - self.chunk_len);
+            let y = counts[start..start + self.chunk_len]
+                .iter()
+                .filter(|&&k| k >= cutoff)
+                .count();
+            ys.push(y as f64);
+        }
+        let n = self.chunks as f64;
+        let mean = ys.iter().sum::<f64>() / n;
+        let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / (n - 1.0);
+        let ci = self.t_value * (var / n).sqrt();
+        let scale = n_rows as f64 / self.chunk_len as f64;
+        RandEmEstimate {
+            chunk_mean: mean,
+            ci_half_width: ci,
+            hot_rows: mean * scale,
+            hot_rows_upper: (mean + ci) * scale,
+            rows_scanned: sample_span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A counter where every `period`-th row is hot (uniformly scattered
+    /// hotness, the layout the shuffled Zipf id space produces).
+    fn periodic_counter(rows: usize, period: usize, hot_count: u64) -> AccessCounter {
+        let mut c = AccessCounter::new(rows);
+        for r in (0..rows).step_by(period) {
+            for _ in 0..hot_count {
+                c.record(r as u32);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_tables_are_scanned_exactly() {
+        let c = periodic_counter(1_000, 10, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = RandEmBox::default().estimate(&c, 5, &mut rng);
+        assert_eq!(est.hot_rows, 100.0);
+        assert_eq!(est.ci_half_width, 0.0);
+        assert_eq!(est.rows_scanned, 1_000);
+    }
+
+    #[test]
+    fn estimate_close_to_truth_on_large_table() {
+        let rows = 1_000_000;
+        let c = periodic_counter(rows, 16, 3); // 62_500 hot rows
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = RandEmBox::default().estimate(&c, 3, &mut rng);
+        let truth = c.rows_at_or_above(3) as f64;
+        let rel = (est.hot_rows - truth).abs() / truth;
+        // Paper (Fig 9): within 10% of measured.
+        assert!(rel < 0.10, "estimate {} vs truth {truth} ({rel:.3} rel)", est.hot_rows);
+        assert!(est.hot_rows_upper >= est.hot_rows);
+        assert!(est.rows_scanned < rows / 10, "sampling should scan ≪ table");
+    }
+
+    #[test]
+    fn upper_bound_usually_covers_truth() {
+        // 99.9% CI should cover the truth in the vast majority of seeds.
+        let rows = 500_000;
+        let c = periodic_counter(rows, 8, 2);
+        let truth = c.rows_at_or_above(2) as f64;
+        let mut covered = 0;
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let est = RandEmBox::default().estimate(&c, 2, &mut rng);
+            if est.hot_rows_upper >= truth {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 45, "upper bound covered truth only {covered}/50 times");
+    }
+
+    #[test]
+    fn zero_cutoff_marks_everything_hot() {
+        let c = periodic_counter(200_000, 4, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = RandEmBox::default().estimate(&c, 0, &mut rng);
+        assert!((est.hot_rows - 200_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn impossible_cutoff_marks_nothing_hot() {
+        let c = periodic_counter(200_000, 4, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = RandEmBox::default().estimate(&c, u64::MAX, &mut rng);
+        assert_eq!(est.hot_rows, 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Convergence monitoring — Prechelt-style early stopping ("Early
+//! stopping — but when?", the paper's [40]).
+//!
+//! §III-C justifies the scheduler's `u = 4` with "the downward trend of
+//! test loss curve [40] consecutively for 4 strips shows a balance between
+//! redundancy, badness, and slowness". This module implements the two
+//! criteria that argument rests on, usable to terminate training runs:
+//!
+//! * **GL (generalisation loss)**: percent by which the current validation
+//!   loss exceeds the best seen; stop when `GL > α`.
+//! * **UP (strips of increase)**: stop after the validation loss has risen
+//!   across `s` consecutive strips of `k` evaluations.
+
+/// Prechelt's GL stopping criterion.
+#[derive(Clone, Debug)]
+pub struct GeneralizationLoss {
+    best: f64,
+    /// Stop threshold in percent (Prechelt's α; e.g. 5.0).
+    pub alpha: f64,
+}
+
+impl GeneralizationLoss {
+    /// Creates the criterion with threshold `alpha` percent.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        Self { best: f64::INFINITY, alpha }
+    }
+
+    /// Current generalisation loss in percent: `100·(loss/best − 1)`.
+    pub fn gl(&self, loss: f64) -> f64 {
+        if self.best.is_infinite() {
+            0.0
+        } else {
+            100.0 * (loss / self.best - 1.0)
+        }
+    }
+
+    /// Feeds one validation loss; returns `true` when training should
+    /// stop (GL exceeded α).
+    pub fn observe(&mut self, loss: f64) -> bool {
+        assert!(loss.is_finite(), "non-finite validation loss");
+        let stop = self.gl(loss) > self.alpha;
+        if loss < self.best {
+            self.best = loss;
+        }
+        stop
+    }
+
+    /// Best validation loss seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+/// Prechelt's UP criterion: stop after `strips` consecutive strips (each
+/// `strip_len` observations) whose end-of-strip loss increased.
+#[derive(Clone, Debug)]
+pub struct UpStrips {
+    strip_len: usize,
+    strips: usize,
+    in_strip: usize,
+    last_strip_end: Option<f64>,
+    rising_strips: usize,
+    current: f64,
+}
+
+impl UpStrips {
+    /// Creates the criterion (Prechelt's classic setting: `strip_len = 5`,
+    /// `strips` per taste; the paper's scheduler uses 4 improving strips
+    /// for the *opposite* direction).
+    pub fn new(strip_len: usize, strips: usize) -> Self {
+        assert!(strip_len > 0 && strips > 0, "strip parameters must be positive");
+        Self {
+            strip_len,
+            strips,
+            in_strip: 0,
+            last_strip_end: None,
+            rising_strips: 0,
+            current: f64::NAN,
+        }
+    }
+
+    /// Feeds one validation loss; returns `true` when training should
+    /// stop (`strips` consecutive rising strips).
+    pub fn observe(&mut self, loss: f64) -> bool {
+        assert!(loss.is_finite(), "non-finite validation loss");
+        self.current = loss;
+        self.in_strip += 1;
+        if self.in_strip < self.strip_len {
+            return false;
+        }
+        self.in_strip = 0;
+        let rising = matches!(self.last_strip_end, Some(prev) if loss > prev);
+        self.last_strip_end = Some(loss);
+        if rising {
+            self.rising_strips += 1;
+        } else {
+            self.rising_strips = 0;
+        }
+        self.rising_strips >= self.strips
+    }
+
+    /// Consecutive rising strips observed so far.
+    pub fn rising_strips(&self) -> usize {
+        self.rising_strips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl_zero_before_any_best() {
+        let g = GeneralizationLoss::new(5.0);
+        assert_eq!(g.gl(1.0), 0.0);
+    }
+
+    #[test]
+    fn gl_stops_on_sufficient_degradation() {
+        let mut g = GeneralizationLoss::new(5.0);
+        assert!(!g.observe(1.0)); // establishes the best
+        assert!(!g.observe(1.04)); // +4% < α
+        assert!(g.observe(1.06)); // +6% > α → stop
+        assert_eq!(g.best(), 1.0);
+    }
+
+    #[test]
+    fn gl_tracks_new_best() {
+        let mut g = GeneralizationLoss::new(10.0);
+        g.observe(2.0);
+        g.observe(1.0); // new best
+        assert!(!g.observe(1.05)); // +5% of the *new* best, under α=10
+        assert!(g.observe(1.2)); // +20% → stop
+    }
+
+    #[test]
+    fn up_strips_needs_consecutive_rises() {
+        // strip_len 2, strips 2: strip-end losses 1.0, 1.1, 1.2 → stop at
+        // the second consecutive rise.
+        let mut u = UpStrips::new(2, 2);
+        assert!(!u.observe(1.0));
+        assert!(!u.observe(1.0)); // strip 1 ends at 1.0
+        assert!(!u.observe(1.1));
+        assert!(!u.observe(1.1)); // strip 2 ends higher: 1 rising strip
+        assert_eq!(u.rising_strips(), 1);
+        assert!(!u.observe(1.2));
+        assert!(u.observe(1.2)); // strip 3 ends higher again → stop
+    }
+
+    #[test]
+    fn up_strips_reset_on_improvement() {
+        let mut u = UpStrips::new(1, 3);
+        u.observe(1.0);
+        u.observe(1.1); // rise 1
+        u.observe(1.2); // rise 2
+        u.observe(0.9); // improvement resets
+        assert_eq!(u.rising_strips(), 0);
+        assert!(!u.observe(1.0));
+        assert!(!u.observe(1.1));
+        assert!(u.observe(1.2)); // three fresh rises → stop
+    }
+
+    #[test]
+    fn descending_curve_never_stops() {
+        let mut g = GeneralizationLoss::new(1.0);
+        let mut u = UpStrips::new(2, 2);
+        let mut loss = 10.0;
+        for _ in 0..100 {
+            loss *= 0.99;
+            assert!(!g.observe(loss));
+            assert!(!u.observe(loss));
+        }
+    }
+}

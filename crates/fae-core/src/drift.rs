@@ -1,0 +1,173 @@
+//! Hotness-drift detection and recalibration — §II-B challenge 4.
+//!
+//! "The hotness of an embedding entry depends on the dataset and
+//! recommender model. Therefore, hotness needs to be re-calibrated for
+//! every model, dataset, and system configuration tuple." Popularity also
+//! moves *within* a dataset's lifetime (new items trend, old ones fade).
+//! The [`DriftMonitor`] watches the live hot-access share — the fraction
+//! of recent lookups served by rows the current partitions call hot — and
+//! raises a recalibration flag when it falls materially below the share
+//! observed at calibration time. Recalibrating re-runs the standard
+//! static pipeline on the recent window.
+
+use fae_data::Dataset;
+use fae_embed::HotColdPartition;
+
+/// Sliding observation of how well the current hot sets still cover the
+/// access stream.
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    /// Hot-access share measured at calibration time.
+    baseline_share: f64,
+    /// Tolerated absolute drop before flagging (e.g. 0.10 = recalibrate
+    /// once coverage fell ten points).
+    tolerated_drop: f64,
+}
+
+/// The monitor's verdict over one observation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftVerdict {
+    /// Hot-access share over the observed window.
+    pub current_share: f64,
+    /// Baseline share at calibration time.
+    pub baseline_share: f64,
+    /// True when the drop exceeds the tolerance — time to recalibrate.
+    pub drifted: bool,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor. `baseline_share` is the hot-access share right
+    /// after calibration (measure it with [`hot_access_share`]).
+    pub fn new(baseline_share: f64, tolerated_drop: f64) -> Self {
+        assert!((0.0..=1.0).contains(&baseline_share), "share out of range");
+        assert!(tolerated_drop > 0.0, "tolerance must be positive");
+        Self { baseline_share, tolerated_drop }
+    }
+
+    /// Checks a window of inputs (`range` of dataset indices) against the
+    /// current partitions.
+    pub fn check(
+        &self,
+        ds: &Dataset,
+        range: std::ops::Range<usize>,
+        partitions: &[HotColdPartition],
+    ) -> DriftVerdict {
+        let current_share = hot_access_share(ds, range, partitions);
+        DriftVerdict {
+            current_share,
+            baseline_share: self.baseline_share,
+            drifted: current_share < self.baseline_share - self.tolerated_drop,
+        }
+    }
+}
+
+/// Fraction of all lookups in `range` that hit rows the partitions call
+/// hot.
+pub fn hot_access_share(
+    ds: &Dataset,
+    range: std::ops::Range<usize>,
+    partitions: &[HotColdPartition],
+) -> f64 {
+    assert_eq!(partitions.len(), ds.sparse.len(), "one partition per table");
+    let mut hot = 0u64;
+    let mut total = 0u64;
+    for i in range {
+        for (t, bag) in ds.bags_of(i) {
+            for &idx in bag {
+                total += 1;
+                if partitions[t].is_hot(idx) {
+                    hot += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hot as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrator::{log_accesses, sample_inputs};
+    use crate::classifier::classify_tables;
+    use crate::{Calibrator, CalibratorConfig};
+    use fae_data::{generate, GenOptions, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn calibrate_on(
+        ds: &Dataset,
+        range: std::ops::Range<usize>,
+    ) -> Vec<HotColdPartition> {
+        let calibrator = Calibrator::new(CalibratorConfig {
+            gpu_budget_bytes: 40 << 10,
+            small_table_bytes: 2 << 10,
+            // Tiny calibration windows need a denser sample than the
+            // default 5% to cover the head region.
+            sample_rate: 0.5,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(calibrator.config.seed);
+        let window: Vec<usize> = range.collect();
+        // Sample within the window (the calibrator's 5% rule on the slice).
+        let sampled: Vec<usize> = {
+            let mask = sample_inputs(ds, calibrator.config.sample_rate, &mut rng);
+            let set: std::collections::BTreeSet<usize> = window.iter().copied().collect();
+            mask.into_iter().filter(|i| set.contains(i)).collect()
+        };
+        let counters = log_accesses(ds, &sampled);
+        let cal = calibrator.converge(ds, &counters, &mut rng);
+        classify_tables(&ds.spec, &counters, &cal)
+    }
+
+    #[test]
+    fn static_popularity_never_flags() {
+        let spec = WorkloadSpec::tiny_test();
+        let n = 20_000;
+        let ds = generate(&spec, &GenOptions::sized(31, n));
+        let parts = calibrate_on(&ds, 0..n / 4);
+        let baseline = hot_access_share(&ds, 0..n / 4, &parts);
+        let monitor = DriftMonitor::new(baseline, 0.10);
+        for window in [n / 4..n / 2, n / 2..3 * n / 4, 3 * n / 4..n] {
+            let v = monitor.check(&ds, window.clone(), &parts);
+            assert!(!v.drifted, "false positive at {window:?}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn drifting_popularity_flags_and_recalibration_restores_coverage() {
+        let spec = WorkloadSpec::tiny_test();
+        let n = 24_000;
+        let ds = generate(&spec, &GenOptions::sized(33, n).with_drift(1.0));
+        // Calibrate on the first popularity regime.
+        let parts = calibrate_on(&ds, 0..n / 8);
+        let baseline = hot_access_share(&ds, 0..n / 8, &parts);
+        assert!(baseline > 0.5, "calibration-window coverage too low: {baseline}");
+        let monitor = DriftMonitor::new(baseline, 0.10);
+        // The last regime has rotated away from the calibrated hot set.
+        let tail = 7 * n / 8..n;
+        let v = monitor.check(&ds, tail.clone(), &parts);
+        assert!(v.drifted, "drift not detected: {v:?}");
+        assert!(v.current_share < baseline - 0.10);
+        // Recalibrating on the most recent window restores coverage.
+        let fresh = calibrate_on(&ds, tail.clone());
+        let restored = hot_access_share(&ds, tail, &fresh);
+        assert!(
+            restored > v.current_share + 0.10,
+            "recalibration did not help: {} -> {restored}",
+            v.current_share
+        );
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(35, 100));
+        let parts: Vec<HotColdPartition> =
+            spec.tables.iter().map(|t| HotColdPartition::all_hot(t.rows)).collect();
+        assert_eq!(hot_access_share(&ds, 50..50, &parts), 0.0);
+    }
+}

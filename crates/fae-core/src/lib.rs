@@ -1,0 +1,49 @@
+//! # fae-core — the FAE framework
+//!
+//! The paper's contribution (§III), end to end:
+//!
+//! * [`calibrator`] — the static profiling pipeline: the **sparse input
+//!   sampler** (5% of inputs), the **embedding logger** (per-row access
+//!   counts), the **Rand-Em Box** (CLT-based hot-size estimation from 35
+//!   random 1024-row chunks at 99.9% confidence) and the **statistical
+//!   optimizer** that walks a threshold ladder until the hot bag fits the
+//!   GPU memory budget `L`,
+//! * [`classifier`] — one-pass tagging of hot embedding rows per table,
+//! * [`input_processor`] — parallel hot/cold classification of sparse
+//!   inputs and packing into *pure* hot / *pure* cold mini-batches,
+//!   persisted in the FAE format,
+//! * [`replicator`] — the hot-embedding source replicated per GPU, with
+//!   CPU↔GPU synchronisation at schedule transitions,
+//! * [`scheduler`] — the **Shuffle Scheduler**'s adaptive hot/cold
+//!   interleaving rate (Eq. 7),
+//! * [`trainer`] — baseline and FAE training loops combining real
+//!   numerics (loss/accuracy, Fig 12) with the `fae-sysmodel` cost model
+//!   (latency/power, Figs 13–15, Tables IV–VI),
+//! * [`pipeline`] — one-call convenience wrappers used by the examples
+//!   and the experiment harness.
+
+pub mod adaptive;
+pub mod artifacts;
+pub mod calibrator;
+pub mod classifier;
+pub mod convergence;
+pub mod distributed;
+pub mod drift;
+pub mod input_processor;
+pub mod pipeline;
+pub mod replicator;
+pub mod scheduler;
+pub mod simsched;
+pub mod trainer;
+
+pub use calibrator::{CalibrationResult, Calibrator, CalibratorConfig, RandEmBox, RandEmEstimate};
+pub use classifier::classify_tables;
+pub use adaptive::{train_fae_adaptive, AdaptiveConfig, AdaptiveReport};
+pub use distributed::DataParallel;
+pub use drift::{hot_access_share, DriftMonitor, DriftVerdict};
+pub use input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
+pub use replicator::HotEmbeddings;
+pub use scheduler::{Rate, ShuffleScheduler};
+pub use trainer::{
+    train_baseline, train_fae, AnyModel, EvalPoint, TrainConfig, TrainReport,
+};

@@ -1,0 +1,87 @@
+//! One-call pipelines assembling the full FAE flow of Fig 5:
+//! generate/load data → calibrate → classify → preprocess → train.
+
+use fae_data::{Dataset, WorkloadSpec};
+
+use crate::calibrator::{log_accesses, sample_inputs, CalibrationResult, Calibrator, CalibratorConfig};
+use crate::classifier::classify_tables;
+use crate::input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
+use crate::trainer::{train_baseline, train_fae, TrainConfig, TrainReport};
+
+/// Output of the static (one-time per dataset) half of the framework.
+pub struct StaticArtifacts {
+    /// The calibrator's threshold decision.
+    pub calibration: CalibrationResult,
+    /// The preprocessed hot/cold mini-batch stream.
+    pub preprocessed: Preprocessed,
+}
+
+/// Runs calibration, classification and input processing in one go.
+pub fn prepare(
+    train: &Dataset,
+    calibrator_cfg: CalibratorConfig,
+    pre_cfg: &PreprocessConfig,
+) -> StaticArtifacts {
+    let calibrator = Calibrator::new(calibrator_cfg);
+    let mut rng = rand::SeedableRng::seed_from_u64(calibrator.config.seed);
+    let samples = sample_inputs(train, calibrator.config.sample_rate, &mut rng);
+    let counters = log_accesses(train, &samples);
+    let mut calibration = calibrator.converge(train, &counters, &mut rng);
+    calibration.sampled_inputs = samples.len();
+    let partitions = classify_tables(&train.spec, &counters, &calibration);
+    let preprocessed = preprocess_inputs(train, partitions, pre_cfg);
+    StaticArtifacts { calibration, preprocessed }
+}
+
+/// End-to-end comparison: trains the same workload under the baseline and
+/// under FAE, returning `(baseline, fae)` reports.
+pub fn compare(
+    spec: &WorkloadSpec,
+    train: &Dataset,
+    test: &Dataset,
+    artifacts: &StaticArtifacts,
+    cfg: &TrainConfig,
+) -> (TrainReport, TrainReport) {
+    let base = train_baseline(spec, train, test, cfg);
+    let fae = train_fae(spec, &artifacts.preprocessed, test, cfg);
+    (base, fae)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fae_data::{generate, GenOptions};
+
+    #[test]
+    fn prepare_produces_consistent_artifacts() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(19, 8_000));
+        let art = prepare(
+            &ds,
+            CalibratorConfig::default(),
+            &PreprocessConfig { minibatch_size: 64, seed: 1 },
+        );
+        assert!(art.calibration.sampled_inputs > 0);
+        assert_eq!(art.preprocessed.total_samples(), ds.len());
+        assert_eq!(art.preprocessed.partitions.len(), spec.tables.len());
+    }
+
+    #[test]
+    fn compare_runs_both_modes() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(23, 4_000));
+        let (train, test) = ds.split(0.25);
+        let art = prepare(
+            &train,
+            CalibratorConfig::default(),
+            &PreprocessConfig { minibatch_size: 64, seed: 2 },
+        );
+        let cfg = TrainConfig { epochs: 1, minibatch_size: 64, ..Default::default() };
+        let (base, fae) = compare(&spec, &train, &test, &art, &cfg);
+        assert!(base.simulated_seconds > 0.0);
+        assert!(fae.simulated_seconds > 0.0);
+        // Tiny tables are all de-facto hot, so FAE runs everything hot and
+        // wins outright.
+        assert!(fae.simulated_seconds < base.simulated_seconds);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Embedding Replicator (§III, component 3): the hot-embedding bags as
+//! an [`EmbeddingSource`], plus the CPU↔GPU synchronisation performed at
+//! hot/cold schedule transitions.
+//!
+//! Numerically, the N GPU replicas stay bit-identical under the fused
+//! all-reduce (proved by `fae_embed::ReplicatedHotEmbedding`'s tests), so
+//! the trainer computes against one logical copy; the *cost* of keeping N
+//! replicas in sync is charged by `fae-sysmodel`. Lookups translate global
+//! row ids to hot-local ids through the partitions; touching a cold row
+//! through this source is a bug in the input processor and panics.
+
+use fae_nn::Tensor;
+
+use fae_embed::{HotColdPartition, HotEmbeddingBag, SparseGrad};
+use fae_models::{EmbeddingSource, MasterEmbeddings};
+
+/// Hot-embedding bags for every table, with global→local id translation.
+pub struct HotEmbeddings {
+    bags: Vec<HotEmbeddingBag>,
+    partitions: Vec<HotColdPartition>,
+    dim: usize,
+}
+
+impl HotEmbeddings {
+    /// Extracts the hot rows of every master table per the partitions.
+    pub fn build(master: &MasterEmbeddings, partitions: Vec<HotColdPartition>) -> Self {
+        assert_eq!(partitions.len(), master.num_tables(), "one partition per table");
+        let bags = master
+            .tables()
+            .iter()
+            .zip(&partitions)
+            .map(|(t, p)| HotEmbeddingBag::extract(t, p.hot_ids().to_vec()))
+            .collect();
+        Self { bags, partitions, dim: master.dim() }
+    }
+
+    /// Total bytes of the hot bags (per GPU replica).
+    pub fn hot_bytes(&self) -> usize {
+        self.bags.iter().map(|b| b.size_bytes()).sum()
+    }
+
+    /// The partitions backing this source.
+    pub fn partitions(&self) -> &[HotColdPartition] {
+        &self.partitions
+    }
+
+    /// Hot→cold transition: pushes trained hot rows back into the master
+    /// tables so cold batches (and evaluation) see them.
+    pub fn write_back(&self, master: &mut MasterEmbeddings) {
+        for (bag, table) in self.bags.iter().zip(master.tables_mut()) {
+            bag.write_back(table);
+        }
+    }
+
+    /// Cold→hot transition: pulls rows updated by cold batches back into
+    /// the bags.
+    pub fn refresh_from(&mut self, master: &MasterEmbeddings) {
+        for (bag, table) in self.bags.iter_mut().zip(master.tables()) {
+            bag.refresh_from(table);
+        }
+    }
+
+    fn translate(&self, t: usize, indices: &[u32]) -> Vec<u32> {
+        let p = &self.partitions[t];
+        indices
+            .iter()
+            .map(|&g| {
+                p.hot_local(g).unwrap_or_else(|| {
+                    panic!("cold row {g} of table {t} looked up through the hot source")
+                })
+            })
+            .collect()
+    }
+}
+
+impl EmbeddingSource for HotEmbeddings {
+    fn lookup(&self, t: usize, indices: &[u32], offsets: &[usize]) -> Tensor {
+        let local = self.translate(t, indices);
+        self.bags[t].table().lookup_bag(&local, offsets)
+    }
+
+    fn apply_sparse_grads(&mut self, grads: &[SparseGrad], lr: f32) {
+        assert_eq!(grads.len(), self.bags.len(), "one gradient per table");
+        for ((bag, p), g) in self.bags.iter_mut().zip(&self.partitions).zip(grads) {
+            let local = g.clone().remap(|global| {
+                p.hot_local(global).unwrap_or_else(|| {
+                    panic!("cold row {global} updated through the hot source")
+                })
+            });
+            bag.table_mut().sgd_step_sparse(&local, lr);
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_tables(&self) -> usize {
+        self.bags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fae_data::WorkloadSpec;
+    use fae_embed::AccessCounter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MasterEmbeddings, HotEmbeddings) {
+        let spec = WorkloadSpec::tiny_test();
+        let mut rng = StdRng::seed_from_u64(3);
+        let master = MasterEmbeddings::from_spec(&spec, &mut rng);
+        // Hot rows: multiples of 3 in every table.
+        let parts: Vec<HotColdPartition> = spec
+            .tables
+            .iter()
+            .map(|t| {
+                let mut c = AccessCounter::new(t.rows);
+                for r in (0..t.rows).step_by(3) {
+                    c.record(r as u32);
+                }
+                HotColdPartition::from_counts(&c, 1)
+            })
+            .collect();
+        let hot = HotEmbeddings::build(&master, parts);
+        (master, hot)
+    }
+
+    #[test]
+    fn hot_lookup_matches_master() {
+        let (master, hot) = setup();
+        let out_hot = hot.lookup(0, &[0, 3, 9], &[0, 1, 2, 3]);
+        let out_master = master.lookup(0, &[0, 3, 9], &[0, 1, 2, 3]);
+        assert_eq!(out_hot.as_slice(), out_master.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "cold row")]
+    fn cold_lookup_panics() {
+        let (_, hot) = setup();
+        let _ = hot.lookup(0, &[1], &[0, 1]);
+    }
+
+    #[test]
+    fn grads_apply_to_hot_copy_then_sync_back() {
+        let (mut master, mut hot) = setup();
+        let before = master.lookup(1, &[6], &[0, 1]);
+        let mut grads: Vec<SparseGrad> =
+            (0..hot.num_tables()).map(|_| SparseGrad::new(hot.dim())).collect();
+        grads[1].accumulate(6, &vec![2.0; hot.dim()]);
+        hot.apply_sparse_grads(&grads, 0.5);
+        // Master unchanged until write-back.
+        assert_eq!(master.lookup(1, &[6], &[0, 1]).as_slice(), before.as_slice());
+        hot.write_back(&mut master);
+        let after = master.lookup(1, &[6], &[0, 1]);
+        for (b, a) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((b - 1.0 - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn refresh_pulls_cold_phase_updates() {
+        let (mut master, mut hot) = setup();
+        // Cold phase trains hot row 3 on the CPU master copy.
+        let mut grads: Vec<SparseGrad> =
+            (0..master.num_tables()).map(|_| SparseGrad::new(master.dim())).collect();
+        grads[0].accumulate(3, &vec![4.0; master.dim()]);
+        master.apply_sparse_grads(&grads, 0.25);
+        hot.refresh_from(&master);
+        let hot_val = hot.lookup(0, &[3], &[0, 1]);
+        let master_val = master.lookup(0, &[3], &[0, 1]);
+        assert_eq!(hot_val.as_slice(), master_val.as_slice());
+    }
+
+    #[test]
+    fn hot_bytes_counts_extracted_rows() {
+        let (_, hot) = setup();
+        let expect: usize = hot
+            .partitions()
+            .iter()
+            .map(|p| p.hot_count() * hot.dim() * 4)
+            .sum();
+        assert_eq!(hot.hot_bytes(), expect);
+        assert!(hot.hot_bytes() > 0);
+    }
+}

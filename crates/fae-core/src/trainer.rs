@@ -1,0 +1,479 @@
+//! Training engines: the CPU+GPU hybrid baseline and the FAE schedule.
+//!
+//! Both engines train with *real* numerics (the loss/accuracy results of
+//! Fig 12 and Table III come out of actual SGD on the synthetic data) and
+//! simultaneously charge every mini-batch to the `fae-sysmodel` cost model
+//! (the latency/power results of Figs 13–15 and Tables IV–VI come out of
+//! the accumulated [`Timeline`]).
+//!
+//! The FAE engine follows §III-C: lead with cold batches, issue blocks of
+//! `rate%` cold then `rate%` hot, synchronise the hot bags CPU↔GPU at
+//! every transition (charged via [`sync_cost`]), evaluate after each
+//! round and let the [`ShuffleScheduler`] adapt the rate.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use fae_data::{BatchKind, Dataset, MiniBatch, WorkloadKind, WorkloadSpec};
+use fae_embed::SparseGrad;
+use fae_models::{
+    bridge, evaluate, train_step, Dlrm, EmbeddingSource, EvalReport, MasterEmbeddings, RecModel,
+    Tbsm,
+};
+use fae_nn::Tensor;
+use fae_sysmodel::power::average_gpu_power;
+use fae_sysmodel::{step_cost, sync_cost, ExecMode, SystemConfig, Timeline};
+
+use crate::input_processor::Preprocessed;
+use crate::replicator::HotEmbeddings;
+use crate::scheduler::{Rate, ShuffleScheduler};
+
+/// Trainer configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Global mini-batch size (scaled with GPUs under weak scaling by the
+    /// caller).
+    pub minibatch_size: usize,
+    /// Simulated GPU count (affects only the cost model).
+    pub num_gpus: usize,
+    /// Initial shuffle-scheduler rate (paper: 50).
+    pub initial_rate: u32,
+    /// Test mini-batches per evaluation.
+    pub eval_batches: usize,
+    /// Baseline: evaluate every this many steps.
+    pub eval_interval: usize,
+    /// Seed for model init and batch-order shuffles.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.05,
+            epochs: 1,
+            minibatch_size: 64,
+            num_gpus: 1,
+            initial_rate: 50,
+            eval_batches: 4,
+            eval_interval: 50,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// One evaluation snapshot along the training run (Fig 12's curves).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Training steps completed when this evaluation ran.
+    pub iteration: usize,
+    /// Test-set BCE loss.
+    pub test_loss: f64,
+    /// Test-set accuracy.
+    pub test_accuracy: f64,
+    /// Scheduler rate after this round (FAE only).
+    pub rate: Option<u32>,
+}
+
+/// Everything a training run produces.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Evaluation snapshots over training.
+    pub history: Vec<EvalPoint>,
+    /// Final held-out metrics.
+    pub final_test: EvalReport,
+    /// Final train-subset metrics (paper Table III reports both).
+    pub final_train: EvalReport,
+    /// Simulated phase-tagged time.
+    pub timeline: Timeline,
+    /// Simulated wall-clock seconds (== `timeline.total()`).
+    pub simulated_seconds: f64,
+    /// Simulated average per-GPU power (Table VI).
+    pub avg_gpu_power_w: f64,
+    /// Steps executed in pure-GPU hot mode.
+    pub hot_steps: usize,
+    /// Steps executed in hybrid (baseline/cold) mode.
+    pub cold_steps: usize,
+    /// Hot↔cold transitions (each charged an embedding sync).
+    pub transitions: usize,
+    /// Final scheduler rate (FAE only).
+    pub final_rate: Option<u32>,
+}
+
+/// A recommendation model of either family, chosen by the workload spec.
+pub enum AnyModel {
+    /// DLRM (RMC2/RMC3).
+    Dlrm(Box<Dlrm>),
+    /// TBSM (RMC1).
+    Tbsm(Box<Tbsm>),
+}
+
+impl AnyModel {
+    /// Builds the model family the spec calls for.
+    pub fn from_spec(spec: &WorkloadSpec, rng: &mut impl Rng) -> Self {
+        match spec.kind {
+            WorkloadKind::Dlrm => AnyModel::Dlrm(Box::new(Dlrm::from_spec(spec, rng))),
+            WorkloadKind::Tbsm => AnyModel::Tbsm(Box::new(Tbsm::from_spec(spec, rng))),
+        }
+    }
+}
+
+impl RecModel for AnyModel {
+    fn forward(&mut self, batch: &MiniBatch, emb: &dyn EmbeddingSource) -> Tensor {
+        match self {
+            AnyModel::Dlrm(m) => m.forward(batch, emb),
+            AnyModel::Tbsm(m) => m.forward(batch, emb),
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Vec<SparseGrad> {
+        match self {
+            AnyModel::Dlrm(m) => m.backward(grad),
+            AnyModel::Tbsm(m) => m.backward(grad),
+        }
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        match self {
+            AnyModel::Dlrm(m) => m.sgd_step(lr),
+            AnyModel::Tbsm(m) => m.sgd_step(lr),
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        match self {
+            AnyModel::Dlrm(m) => m.zero_grad(),
+            AnyModel::Tbsm(m) => m.zero_grad(),
+        }
+    }
+
+    fn dense_param_count(&self) -> usize {
+        match self {
+            AnyModel::Dlrm(m) => m.dense_param_count(),
+            AnyModel::Tbsm(m) => m.dense_param_count(),
+        }
+    }
+
+    fn write_params(&self, out: &mut Vec<f32>) {
+        match self {
+            AnyModel::Dlrm(m) => m.write_params(out),
+            AnyModel::Tbsm(m) => m.write_params(out),
+        }
+    }
+
+    fn read_params(&mut self, src: &[f32]) -> usize {
+        match self {
+            AnyModel::Dlrm(m) => m.read_params(src),
+            AnyModel::Tbsm(m) => m.read_params(src),
+        }
+    }
+}
+
+/// Splits the head of a test dataset into evaluation mini-batches.
+pub fn make_test_batches(test: &Dataset, batch_size: usize, max_batches: usize) -> Vec<MiniBatch> {
+    let n = test.len();
+    (0..n)
+        .collect::<Vec<_>>()
+        .chunks(batch_size)
+        .take(max_batches)
+        .map(|c| MiniBatch::gather(test, c, BatchKind::Unclassified))
+        .collect()
+}
+
+/// Per-batch-size memoised step costs: `step_cost` is pure in the batch
+/// size, and an epoch reuses two sizes (full + remainder).
+struct CostCache<'a> {
+    profile: &'a fae_sysmodel::ModelProfile,
+    sys: &'a SystemConfig,
+    mode: ExecMode,
+    cache: HashMap<usize, Timeline>,
+}
+
+impl<'a> CostCache<'a> {
+    fn new(profile: &'a fae_sysmodel::ModelProfile, sys: &'a SystemConfig, mode: ExecMode) -> Self {
+        Self { profile, sys, mode, cache: HashMap::new() }
+    }
+
+    fn charge(&mut self, timeline: &mut Timeline, batch: usize) {
+        let entry = self
+            .cache
+            .entry(batch)
+            .or_insert_with(|| step_cost(self.profile, self.sys, self.mode, batch));
+        timeline.merge(entry);
+    }
+}
+
+/// Trains the baseline: every mini-batch in hybrid CPU-GPU mode.
+pub fn train_baseline(
+    spec: &WorkloadSpec,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut model = AnyModel::from_spec(spec, &mut rng);
+    let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
+    let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
+    let profile = bridge::profile_for(spec, 0.0);
+    let sys = SystemConfig::paper_server(cfg.num_gpus);
+    let mut costs = CostCache::new(&profile, &sys, ExecMode::BaselineHybrid);
+
+    let mut timeline = Timeline::new();
+    let mut history = Vec::new();
+    let mut steps = 0usize;
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.minibatch_size) {
+            let mb = MiniBatch::gather(train, chunk, BatchKind::Unclassified);
+            train_step(&mut model, &mut master, &mb, cfg.lr);
+            costs.charge(&mut timeline, mb.len());
+            steps += 1;
+            if steps.is_multiple_of(cfg.eval_interval) {
+                let e = evaluate(&mut model, &master, &test_batches);
+                history.push(EvalPoint {
+                    iteration: steps,
+                    test_loss: e.loss,
+                    test_accuracy: e.accuracy,
+                    rate: None,
+                });
+            }
+        }
+    }
+    let final_test = evaluate(&mut model, &master, &test_batches);
+    let train_batches = make_test_batches(train, cfg.minibatch_size, cfg.eval_batches);
+    let final_train = evaluate(&mut model, &master, &train_batches);
+    history.push(EvalPoint {
+        iteration: steps,
+        test_loss: final_test.loss,
+        test_accuracy: final_test.accuracy,
+        rate: None,
+    });
+    TrainReport {
+        history,
+        final_test,
+        final_train,
+        simulated_seconds: timeline.total(),
+        avg_gpu_power_w: average_gpu_power(&timeline),
+        timeline,
+        hot_steps: 0,
+        cold_steps: steps,
+        transitions: 0,
+        final_rate: None,
+    }
+}
+
+/// Trains with the FAE framework over a preprocessed hot/cold stream.
+pub fn train_fae(
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut model = AnyModel::from_spec(spec, &mut rng);
+    let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
+    let mut hot = HotEmbeddings::build(&master, pre.partitions.to_vec());
+    let hot_bytes = hot.hot_bytes() as f64;
+    let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
+    let profile = bridge::profile_for(spec, hot_bytes);
+    let sys = SystemConfig::paper_server(cfg.num_gpus);
+    let mut cold_costs = CostCache::new(&profile, &sys, ExecMode::BaselineHybrid);
+    let mut hot_costs = CostCache::new(&profile, &sys, ExecMode::FaeHotGpu);
+    let sync = sync_cost(&sys, hot_bytes);
+
+    let mut scheduler = ShuffleScheduler::new(Rate::new(cfg.initial_rate));
+    let mut timeline = Timeline::new();
+    // Initial replication of the hot bags onto the GPUs.
+    timeline.merge(&sync);
+
+    let mut history = Vec::new();
+    let (mut hot_steps, mut cold_steps, mut transitions, mut steps) = (0usize, 0usize, 0usize, 0);
+    let n_hot = pre.hot_batches.len();
+    let n_cold = pre.cold_batches.len();
+
+    for _ in 0..cfg.epochs {
+        let mut hot_order: Vec<usize> = (0..n_hot).collect();
+        let mut cold_order: Vec<usize> = (0..n_cold).collect();
+        hot_order.shuffle(&mut rng);
+        cold_order.shuffle(&mut rng);
+        let (mut hp, mut cp) = (0usize, 0usize);
+
+        // §III-C: "The scheduler always begins with training on cold
+        // inputs", then alternates rate-sized blocks.
+        while hp < n_hot || cp < n_cold {
+            let rate = scheduler.rate();
+            // Cold block on the CPU master tables.
+            if cp < n_cold {
+                let k = rate.block_len(n_cold).min(n_cold - cp);
+                for &b in &cold_order[cp..cp + k] {
+                    let mb = &pre.cold_batches[b];
+                    train_step(&mut model, &mut master, mb, cfg.lr);
+                    cold_costs.charge(&mut timeline, mb.len());
+                    cold_steps += 1;
+                    steps += 1;
+                }
+                cp += k;
+            }
+            // Hot block on the replicated GPU bags, bracketed by syncs.
+            if hp < n_hot {
+                hot.refresh_from(&master);
+                timeline.merge(&sync);
+                transitions += 1;
+                let k = rate.block_len(n_hot).min(n_hot - hp);
+                for &b in &hot_order[hp..hp + k] {
+                    let mb = &pre.hot_batches[b];
+                    train_step(&mut model, &mut hot, mb, cfg.lr);
+                    hot_costs.charge(&mut timeline, mb.len());
+                    hot_steps += 1;
+                    steps += 1;
+                }
+                hp += k;
+                hot.write_back(&mut master);
+                timeline.merge(&sync);
+                transitions += 1;
+            }
+            // Evaluate on the (synchronised) master copy and adapt.
+            let e = evaluate(&mut model, &master, &test_batches);
+            let new_rate = scheduler.observe_test_loss(e.loss);
+            history.push(EvalPoint {
+                iteration: steps,
+                test_loss: e.loss,
+                test_accuracy: e.accuracy,
+                rate: Some(new_rate.pct()),
+            });
+        }
+    }
+
+    let final_test = evaluate(&mut model, &master, &test_batches);
+    let train_sample: Vec<MiniBatch> = pre
+        .hot_batches
+        .iter()
+        .take(cfg.eval_batches / 2 + 1)
+        .chain(pre.cold_batches.iter().take(cfg.eval_batches / 2 + 1))
+        .cloned()
+        .collect();
+    let final_train = evaluate(&mut model, &master, &train_sample);
+    TrainReport {
+        history,
+        final_test,
+        final_train,
+        simulated_seconds: timeline.total(),
+        avg_gpu_power_w: average_gpu_power(&timeline),
+        timeline,
+        hot_steps,
+        cold_steps,
+        transitions,
+        final_rate: Some(scheduler.rate().pct()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrator::Calibrator;
+    use crate::classifier::classify_tables;
+    use crate::input_processor::{preprocess_inputs, PreprocessConfig};
+    use fae_data::{generate, GenOptions};
+
+    fn small_run() -> (WorkloadSpec, Dataset, Dataset, Preprocessed, TrainConfig) {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(77, 6_000));
+        let (train, test) = ds.split(0.2);
+        let cal = Calibrator::default().calibrate(&train);
+        // Force partial hotness: recalibrate table cutoffs so cold inputs
+        // exist even though tiny tables are all under 1 MB.
+        let all: Vec<usize> = (0..train.len()).collect();
+        let counters = crate::calibrator::log_accesses(&train, &all);
+        let mut cal2 = cal;
+        for (t, tc) in cal2.tables.iter_mut().enumerate() {
+            tc.de_facto_hot = false;
+            tc.cutoff = (counters[t].total() / counters[t].rows() as u64).max(2);
+        }
+        let parts = classify_tables(&spec, &counters, &cal2);
+        let pre = preprocess_inputs(
+            &train,
+            parts,
+            &PreprocessConfig { minibatch_size: 64, seed: 5 },
+        );
+        let cfg = TrainConfig { epochs: 1, minibatch_size: 64, ..Default::default() };
+        (spec, train, test, pre, cfg)
+    }
+
+    #[test]
+    fn baseline_trains_and_reports() {
+        let (spec, train, test, _, cfg) = small_run();
+        let r = train_baseline(&spec, &train, &test, &cfg);
+        assert_eq!(r.cold_steps, train.len().div_ceil(64));
+        assert_eq!(r.hot_steps, 0);
+        assert!(r.simulated_seconds > 0.0);
+        assert!(r.final_test.accuracy > 0.5, "accuracy {}", r.final_test.accuracy);
+        assert!(!r.history.is_empty());
+        assert!(r.avg_gpu_power_w > 50.0);
+    }
+
+    #[test]
+    fn fae_trains_matches_baseline_accuracy_and_is_faster() {
+        let (spec, train, test, pre, cfg) = small_run();
+        assert!(!pre.hot_batches.is_empty(), "need hot batches for this test");
+        assert!(!pre.cold_batches.is_empty(), "need cold batches for this test");
+        let base = train_baseline(&spec, &train, &test, &cfg);
+        let fae = train_fae(&spec, &pre, &test, &cfg);
+        assert!(fae.hot_steps > 0 && fae.cold_steps > 0);
+        assert!(fae.transitions >= 2);
+        // Accuracy parity (Table III): within 3 points on this tiny run.
+        assert!(
+            (fae.final_test.accuracy - base.final_test.accuracy).abs() < 0.03,
+            "accuracy diverged: fae {} vs base {}",
+            fae.final_test.accuracy,
+            base.final_test.accuracy
+        );
+        // Speed: FAE's simulated time must beat the baseline's.
+        assert!(
+            fae.simulated_seconds < base.simulated_seconds,
+            "fae {}s !< baseline {}s",
+            fae.simulated_seconds,
+            base.simulated_seconds
+        );
+        assert!(fae.final_rate.is_some());
+    }
+
+    #[test]
+    fn fae_with_no_hot_batches_degenerates_to_baseline_schedule() {
+        let (spec, _train, test, mut pre, cfg) = small_run();
+        pre.cold_batches.extend(pre.hot_batches.drain(..).map(|mut b| {
+            b.kind = BatchKind::Cold;
+            b
+        }));
+        let r = train_fae(&spec, &pre, &test, &cfg);
+        assert_eq!(r.hot_steps, 0);
+        assert!(r.cold_steps > 0);
+    }
+
+    #[test]
+    fn more_gpus_at_fixed_tiny_batch_only_adds_coordination_cost() {
+        // Holding the (tiny) batch fixed, extra GPUs cannot help — they
+        // only add per-step coordination overhead, charged to AllReduce.
+        // (The real weak-scaling sweep lives in the fig13 harness, where
+        // the batch grows with the GPU count.)
+        let (spec, _train, test, pre, mut cfg) = small_run();
+        let r1 = train_fae(&spec, &pre, &test, &cfg);
+        cfg.num_gpus = 4;
+        let r4 = train_fae(&spec, &pre, &test, &cfg);
+        assert!(r4.simulated_seconds > r1.simulated_seconds);
+        let extra = r4.simulated_seconds - r1.simulated_seconds;
+        let allreduce_delta = r4.timeline.get(fae_sysmodel::Phase::AllReduce)
+            - r1.timeline.get(fae_sysmodel::Phase::AllReduce);
+        assert!(
+            allreduce_delta > 0.6 * extra,
+            "coordination cost should dominate the 4-GPU overhead: {allreduce_delta} of {extra}"
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! The FAE on-disk format for preprocessed hot/cold mini-batch streams.
+//!
+//! §III-B: "Once we have pre-processed the sparse-input data into hot and
+//! cold mini-batches, we store this in the FAE format for any subsequent
+//! training runs." The container is a little-endian binary layout:
+//!
+//! ```text
+//! magic "FAE1" | version u32 | workload-name (u32 len + utf8)
+//! dense_width u32 | num_tables u32 | num_batches u32
+//! repeat per batch:
+//!   kind u8 (0 hot, 1 cold, 2 unclassified) | batch_len u32
+//!   dense:  batch_len * dense_width f32
+//!   labels: batch_len f32
+//!   per table: nnz u32 | indices u32[nnz] | offsets u32[batch_len + 1]
+//! ```
+//!
+//! Decoding validates magic, version, offset monotonicity and trailing
+//! bytes, returning [`FormatError`] instead of panicking — this file
+//! crosses process boundaries, so it is treated as untrusted input.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::dataset::TableIndices;
+use crate::minibatch::{BatchKind, MiniBatch};
+
+const MAGIC: &[u8; 4] = b"FAE1";
+const VERSION: u32 = 1;
+
+/// Errors produced while decoding an FAE container.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The magic bytes were wrong — not an FAE file.
+    BadMagic,
+    /// Unsupported container version.
+    BadVersion(u32),
+    /// The buffer ended before the declared content.
+    Truncated(&'static str),
+    /// A structural invariant failed (e.g. non-monotonic offsets).
+    Corrupt(&'static str),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not an FAE file (bad magic)"),
+            FormatError::BadVersion(v) => write!(f, "unsupported FAE version {v}"),
+            FormatError::Truncated(what) => write!(f, "FAE file truncated while reading {what}"),
+            FormatError::Corrupt(what) => write!(f, "FAE file corrupt: {what}"),
+            FormatError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// A preprocessed mini-batch stream plus identifying metadata.
+#[derive(Clone, Debug)]
+pub struct FaeFile {
+    /// Name of the workload the stream was preprocessed from.
+    pub workload: String,
+    /// Dense feature width shared by all batches.
+    pub dense_width: u32,
+    /// Embedding-table count shared by all batches.
+    pub num_tables: u32,
+    /// The batches, in schedule-ready order.
+    pub batches: Vec<MiniBatch>,
+}
+
+impl FaeFile {
+    /// Wraps batches in a container. All batches must agree on dense width
+    /// and table count.
+    pub fn new(workload: impl Into<String>, batches: Vec<MiniBatch>) -> Self {
+        let dense_width = batches.first().map_or(0, |b| b.dense_width as u32);
+        let num_tables = batches.first().map_or(0, |b| b.sparse.len() as u32);
+        assert!(
+            batches
+                .iter()
+                .all(|b| b.dense_width as u32 == dense_width && b.sparse.len() as u32 == num_tables),
+            "inconsistent batch shapes"
+        );
+        Self { workload: workload.into(), dense_width, num_tables, batches }
+    }
+
+    /// Number of hot batches.
+    pub fn hot_count(&self) -> usize {
+        self.batches.iter().filter(|b| b.kind == BatchKind::Hot).count()
+    }
+
+    /// Number of cold batches.
+    pub fn cold_count(&self) -> usize {
+        self.batches.iter().filter(|b| b.kind == BatchKind::Cold).count()
+    }
+
+    /// Serialises to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(1024);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.workload.len() as u32);
+        buf.put_slice(self.workload.as_bytes());
+        buf.put_u32_le(self.dense_width);
+        buf.put_u32_le(self.num_tables);
+        buf.put_u32_le(self.batches.len() as u32);
+        for b in &self.batches {
+            buf.put_u8(match b.kind {
+                BatchKind::Hot => 0,
+                BatchKind::Cold => 1,
+                BatchKind::Unclassified => 2,
+            });
+            buf.put_u32_le(b.len() as u32);
+            for &v in &b.dense {
+                buf.put_f32_le(v);
+            }
+            for &v in &b.labels {
+                buf.put_f32_le(v);
+            }
+            for csr in &b.sparse {
+                buf.put_u32_le(csr.indices.len() as u32);
+                for &i in &csr.indices {
+                    buf.put_u32_le(i);
+                }
+                for &o in &csr.offsets {
+                    buf.put_u32_le(o as u32);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a container from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, FormatError> {
+        let mut reader = FaeStreamReader::open(buf)?;
+        let mut batches = Vec::with_capacity(reader.batches_remaining() as usize);
+        while let Some(batch) = reader.next_batch()? {
+            batches.push(batch);
+        }
+        if reader.trailing_bytes() > 0 {
+            return Err(FormatError::Corrupt("trailing bytes after final batch"));
+        }
+        Ok(Self {
+            workload: reader.workload().to_string(),
+            dense_width: reader.dense_width(),
+            num_tables: reader.num_tables(),
+            batches,
+        })
+    }
+
+    /// Writes the container to a file.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), FormatError> {
+        fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads a container from a file.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, FormatError> {
+        let data = fs::read(path)?;
+        Self::decode(&data)
+    }
+}
+
+fn need(buf: &[u8], n: usize, what: &'static str) -> Result<(), FormatError> {
+    if buf.remaining() < n {
+        Err(FormatError::Truncated(what))
+    } else {
+        Ok(())
+    }
+}
+
+/// Incremental decoder over an FAE container: yields one [`MiniBatch`] at
+/// a time, so a training loop can stream a large preprocessed file
+/// without materialising every batch up front.
+pub struct FaeStreamReader<'a> {
+    buf: &'a [u8],
+    workload: String,
+    dense_width: u32,
+    num_tables: u32,
+    remaining: u32,
+}
+
+impl<'a> FaeStreamReader<'a> {
+    /// Validates the header and positions the reader at the first batch.
+    pub fn open(mut buf: &'a [u8]) -> Result<Self, FormatError> {
+        need(buf, 8, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        need(buf, 4, "workload name")?;
+        let name_len = buf.get_u32_le() as usize;
+        need(buf, name_len, "workload name")?;
+        let workload = String::from_utf8(buf[..name_len].to_vec())
+            .map_err(|_| FormatError::Corrupt("workload name not utf8"))?;
+        buf.advance(name_len);
+        need(buf, 12, "shape header")?;
+        let dense_width = buf.get_u32_le();
+        let num_tables = buf.get_u32_le();
+        let remaining = buf.get_u32_le();
+        Ok(Self { buf, workload, dense_width, num_tables, remaining })
+    }
+
+    /// Workload name recorded in the header.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// Dense feature width shared by all batches.
+    pub fn dense_width(&self) -> u32 {
+        self.dense_width
+    }
+
+    /// Embedding-table count shared by all batches.
+    pub fn num_tables(&self) -> u32 {
+        self.num_tables
+    }
+
+    /// Batches not yet decoded.
+    pub fn batches_remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Bytes left after the declared batches (0 for a well-formed file;
+    /// only meaningful once every batch has been read).
+    pub fn trailing_bytes(&self) -> usize {
+        if self.remaining == 0 {
+            self.buf.remaining()
+        } else {
+            0
+        }
+    }
+
+    /// Decodes the next batch, or `Ok(None)` when the stream is done.
+    #[allow(clippy::should_implement_trait)] // fallible next; Iterator wraps it
+    pub fn next_batch(&mut self) -> Result<Option<MiniBatch>, FormatError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let buf = &mut self.buf;
+        need(buf, 5, "batch header")?;
+        let kind = match buf.get_u8() {
+            0 => BatchKind::Hot,
+            1 => BatchKind::Cold,
+            2 => BatchKind::Unclassified,
+            _ => return Err(FormatError::Corrupt("unknown batch kind")),
+        };
+        let len = buf.get_u32_le() as usize;
+        let dense_n = len * self.dense_width as usize;
+        need(buf, dense_n * 4, "dense block")?;
+        let mut dense = Vec::with_capacity(dense_n);
+        for _ in 0..dense_n {
+            dense.push(buf.get_f32_le());
+        }
+        need(buf, len * 4, "labels")?;
+        let mut labels = Vec::with_capacity(len);
+        for _ in 0..len {
+            labels.push(buf.get_f32_le());
+        }
+        let mut sparse = Vec::with_capacity(self.num_tables as usize);
+        for _ in 0..self.num_tables {
+            need(buf, 4, "csr nnz")?;
+            let nnz = buf.get_u32_le() as usize;
+            need(buf, nnz * 4 + (len + 1) * 4, "csr body")?;
+            let mut indices = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                indices.push(buf.get_u32_le());
+            }
+            let mut offsets = Vec::with_capacity(len + 1);
+            for _ in 0..=len {
+                offsets.push(buf.get_u32_le() as usize);
+            }
+            if offsets[0] != 0
+                || *offsets.last().unwrap() != nnz
+                || offsets.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(FormatError::Corrupt("csr offsets not monotonic"));
+            }
+            sparse.push(TableIndices { indices, offsets });
+        }
+        Ok(Some(MiniBatch {
+            kind,
+            dense,
+            dense_width: self.dense_width as usize,
+            sparse,
+            labels,
+        }))
+    }
+}
+
+impl Iterator for FaeStreamReader<'_> {
+    type Item = Result<MiniBatch, FormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_batch().transpose()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    pub(crate) fn sample_batch(kind: BatchKind, len: usize) -> MiniBatch {
+        let mut csr1 = TableIndices::new();
+        let mut csr2 = TableIndices::new();
+        for i in 0..len {
+            csr1.push_bag(&[i as u32]);
+            csr2.push_bag(&[(i * 2) as u32, (i * 2 + 1) as u32]);
+        }
+        MiniBatch {
+            kind,
+            dense: (0..len * 3).map(|v| v as f32 * 0.5).collect(),
+            dense_width: 3,
+            sparse: vec![csr1, csr2],
+            labels: (0..len).map(|i| (i % 2) as f32).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::sample_batch;
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let f = FaeFile::new(
+            "unit-test",
+            vec![sample_batch(BatchKind::Hot, 4), sample_batch(BatchKind::Cold, 2)],
+        );
+        let bytes = f.encode();
+        let g = FaeFile::decode(&bytes).expect("decode");
+        assert_eq!(g.workload, "unit-test");
+        assert_eq!(g.batches.len(), 2);
+        assert_eq!(g.hot_count(), 1);
+        assert_eq!(g.cold_count(), 1);
+        for (a, b) in f.batches.iter().zip(&g.batches) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.dense, b.dense);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.sparse, b.sparse);
+        }
+    }
+
+    #[test]
+    fn empty_container_round_trips() {
+        let f = FaeFile::new("empty", vec![]);
+        let g = FaeFile::decode(&f.encode()).expect("decode");
+        assert!(g.batches.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = FaeFile::new("x", vec![]).encode().to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(FaeFile::decode(&bytes), Err(FormatError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = FaeFile::new("x", vec![]).encode().to_vec();
+        bytes[4] = 99;
+        assert!(matches!(FaeFile::decode(&bytes), Err(FormatError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        let bytes = FaeFile::new("t", vec![sample_batch(BatchKind::Hot, 3)]).encode();
+        for cut in 0..bytes.len() {
+            let r = FaeFile::decode(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = FaeFile::new("t", vec![sample_batch(BatchKind::Cold, 1)]).encode().to_vec();
+        bytes.push(0);
+        assert!(matches!(FaeFile::decode(&bytes), Err(FormatError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("fae-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        let f = FaeFile::new("disk", vec![sample_batch(BatchKind::Hot, 2)]);
+        f.write_file(&path).expect("write");
+        let g = FaeFile::read_file(&path).expect("read");
+        assert_eq!(g.workload, "disk");
+        assert_eq!(g.batches.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent batch shapes")]
+    fn new_rejects_mixed_shapes() {
+        let mut odd = sample_batch(BatchKind::Hot, 1);
+        odd.sparse.pop();
+        let _ = FaeFile::new("bad", vec![sample_batch(BatchKind::Hot, 1), odd]);
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::tests_support::sample_batch;
+    use super::*;
+
+    #[test]
+    fn streaming_matches_bulk_decode() {
+        let f = FaeFile::new(
+            "stream",
+            vec![
+                sample_batch(BatchKind::Hot, 3),
+                sample_batch(BatchKind::Cold, 1),
+                sample_batch(BatchKind::Unclassified, 2),
+            ],
+        );
+        let bytes = f.encode();
+        let bulk = FaeFile::decode(&bytes).expect("bulk");
+        let mut reader = FaeStreamReader::open(&bytes).expect("open");
+        assert_eq!(reader.workload(), "stream");
+        assert_eq!(reader.batches_remaining(), 3);
+        let mut streamed = Vec::new();
+        while let Some(b) = reader.next_batch().expect("batch") {
+            streamed.push(b);
+        }
+        assert_eq!(streamed.len(), bulk.batches.len());
+        for (a, b) in streamed.iter().zip(&bulk.batches) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.sparse, b.sparse);
+        }
+        assert_eq!(reader.trailing_bytes(), 0);
+        assert!(reader.next_batch().expect("eof").is_none());
+    }
+
+    #[test]
+    fn iterator_adapter_yields_every_batch() {
+        let f = FaeFile::new("it", vec![sample_batch(BatchKind::Hot, 2); 5]);
+        let bytes = f.encode();
+        let reader = FaeStreamReader::open(&bytes).expect("open");
+        let got: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(got.expect("stream").len(), 5);
+    }
+
+    #[test]
+    fn truncated_stream_errors_midway_not_upfront() {
+        let f = FaeFile::new(
+            "trunc",
+            vec![sample_batch(BatchKind::Hot, 2), sample_batch(BatchKind::Cold, 2)],
+        );
+        let bytes = f.encode();
+        // Cut inside the second batch.
+        let cut = bytes.len() - 8;
+        let mut reader = FaeStreamReader::open(&bytes[..cut]).expect("header ok");
+        assert!(reader.next_batch().expect("first batch intact").is_some());
+        assert!(reader.next_batch().is_err(), "second batch should fail");
+    }
+}

@@ -1,0 +1,124 @@
+//! Mini-batches as produced by the FAE input processor.
+//!
+//! The paper requires mini-batches to be *purely* hot or *purely* cold so a
+//! hot batch never stalls on CPU-resident rows (§II-B challenge 1, Fig 4).
+//! The [`BatchKind`] tag records that purity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, TableIndices};
+
+/// Whether a mini-batch is all-hot, all-cold, or unclassified (baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BatchKind {
+    /// Every lookup of every sample hits a hot embedding row: eligible for
+    /// pure GPU data-parallel execution.
+    Hot,
+    /// At least one sample touches a cold row: runs in the hybrid CPU-GPU
+    /// baseline mode.
+    Cold,
+    /// No classification performed (baseline training).
+    Unclassified,
+}
+
+/// One training mini-batch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MiniBatch {
+    /// Purity tag.
+    pub kind: BatchKind,
+    /// Row-major `batch × dense_features`.
+    pub dense: Vec<f32>,
+    /// Dense feature width.
+    pub dense_width: usize,
+    /// One CSR per embedding table.
+    pub sparse: Vec<TableIndices>,
+    /// 0/1 labels, length `batch`.
+    pub labels: Vec<f32>,
+}
+
+impl MiniBatch {
+    /// Assembles a mini-batch from the listed dataset samples.
+    pub fn gather(ds: &Dataset, samples: &[usize], kind: BatchKind) -> Self {
+        let w = ds.spec.dense_features;
+        let mut dense = Vec::with_capacity(samples.len() * w);
+        let mut labels = Vec::with_capacity(samples.len());
+        for &s in samples {
+            dense.extend_from_slice(ds.dense_row(s));
+            labels.push(ds.labels[s]);
+        }
+        Self {
+            kind,
+            dense,
+            dense_width: w,
+            sparse: ds.sparse.iter().map(|c| c.gather(samples)).collect(),
+            labels,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the batch has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total sparse lookups across tables.
+    pub fn total_lookups(&self) -> usize {
+        self.sparse.iter().map(|c| c.indices.len()).sum()
+    }
+
+    /// Bytes of dense activations entering the model (used by the cost
+    /// model's transfer terms).
+    pub fn dense_bytes(&self) -> usize {
+        self.dense.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+
+    fn ds(n: usize) -> Dataset {
+        let spec = WorkloadSpec::tiny_test();
+        let w = spec.dense_features;
+        let mut sparse: Vec<TableIndices> =
+            (0..spec.tables.len()).map(|_| TableIndices::new()).collect();
+        for i in 0..n {
+            for csr in sparse.iter_mut() {
+                csr.push_bag(&[i as u32]);
+            }
+        }
+        Dataset {
+            spec,
+            dense: (0..n * w).map(|v| v as f32).collect(),
+            sparse,
+            labels: (0..n).map(|i| (i % 2) as f32).collect(),
+        }
+    }
+
+    #[test]
+    fn gather_builds_consistent_batch() {
+        let d = ds(6);
+        let mb = MiniBatch::gather(&d, &[5, 1, 3], BatchKind::Hot);
+        assert_eq!(mb.kind, BatchKind::Hot);
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.labels, vec![1.0, 1.0, 1.0]);
+        assert_eq!(mb.sparse[0].bag(0), &[5]);
+        assert_eq!(mb.sparse[0].bag(1), &[1]);
+        assert_eq!(&mb.dense[0..4], d.dense_row(5));
+        assert_eq!(mb.total_lookups(), 3 * 4);
+        assert_eq!(mb.dense_bytes(), 3 * 4 * 4);
+    }
+
+    #[test]
+    fn empty_gather_is_empty_batch() {
+        let d = ds(2);
+        let mb = MiniBatch::gather(&d, &[], BatchKind::Cold);
+        assert!(mb.is_empty());
+        assert_eq!(mb.total_lookups(), 0);
+    }
+}

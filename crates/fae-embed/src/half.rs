@@ -1,0 +1,216 @@
+//! Mixed-precision (bf16) embedding storage — the related-work technique
+//! the paper contrasts FAE with (§V: "prior work optimizes training ...
+//! through mixed-precision training ... Even with these optimizations
+//! real dataset's entire embedding table cannot fit on a GPU").
+//!
+//! Rows are stored as bfloat16 (the top 16 bits of an f32, rounded to
+//! nearest-even), halving the footprint at ~3 decimal digits of mantissa.
+//! Implemented from scratch — no `half` crate — because only the f32↔bf16
+//! conversion is needed. The table exposes the same bag-lookup / sparse-
+//! update surface as [`crate::EmbeddingTable`], so experiments can swap it
+//! in and measure both the capacity gain and the accuracy cost, and the
+//! orthogonality claim (FAE composes with compression) can be tested.
+
+use fae_nn::Tensor;
+use rand::Rng;
+
+use crate::sparse::SparseGrad;
+
+/// Converts an `f32` to bfloat16 bits with round-to-nearest-even.
+#[inline]
+pub fn f32_to_bf16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    // Round to nearest even: add 0x7FFF plus the LSB of the kept part.
+    let rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(rounding_bias) >> 16) as u16
+}
+
+/// Expands bfloat16 bits back to `f32`.
+#[inline]
+pub fn bf16_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+/// A `rows × dim` embedding table stored in bfloat16 (half the bytes of
+/// [`crate::EmbeddingTable`]).
+#[derive(Clone)]
+pub struct Bf16EmbeddingTable {
+    data: Vec<u16>,
+    rows: usize,
+    dim: usize,
+}
+
+impl Bf16EmbeddingTable {
+    /// Creates a table with DLRM's uniform `±1/sqrt(rows)` initialisation.
+    pub fn new(rows: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(rows > 0 && dim > 0, "embedding table must be non-empty");
+        let scale = 1.0 / (rows as f32).sqrt();
+        let data = (0..rows * dim).map(|_| f32_to_bf16(rng.gen_range(-scale..scale))).collect();
+        Self { data, rows, dim }
+    }
+
+    /// Quantises an existing f32 table.
+    pub fn from_f32(table: &crate::table::EmbeddingTable) -> Self {
+        Self {
+            data: table.weights().as_slice().iter().map(|&v| f32_to_bf16(v)).collect(),
+            rows: table.rows(),
+            dim: table.dim(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Size in bytes — exactly half the f32 table's.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u16>()
+    }
+
+    /// One row, dequantised.
+    pub fn row_f32(&self, idx: u32) -> Vec<f32> {
+        let i = idx as usize;
+        self.data[i * self.dim..(i + 1) * self.dim].iter().map(|&b| bf16_to_f32(b)).collect()
+    }
+
+    /// Sum-pooled bag lookup, dequantising on the fly (mirrors
+    /// [`crate::EmbeddingTable::lookup_bag`]).
+    pub fn lookup_bag(&self, indices: &[u32], offsets: &[usize]) -> Tensor {
+        assert!(!offsets.is_empty(), "offsets must contain batch+1 entries");
+        assert_eq!(*offsets.last().unwrap(), indices.len(), "offsets must end at indices.len()");
+        let batch = offsets.len() - 1;
+        let mut out = Tensor::zeros(batch, self.dim);
+        for b in 0..batch {
+            let dst = out.row_mut(b);
+            for &idx in &indices[offsets[b]..offsets[b + 1]] {
+                let src = &self.data[idx as usize * self.dim..(idx as usize + 1) * self.dim];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += bf16_to_f32(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse SGD in mixed precision: dequantise the row, update in f32,
+    /// requantise — the standard mixed-precision embedding update.
+    pub fn sgd_step_sparse(&mut self, grad: &SparseGrad, lr: f32) {
+        assert_eq!(grad.dim(), self.dim, "gradient width mismatch");
+        for (idx, g) in grad.iter() {
+            let i = idx as usize * self.dim;
+            for (slot, &gv) in self.data[i..i + self.dim].iter_mut().zip(g) {
+                let updated = bf16_to_f32(*slot) - lr * gv;
+                *slot = f32_to_bf16(updated);
+            }
+        }
+    }
+
+    /// Maximum absolute dequantisation error against an f32 reference
+    /// table of identical shape.
+    pub fn max_abs_error(&self, reference: &crate::table::EmbeddingTable) -> f32 {
+        assert_eq!(reference.rows(), self.rows, "shape mismatch");
+        assert_eq!(reference.dim(), self.dim, "shape mismatch");
+        self.data
+            .iter()
+            .zip(reference.weights().as_slice())
+            .map(|(&b, &r)| (bf16_to_f32(b) - r).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::EmbeddingTable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bf16_round_trip_special_values() {
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)), v, "value {v}");
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_relative_error_is_bounded() {
+        // bf16 keeps 7 explicit mantissa bits: relative rounding error is
+        // at most half a step, 2^-8 = 0.39%.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-100.0..100.0);
+            let q = bf16_to_f32(f32_to_bf16(v));
+            if v.abs() > 1e-3 {
+                assert!(((q - v) / v).abs() <= 1.0 / 256.0, "{v} -> {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // bf16's step at 1.0 is 2^-7; the midpoint 1 + 2^-8 ties and
+        // round-to-nearest-even keeps the even mantissa (1.0).
+        let v = 1.0f32 + 1.0 / 256.0;
+        assert_eq!(bf16_to_f32(f32_to_bf16(v)), 1.0);
+        // Above the midpoint rounds up to 1 + 2^-7.
+        let v = 1.0f32 + 1.5 / 256.0;
+        assert!((bf16_to_f32(f32_to_bf16(v)) - (1.0 + 1.0 / 128.0)).abs() < 1e-9);
+        // Just below the midpoint rounds down.
+        let v = 1.0f32 + 0.9 / 256.0;
+        assert_eq!(bf16_to_f32(f32_to_bf16(v)), 1.0);
+    }
+
+    #[test]
+    fn half_table_is_half_the_bytes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f32_table = EmbeddingTable::new(1_000, 16, &mut rng);
+        let bf16_table = Bf16EmbeddingTable::from_f32(&f32_table);
+        assert_eq!(bf16_table.size_bytes() * 2, f32_table.size_bytes());
+        assert!(bf16_table.max_abs_error(&f32_table) < 1e-3);
+    }
+
+    #[test]
+    fn lookup_matches_f32_within_quantisation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f32_table = EmbeddingTable::new(500, 8, &mut rng);
+        let half = Bf16EmbeddingTable::from_f32(&f32_table);
+        let idx = [7u32, 7, 123, 499];
+        let off = [0usize, 2, 3, 4];
+        let a = f32_table.lookup_bag(&idx, &off);
+        let b = half.lookup_bag(&idx, &off);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 2e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mixed_precision_training_converges_to_the_quantisation_floor() {
+        // Push a row towards a target through quantised updates. bf16 SGD
+        // stalls once lr·grad falls under half a quantisation step — the
+        // update rounds back to the old value. This is exactly the
+        // accuracy-revalidation burden the paper cites when arguing for
+        // full-precision training (§V).
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut table = Bf16EmbeddingTable::new(8, 4, &mut rng);
+        let target = [0.25f32, -0.5, 0.75, 0.0];
+        for _ in 0..500 {
+            let row = table.row_f32(3);
+            let mut g = SparseGrad::new(4);
+            let grad: Vec<f32> = row.iter().zip(&target).map(|(&r, &t)| 2.0 * (r - t)).collect();
+            g.accumulate(3, &grad);
+            table.sgd_step_sparse(&g, 0.05);
+        }
+        for (v, t) in table.row_f32(3).iter().zip(&target) {
+            // Converges, but only to within the bf16 stall radius
+            // (≈ step/(2·lr·2) ≈ 2% here), not to f32 precision.
+            assert!((v - t).abs() < 0.05, "row {v} vs target {t}");
+        }
+    }
+}

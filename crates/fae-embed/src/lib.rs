@@ -1,0 +1,31 @@
+//! # fae-embed — embedding-table substrate
+//!
+//! Embedding tables are the memory-bound half of a recommendation model and
+//! the object the FAE paper partitions into *hot* and *cold* halves. This
+//! crate provides:
+//!
+//! * [`EmbeddingTable`] — a dense `rows × dim` table with CSR-style bag
+//!   lookups (sum pooling), sparse gradient accumulation and sparse SGD,
+//! * [`AccessCounter`] — per-row access statistics (the paper's *embedding
+//!   logger* writes into one of these),
+//! * [`HotColdPartition`] — the hot/cold row split induced by an access
+//!   threshold, with global→hot-local index remapping,
+//! * [`HotEmbeddingBag`] — the extracted hot rows as a compact table that
+//!   fits in GPU memory, plus write-back to the master table,
+//! * [`ReplicatedHotEmbedding`] — N device replicas of a hot bag with
+//!   gradient all-reduce, modelling the paper's *embedding replicator*,
+//! * [`sparse::SparseGrad`] — coalesced sparse gradients.
+
+pub mod half;
+pub mod partition;
+pub mod replica;
+pub mod sparse;
+pub mod stats;
+pub mod table;
+
+pub use half::Bf16EmbeddingTable;
+pub use partition::{HotColdPartition, RowClass};
+pub use replica::ReplicatedHotEmbedding;
+pub use sparse::{RowwiseAdagrad, SparseGrad};
+pub use stats::AccessCounter;
+pub use table::{EmbeddingTable, HotEmbeddingBag};

@@ -1,0 +1,160 @@
+//! Replicated hot-embedding bags — the paper's *embedding replicator*
+//! (§III, component 3).
+//!
+//! "Copies of the hot embedding tables are replicated across all the GPU
+//! devices. ... we perform all-reduce on all the gradients including both
+//! embedding and neural network layers"; the replicas therefore stay
+//! bit-identical after every step, which this module enforces and tests.
+
+use fae_nn::Tensor;
+
+use crate::sparse::SparseGrad;
+use crate::table::{EmbeddingTable, HotEmbeddingBag};
+
+/// N device-local replicas of one hot-embedding bag, kept consistent via
+/// gradient all-reduce.
+pub struct ReplicatedHotEmbedding {
+    replicas: Vec<HotEmbeddingBag>,
+}
+
+impl ReplicatedHotEmbedding {
+    /// Replicates `bag` onto `devices` simulated GPUs.
+    pub fn replicate(bag: &HotEmbeddingBag, devices: usize) -> Self {
+        assert!(devices >= 1, "need at least one device");
+        Self { replicas: vec![bag.clone(); devices] }
+    }
+
+    /// Number of replicas.
+    pub fn devices(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// One replica (hot-local indexing).
+    pub fn replica(&self, device: usize) -> &HotEmbeddingBag {
+        &self.replicas[device]
+    }
+
+    /// Per-device forward lookup against that device's replica.
+    pub fn lookup_bag(&self, device: usize, indices: &[u32], offsets: &[usize]) -> Tensor {
+        self.replicas[device].table().lookup_bag(indices, offsets)
+    }
+
+    /// All-reduce (average) the per-device sparse gradients, then apply the
+    /// averaged update to every replica. Returns the averaged gradient so
+    /// callers can account its wire bytes.
+    pub fn allreduce_and_step(&mut self, per_device: &[SparseGrad], lr: f32) -> SparseGrad {
+        assert_eq!(per_device.len(), self.replicas.len(), "one gradient per device required");
+        let mut avg = SparseGrad::new(per_device[0].dim());
+        for g in per_device {
+            avg.merge(g);
+        }
+        avg.scale(1.0 / per_device.len() as f32);
+        for r in &mut self.replicas {
+            r.table_mut().sgd_step_sparse(&avg, lr);
+        }
+        avg
+    }
+
+    /// Verifies every replica holds identical weights (the invariant the
+    /// all-reduce protocol guarantees). Returns the max absolute deviation.
+    pub fn max_divergence(&self) -> f32 {
+        let first = self.replicas[0].table().weights();
+        self.replicas[1..]
+            .iter()
+            .map(|r| r.table().weights().sub(first).max_abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Writes replica 0's rows back into the master table (hot→cold
+    /// transition). All replicas are identical, so any replica works.
+    pub fn write_back(&self, master: &mut EmbeddingTable) {
+        self.replicas[0].write_back(master);
+    }
+
+    /// Refreshes every replica from the master table (cold→hot transition).
+    pub fn refresh_from(&mut self, master: &EmbeddingTable) {
+        for r in &mut self.replicas {
+            r.refresh_from(master);
+        }
+    }
+
+    /// Bytes moved per CPU→GPU refresh, summed over devices.
+    pub fn refresh_bytes(&self) -> usize {
+        self.replicas.iter().map(|r| r.sync_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fae_nn::Tensor;
+
+    fn bag_4x2() -> (EmbeddingTable, HotEmbeddingBag) {
+        let master =
+            EmbeddingTable::from_weights(Tensor::from_fn(4, 2, |r, c| (r * 10 + c) as f32));
+        let bag = HotEmbeddingBag::extract(&master, vec![0, 2, 3]);
+        (master, bag)
+    }
+
+    #[test]
+    fn replicas_start_identical() {
+        let (_, bag) = bag_4x2();
+        let rep = ReplicatedHotEmbedding::replicate(&bag, 4);
+        assert_eq!(rep.devices(), 4);
+        assert_eq!(rep.max_divergence(), 0.0);
+    }
+
+    #[test]
+    fn allreduce_keeps_replicas_identical() {
+        let (_, bag) = bag_4x2();
+        let mut rep = ReplicatedHotEmbedding::replicate(&bag, 2);
+        // Device 0 touches hot-local row 0, device 1 touches row 2.
+        let mut g0 = SparseGrad::new(2);
+        g0.accumulate(0, &[2.0, 2.0]);
+        let mut g1 = SparseGrad::new(2);
+        g1.accumulate(2, &[4.0, 4.0]);
+        let avg = rep.allreduce_and_step(&[g0, g1], 1.0);
+        assert_eq!(rep.max_divergence(), 0.0);
+        // Averaged gradient halves each contribution.
+        assert_eq!(avg.get(0), Some(&[1.0, 1.0][..]));
+        assert_eq!(avg.get(2), Some(&[2.0, 2.0][..]));
+        // Row 0 was 0,1 -> 0-1, 1-1.
+        assert_eq!(rep.replica(0).table().row(0), &[-1.0, 0.0]);
+        assert_eq!(rep.replica(1).table().row(0), &[-1.0, 0.0]);
+    }
+
+    #[test]
+    fn single_device_allreduce_is_plain_sgd() {
+        let (_, bag) = bag_4x2();
+        let mut rep = ReplicatedHotEmbedding::replicate(&bag, 1);
+        let mut g = SparseGrad::new(2);
+        g.accumulate(1, &[1.0, 1.0]); // hot-local 1 == global 2 (weights 20,21)
+        rep.allreduce_and_step(&[g], 0.5);
+        assert_eq!(rep.replica(0).table().row(1), &[19.5, 20.5]);
+    }
+
+    #[test]
+    fn write_back_then_refresh_round_trip() {
+        let (mut master, bag) = bag_4x2();
+        let mut rep = ReplicatedHotEmbedding::replicate(&bag, 3);
+        let mut g = SparseGrad::new(2);
+        g.accumulate(0, &[1.0, 1.0]);
+        rep.allreduce_and_step(&[g.clone(), g.clone(), g], 1.0);
+        rep.write_back(&mut master);
+        assert_eq!(master.row(0), &[-1.0, 0.0]); // global 0 trained on GPU
+        assert_eq!(master.row(1), &[10.0, 11.0]); // cold row untouched
+        master.set_row(2, &[99.0, 99.0]); // CPU-side cold-phase update
+        rep.refresh_from(&master);
+        for d in 0..3 {
+            assert_eq!(rep.replica(d).table().row(1), &[99.0, 99.0]);
+        }
+        assert_eq!(rep.max_divergence(), 0.0);
+    }
+
+    #[test]
+    fn refresh_bytes_scales_with_devices() {
+        let (_, bag) = bag_4x2();
+        let rep = ReplicatedHotEmbedding::replicate(&bag, 4);
+        assert_eq!(rep.refresh_bytes(), 4 * bag.sync_bytes());
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-row access statistics — the paper's *embedding logger* (§III-A.2).
+//!
+//! The logger "keeps track of the number of accesses (k) into each entry
+//! for each embedding table for the sampled inputs". Counters are dense
+//! `u64` vectors indexed by row id, which is both the fastest structure
+//! for the scan-heavy calibrator and the layout the Rand-Em Box samples
+//! chunks from.
+
+use serde::{Deserialize, Serialize};
+
+/// Access counts for one embedding table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AccessCounter {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AccessCounter {
+    /// Creates a zeroed counter for a table with `rows` rows.
+    pub fn new(rows: usize) -> Self {
+        Self { counts: vec![0; rows], total: 0 }
+    }
+
+    /// Records one access to `row`.
+    #[inline]
+    pub fn record(&mut self, row: u32) {
+        self.counts[row as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Records a batch of accesses.
+    pub fn record_all(&mut self, rows: &[u32]) {
+        for &r in rows {
+            self.record(r);
+        }
+    }
+
+    /// Number of rows tracked.
+    pub fn rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Accesses to one row.
+    #[inline]
+    pub fn count(&self, row: u32) -> u64 {
+        self.counts[row as usize]
+    }
+
+    /// Raw counter slice (the Rand-Em Box samples chunks of this).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Exact number of rows with `count >= cutoff` — the ground truth the
+    /// Rand-Em Box estimates statistically.
+    pub fn rows_at_or_above(&self, cutoff: u64) -> usize {
+        self.counts.iter().filter(|&&c| c >= cutoff).count()
+    }
+
+    /// Fraction of all accesses captured by rows with `count >= cutoff`
+    /// (the "hot rows capture 75–92% of accesses" statistic of Fig 2).
+    pub fn access_share_at_or_above(&self, cutoff: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self.counts.iter().filter(|&&c| c >= cutoff).sum();
+        hot as f64 / self.total as f64
+    }
+
+    /// Access counts sorted descending — the access profile of Fig 7.
+    pub fn sorted_profile(&self) -> Vec<u64> {
+        let mut p = self.counts.clone();
+        p.sort_unstable_by(|a, b| b.cmp(a));
+        p
+    }
+
+    /// Merges another counter over the same table.
+    pub fn merge(&mut self, other: &AccessCounter) {
+        assert_eq!(self.counts.len(), other.counts.len(), "counter size mismatch");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = AccessCounter::new(4);
+        c.record_all(&[0, 1, 1, 3, 1]);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.count(1), 3);
+        assert_eq!(c.count(2), 0);
+    }
+
+    #[test]
+    fn threshold_counting() {
+        let mut c = AccessCounter::new(5);
+        c.record_all(&[0, 0, 0, 1, 1, 2]);
+        assert_eq!(c.rows_at_or_above(1), 3);
+        assert_eq!(c.rows_at_or_above(2), 2);
+        assert_eq!(c.rows_at_or_above(3), 1);
+        assert_eq!(c.rows_at_or_above(4), 0);
+    }
+
+    #[test]
+    fn access_share_matches_hand_count() {
+        let mut c = AccessCounter::new(3);
+        c.record_all(&[0, 0, 0, 0, 1, 2]); // row0: 4/6 of accesses
+        assert!((c.access_share_at_or_above(4) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.access_share_at_or_above(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counter_share_is_zero() {
+        let c = AccessCounter::new(10);
+        assert_eq!(c.access_share_at_or_above(1), 0.0);
+    }
+
+    #[test]
+    fn sorted_profile_descends() {
+        let mut c = AccessCounter::new(4);
+        c.record_all(&[2, 2, 2, 0, 3]);
+        assert_eq!(c.sorted_profile(), vec![3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = AccessCounter::new(2);
+        a.record(0);
+        let mut b = AccessCounter::new(2);
+        b.record_all(&[0, 1]);
+        a.merge(&b);
+        assert_eq!(a.count(0), 2);
+        assert_eq!(a.count(1), 1);
+        assert_eq!(a.total(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Bridge from workload specs to `fae-sysmodel` cost profiles.
+//!
+//! Keeping this in `fae-models` ties the cost model to the *same* model
+//! shapes the numeric experiments use: MLP widths, interaction width and
+//! attention cost are derived from the exact constructors in
+//! [`crate::Dlrm`] / [`crate::Tbsm`].
+
+use fae_data::{WorkloadKind, WorkloadSpec};
+use fae_sysmodel::ModelProfile;
+
+use crate::interaction::Interaction;
+
+/// Builds the cost-model profile for `spec`, with `hot_emb_bytes` set to
+/// the hot-bag footprint chosen by the calibrator (0 for pure baseline
+/// costing).
+pub fn profile_for(spec: &WorkloadSpec, hot_emb_bytes: f64) -> ModelProfile {
+    let d = spec.embedding_dim;
+    let (top_in, extra_flops) = match spec.kind {
+        WorkloadKind::Dlrm => (Interaction::out_width(spec.tables.len() + 1, d), 0.0),
+        WorkloadKind::Tbsm => {
+            // Attention per sample: L score dots + softmax + weighted sum
+            // ≈ L · 4d FLOPs at the mean sequence length.
+            let mean_seq = spec.tables[0].lookups_per_input as f64 / 2.0;
+            (2 * d, mean_seq * 4.0 * d as f64)
+        }
+    };
+    let mut top_mlp = spec.top_mlp.clone();
+    top_mlp[0] = top_in;
+    // TBSM pays heavy per-sample host costs that DLRM does not: ragged
+    // behaviour sequences are re-batched on the host every step (all
+    // modes), and the CPU embedding path dispatches per-timestep ops
+    // (baseline/cold only). Values calibrated against Table IV's Taobao
+    // rows (≈153 ms/step baseline, ≈42 ms/step FAE-hot at batch 256).
+    let (host_prep, cpu_embed) = match spec.kind {
+        WorkloadKind::Dlrm => (0.0, 0.0),
+        WorkloadKind::Tbsm => (0.15e-3, 0.40e-3),
+    };
+    ModelProfile {
+        dense_features: spec.dense_features,
+        bottom_mlp: spec.bottom_mlp.clone(),
+        top_mlp,
+        emb_dim: d,
+        num_tables: spec.tables.len(),
+        lookups_per_sample: spec.lookups_per_input(),
+        extra_flops_per_sample: extra_flops,
+        hot_emb_bytes,
+        full_emb_bytes: spec.embedding_bytes() as f64,
+        host_prep_per_sample: host_prep,
+        cpu_embed_per_sample: cpu_embed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_profile_uses_interaction_width() {
+        let spec = WorkloadSpec::rmc2_kaggle();
+        let p = profile_for(&spec, 256e6);
+        assert_eq!(p.top_mlp[0], Interaction::out_width(27, 16));
+        assert_eq!(p.lookups_per_sample, 26);
+        assert_eq!(p.extra_flops_per_sample, 0.0);
+        assert_eq!(p.hot_emb_bytes, 256e6);
+        assert_eq!(p.full_emb_bytes, spec.embedding_bytes() as f64);
+    }
+
+    #[test]
+    fn tbsm_profile_carries_attention_flops() {
+        let spec = WorkloadSpec::rmc1_taobao();
+        let p = profile_for(&spec, 0.0);
+        assert_eq!(p.top_mlp[0], 32);
+        assert!(p.extra_flops_per_sample > 0.0);
+        assert_eq!(p.lookups_per_sample, 43);
+    }
+
+    #[test]
+    fn paper_scale_profiles_have_paper_scale_bytes() {
+        let p = profile_for(&WorkloadSpec::rmc3_terabyte_paper(), 78e6);
+        assert!(p.full_emb_bytes > 40e9, "terabyte profile {} B", p.full_emb_bytes);
+    }
+}

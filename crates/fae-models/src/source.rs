@@ -1,0 +1,128 @@
+//! Device-agnostic embedding access.
+//!
+//! Models address embeddings by *global* row id; an [`EmbeddingSource`]
+//! decides where the bytes actually live. [`MasterEmbeddings`] is the
+//! CPU-resident full-table source used by the baseline and by cold
+//! mini-batches; `fae-core` provides the hot-replica source that remaps
+//! global ids into the compact GPU bags.
+
+use fae_nn::Tensor;
+use rand::Rng;
+
+use fae_data::WorkloadSpec;
+use fae_embed::{EmbeddingTable, SparseGrad};
+
+/// Where embedding rows live and how they are read/updated.
+pub trait EmbeddingSource {
+    /// Sum-pooled bag lookup into table `t` (global row ids, CSR form).
+    fn lookup(&self, t: usize, indices: &[u32], offsets: &[usize]) -> Tensor;
+
+    /// Applies one sparse SGD step per table; `grads[t]` is keyed by
+    /// global row ids.
+    fn apply_sparse_grads(&mut self, grads: &[SparseGrad], lr: f32);
+
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// Number of tables.
+    fn num_tables(&self) -> usize;
+}
+
+/// The full tables, resident in host memory (the paper's baseline
+/// placement, Fig 3).
+pub struct MasterEmbeddings {
+    tables: Vec<EmbeddingTable>,
+    dim: usize,
+}
+
+impl MasterEmbeddings {
+    /// Initialises one table per spec entry.
+    pub fn from_spec(spec: &WorkloadSpec, rng: &mut impl Rng) -> Self {
+        let tables = spec
+            .tables
+            .iter()
+            .map(|t| EmbeddingTable::new(t.rows, spec.embedding_dim, rng))
+            .collect();
+        Self { tables, dim: spec.embedding_dim }
+    }
+
+    /// Wraps existing tables.
+    pub fn from_tables(tables: Vec<EmbeddingTable>) -> Self {
+        assert!(!tables.is_empty(), "need at least one table");
+        let dim = tables[0].dim();
+        assert!(tables.iter().all(|t| t.dim() == dim), "mixed embedding dims");
+        Self { tables, dim }
+    }
+
+    /// Immutable view of the tables.
+    pub fn tables(&self) -> &[EmbeddingTable] {
+        &self.tables
+    }
+
+    /// Mutable view (used by hot-bag write-back/refresh in `fae-core`).
+    pub fn tables_mut(&mut self) -> &mut [EmbeddingTable] {
+        &mut self.tables
+    }
+
+    /// Total bytes of all tables.
+    pub fn total_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.size_bytes()).sum()
+    }
+}
+
+impl EmbeddingSource for MasterEmbeddings {
+    fn lookup(&self, t: usize, indices: &[u32], offsets: &[usize]) -> Tensor {
+        self.tables[t].lookup_bag(indices, offsets)
+    }
+
+    fn apply_sparse_grads(&mut self, grads: &[SparseGrad], lr: f32) {
+        assert_eq!(grads.len(), self.tables.len(), "one gradient per table");
+        for (table, g) in self.tables.iter_mut().zip(grads) {
+            table.sgd_step_sparse(g, lr);
+        }
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_spec_builds_matching_tables() {
+        let spec = WorkloadSpec::tiny_test();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = MasterEmbeddings::from_spec(&spec, &mut rng);
+        assert_eq!(m.num_tables(), spec.tables.len());
+        assert_eq!(m.dim(), spec.embedding_dim);
+        assert_eq!(m.total_bytes(), spec.embedding_bytes());
+    }
+
+    #[test]
+    fn lookup_and_update_route_to_right_table() {
+        let spec = WorkloadSpec::tiny_test();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = MasterEmbeddings::from_spec(&spec, &mut rng);
+        let before = m.lookup(1, &[3], &[0, 1]);
+        let mut grads: Vec<SparseGrad> =
+            (0..m.num_tables()).map(|_| SparseGrad::new(m.dim())).collect();
+        grads[1].accumulate(3, &vec![1.0; m.dim()]);
+        m.apply_sparse_grads(&grads, 0.5);
+        let after = m.lookup(1, &[3], &[0, 1]);
+        for (b, a) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((b - 0.5 - a).abs() < 1e-6);
+        }
+        // Other tables untouched.
+        let t0 = m.lookup(0, &[3], &[0, 1]);
+        assert!(t0.all_finite());
+    }
+}

@@ -1,0 +1,95 @@
+//! The model trait and the shared train/eval step.
+//!
+//! One training step is identical for DLRM and TBSM: forward through the
+//! model against an [`EmbeddingSource`], binary cross-entropy on the click
+//! label, backward, dense SGD inside the model, sparse SGD routed to the
+//! embedding source. The FAE trainer in `fae-core` drives exactly this
+//! function for both hot and cold mini-batches — only the source differs.
+
+use fae_data::MiniBatch;
+use fae_embed::SparseGrad;
+use fae_nn::loss::{bce_loss, bce_loss_backward, binary_accuracy};
+use fae_nn::Tensor;
+
+use crate::source::EmbeddingSource;
+
+/// A trainable recommendation model.
+pub trait RecModel {
+    /// Predicts click probabilities (`batch × 1`), caching activations.
+    fn forward(&mut self, batch: &MiniBatch, emb: &dyn EmbeddingSource) -> Tensor;
+
+    /// Backpropagates `grad` (d loss / d predictions), accumulating dense
+    /// parameter gradients internally and returning per-table sparse
+    /// embedding gradients keyed by *global* row ids.
+    fn backward(&mut self, grad: &Tensor) -> Vec<SparseGrad>;
+
+    /// Applies one SGD step to the dense parameters.
+    fn sgd_step(&mut self, lr: f32);
+
+    /// Clears dense parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Number of trainable dense scalars.
+    fn dense_param_count(&self) -> usize;
+
+    /// Flattens the dense parameters into `out` (replica synchronisation).
+    fn write_params(&self, out: &mut Vec<f32>);
+
+    /// Loads dense parameters from `src`, returning the number consumed.
+    fn read_params(&mut self, src: &[f32]) -> usize;
+}
+
+/// Runs one training step; returns the mini-batch BCE loss.
+pub fn train_step(
+    model: &mut dyn RecModel,
+    emb: &mut dyn EmbeddingSource,
+    batch: &MiniBatch,
+    lr: f32,
+) -> f32 {
+    assert!(!batch.is_empty(), "cannot train on an empty mini-batch");
+    model.zero_grad();
+    let pred = model.forward(batch, emb);
+    let target = Tensor::from_vec(batch.len(), 1, batch.labels.clone());
+    let loss = bce_loss(&pred, &target);
+    let grad = bce_loss_backward(&pred, &target);
+    let emb_grads = model.backward(&grad);
+    model.sgd_step(lr);
+    emb.apply_sparse_grads(&emb_grads, lr);
+    loss
+}
+
+/// Evaluation metrics over a batch stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvalReport {
+    /// Mean BCE loss over all samples.
+    pub loss: f64,
+    /// Fraction of correctly thresholded predictions.
+    pub accuracy: f64,
+    /// Samples evaluated.
+    pub samples: usize,
+}
+
+/// Evaluates the model on `batches` without updating any parameters.
+pub fn evaluate(
+    model: &mut dyn RecModel,
+    emb: &dyn EmbeddingSource,
+    batches: &[MiniBatch],
+) -> EvalReport {
+    let mut loss_sum = 0.0f64;
+    let mut acc_sum = 0.0f64;
+    let mut n = 0usize;
+    for b in batches {
+        if b.is_empty() {
+            continue;
+        }
+        let pred = model.forward(b, emb);
+        let target = Tensor::from_vec(b.len(), 1, b.labels.clone());
+        loss_sum += bce_loss(&pred, &target) as f64 * b.len() as f64;
+        acc_sum += binary_accuracy(&pred, &target) * b.len() as f64;
+        n += b.len();
+    }
+    if n == 0 {
+        return EvalReport { loss: f64::NAN, accuracy: f64::NAN, samples: 0 };
+    }
+    EvalReport { loss: loss_sum / n as f64, accuracy: acc_sum / n as f64, samples: n }
+}

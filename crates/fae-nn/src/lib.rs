@@ -1,0 +1,35 @@
+//! # fae-nn — minimal CPU neural-network substrate
+//!
+//! The FAE paper trains recommendation models whose dense parts are plain
+//! multi-layer perceptrons (plus an attention head in TBSM). This crate
+//! provides the complete numeric substrate those models need, in pure Rust:
+//!
+//! * [`Tensor`] — a row-major 2-D `f32` matrix with the linear-algebra ops
+//!   used by MLP training (matmul, transpose, broadcast bias, Hadamard),
+//! * [`layers`] — differentiable layers ([`layers::Linear`],
+//!   [`layers::Relu`], [`layers::Sigmoid`]) with explicit forward/backward,
+//! * [`Mlp`] — a sequential container mirroring the paper's
+//!   `bottom MLP` / `top MLP` blocks,
+//! * [`loss`] — binary cross-entropy (the click-through-rate objective of
+//!   DLRM/TBSM) and MSE,
+//! * [`optim::Sgd`] — the stochastic-gradient-descent optimizer whose
+//!   CPU-vs-GPU placement is one of the paper's headline costs (Fig 14),
+//! * [`gradcheck`] — finite-difference gradient checking used throughout
+//!   the test suites.
+//!
+//! Everything is deterministic given a seed; no threads are spawned except
+//! inside matmul for large matrices (via rayon).
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod tensor;
+
+pub use layers::{Layer, Linear, Relu, Sigmoid};
+pub use loss::{bce_loss, bce_loss_backward, mse_loss, mse_loss_backward};
+pub use mlp::{Activation, Mlp};
+pub use optim::{Adagrad, Momentum, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,207 @@
+//! Optimizers.
+//!
+//! The paper's evaluation repeatedly stresses that the optimizer is a
+//! "massively parallel operation" whose forced placement on the CPU (when
+//! embeddings live there) dominates baseline time (Fig 14). The numeric
+//! update itself is plain SGD, shared by dense layers (via
+//! [`crate::layers::Layer::sgd_step`]) and by sparse embedding updates in
+//! `fae-embed`. This module provides the standalone dense update used
+//! where a `Layer` is not in play.
+
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent: `p -= lr * g`.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self { lr }
+    }
+
+    /// Applies one update to a dense parameter tensor.
+    pub fn step_dense(&self, params: &mut Tensor, grads: &Tensor) {
+        params.add_scaled(grads, -self.lr);
+    }
+
+    /// Applies one update to a flat parameter slice.
+    pub fn step_slice(&self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "sgd slice length mismatch");
+        for (p, &g) in params.iter_mut().zip(grads) {
+            *p -= self.lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_step_moves_against_gradient() {
+        let sgd = Sgd::new(0.1);
+        let mut p = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let g = Tensor::from_vec(1, 3, vec![10.0, 0.0, -10.0]);
+        sgd.step_dense(&mut p, &g);
+        assert_eq!(p.as_slice(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_step_matches_dense() {
+        let sgd = Sgd::new(0.5);
+        let mut p = [4.0f32, -2.0];
+        sgd.step_slice(&mut p, &[2.0, 2.0]);
+        assert_eq!(p, [3.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise f(p) = ||p - c||² — gradient descent must reach c.
+        let sgd = Sgd::new(0.1);
+        let target = [1.0f32, -2.0, 0.5];
+        let mut p = [0.0f32; 3];
+        for _ in 0..200 {
+            let g: Vec<f32> = p.iter().zip(&target).map(|(&pi, &c)| 2.0 * (pi - c)).collect();
+            sgd.step_slice(&mut p, &g);
+        }
+        for (pi, c) in p.iter().zip(&target) {
+            assert!((pi - c).abs() < 1e-4);
+        }
+    }
+}
+
+/// SGD with classical momentum: `v = μ·v + g; p -= lr·v`.
+#[derive(Clone, Debug)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient `μ` in `[0, 1)`.
+    pub mu: f32,
+    velocity: Vec<f32>,
+}
+
+impl Momentum {
+    /// Creates a momentum optimizer for `params` trainable scalars.
+    pub fn new(lr: f32, mu: f32, params: usize) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
+        Self { lr, mu, velocity: vec![0.0; params] }
+    }
+
+    /// Applies one update to a flat parameter slice.
+    pub fn step_slice(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "momentum slice length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "optimizer state size mismatch");
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(self.velocity.iter_mut()) {
+            *v = self.mu * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+}
+
+/// Adagrad: `s += g²; p -= lr·g / (sqrt(s) + ε)` — the dense variant of
+/// the sparse optimizer DLRM ships with.
+#[derive(Clone, Debug)]
+pub struct Adagrad {
+    /// Learning rate.
+    pub lr: f32,
+    /// Numerical-stability floor.
+    pub eps: f32,
+    accum: Vec<f32>,
+}
+
+impl Adagrad {
+    /// Creates an Adagrad optimizer for `params` trainable scalars.
+    pub fn new(lr: f32, params: usize) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self { lr, eps: 1e-8, accum: vec![0.0; params] }
+    }
+
+    /// Applies one update to a flat parameter slice.
+    pub fn step_slice(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "adagrad slice length mismatch");
+        assert_eq!(params.len(), self.accum.len(), "optimizer state size mismatch");
+        for ((p, &g), s) in params.iter_mut().zip(grads).zip(self.accum.iter_mut()) {
+            *s += g * g;
+            *p -= self.lr * g / (s.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn momentum_accelerates_along_consistent_gradient() {
+        // Under a constant gradient, momentum's effective step grows
+        // towards lr/(1-μ), so it travels farther than plain SGD.
+        let mut sgd_p = [0.0f32];
+        let mut mom_p = [0.0f32];
+        let sgd = Sgd::new(0.1);
+        let mut mom = Momentum::new(0.1, 0.9, 1);
+        for _ in 0..20 {
+            sgd.step_slice(&mut sgd_p, &[1.0]);
+            mom.step_slice(&mut mom_p, &[1.0]);
+        }
+        assert!(mom_p[0] < sgd_p[0], "momentum {} vs sgd {}", mom_p[0], sgd_p[0]);
+    }
+
+    #[test]
+    fn momentum_with_mu_zero_equals_sgd() {
+        let mut a = [3.0f32, -1.0];
+        let mut b = a;
+        Sgd::new(0.2).step_slice(&mut a, &[0.5, -0.5]);
+        Momentum::new(0.2, 0.0, 2).step_slice(&mut b, &[0.5, -0.5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adagrad_normalises_per_coordinate_scale() {
+        // Two coordinates with 100x different gradient magnitude move the
+        // same distance on the first step.
+        let mut p = [0.0f32, 0.0];
+        let mut ada = Adagrad::new(0.1, 2);
+        ada.step_slice(&mut p, &[100.0, 1.0]);
+        assert!((p[0] - p[1]).abs() < 1e-5, "steps differ: {p:?}");
+    }
+
+    #[test]
+    fn adagrad_step_size_decays_with_accumulation() {
+        let mut p = [0.0f32];
+        let mut ada = Adagrad::new(0.1, 1);
+        ada.step_slice(&mut p, &[1.0]);
+        let first = -p[0];
+        ada.step_slice(&mut p, &[1.0]);
+        let second = -p[0] - first;
+        assert!(second < first, "adagrad step grew: {first} then {second}");
+    }
+
+    #[test]
+    fn both_converge_on_quadratic() {
+        let target = 2.5f32;
+        let mut mp = [0.0f32];
+        let mut mom = Momentum::new(0.05, 0.9, 1);
+        let mut ap = [0.0f32];
+        let mut ada = Adagrad::new(0.5, 1);
+        for _ in 0..300 {
+            let gm = [2.0 * (mp[0] - target)];
+            mom.step_slice(&mut mp, &gm);
+            let ga = [2.0 * (ap[0] - target)];
+            ada.step_slice(&mut ap, &ga);
+        }
+        assert!((mp[0] - target).abs() < 1e-3, "momentum ended at {}", mp[0]);
+        assert!((ap[0] - target).abs() < 1e-2, "adagrad ended at {}", ap[0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Compute-device parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// One compute device (CPU socket pair or a single GPU).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective sustained FLOP/s on dense training math (not peak — this
+    /// already folds in achievable GEMM efficiency at recommendation-model
+    /// layer sizes).
+    pub flops: f64,
+    /// Peak sequential memory bandwidth, bytes/s.
+    pub mem_bw: f64,
+    /// Memory capacity in bytes.
+    pub mem_capacity: u64,
+    /// Cost of one randomly addressed row touch, seconds (latency-bound;
+    /// independent of row width for embedding-sized rows).
+    pub row_access: f64,
+    /// Per-operator dispatch overhead, seconds.
+    pub op_overhead: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's CPU: Intel Xeon Silver 4116 (Table II), 768 GB DDR4.
+    /// Effective training throughput and bandwidth reflect a dual-socket
+    /// Skylake-SP system running framework-threaded f32 math.
+    pub fn xeon_4116() -> Self {
+        Self {
+            name: "Intel Xeon Silver 4116".into(),
+            flops: 250e9,
+            mem_bw: 60e9,
+            mem_capacity: 768 << 30,
+            row_access: crate::constants::CPU_ROW_ACCESS_S,
+            op_overhead: crate::constants::CPU_OP_OVERHEAD_S,
+        }
+    }
+
+    /// The paper's GPU: Nvidia Tesla V100-16GB (Table II). Effective f32
+    /// training throughput ≈ 10 TFLOP/s, HBM2 at 900 GB/s.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "Nvidia Tesla V100".into(),
+            flops: 10e12,
+            mem_bw: 900e9,
+            mem_capacity: 16 << 30,
+            row_access: crate::constants::GPU_ROW_ACCESS_S,
+            op_overhead: crate::constants::GPU_OP_OVERHEAD_S,
+        }
+    }
+
+    /// Time to stream `bytes` sequentially through memory.
+    pub fn stream_time(&self, bytes: f64) -> f64 {
+        bytes / self.mem_bw
+    }
+
+    /// Time to gather/scatter `rows` randomly addressed rows of
+    /// `row_bytes` each: one latency-bound touch per row plus the
+    /// streaming cost of the bytes themselves.
+    pub fn gather_rows_time(&self, rows: f64, row_bytes: f64) -> f64 {
+        rows * self.row_access + rows * row_bytes / self.mem_bw
+    }
+
+    /// Time to execute `flops` of dense math, floored by `ops` dispatch
+    /// overheads.
+    pub fn compute_time(&self, flops: f64, ops: usize) -> f64 {
+        flops / self.flops + ops as f64 * self.op_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sanely() {
+        let cpu = DeviceSpec::xeon_4116();
+        let gpu = DeviceSpec::tesla_v100();
+        assert!(gpu.flops > 10.0 * cpu.flops, "GPU should dwarf CPU compute");
+        assert!(gpu.mem_bw > 5.0 * cpu.mem_bw, "HBM should dwarf DDR bandwidth");
+        assert!(cpu.mem_capacity > gpu.mem_capacity, "CPU has the capacity");
+        assert_eq!(gpu.mem_capacity, 16 << 30);
+    }
+
+    #[test]
+    fn gather_is_slower_than_stream() {
+        let cpu = DeviceSpec::xeon_4116();
+        // 10k rows of 64 B each, gathered vs streamed.
+        let gathered = cpu.gather_rows_time(10_000.0, 64.0);
+        let streamed = cpu.stream_time(10_000.0 * 64.0);
+        assert!(gathered > 10.0 * streamed);
+        // The GPU hides random-access latency far better.
+        let gpu = DeviceSpec::tesla_v100();
+        assert!(gpu.gather_rows_time(10_000.0, 64.0) < gathered / 20.0);
+    }
+
+    #[test]
+    fn compute_time_includes_dispatch() {
+        let gpu = DeviceSpec::tesla_v100();
+        let t = gpu.compute_time(1e9, 5);
+        assert!((t - (1e9 / 10e12 + 5.0 * 20e-6)).abs() < 1e-12);
+        // Tiny kernels are dominated by launch overhead.
+        assert!(gpu.compute_time(1e3, 1) > 0.9 * gpu.op_overhead);
+    }
+}

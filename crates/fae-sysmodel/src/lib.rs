@@ -1,0 +1,41 @@
+//! # fae-sysmodel — performance/power model of a CPU + multi-GPU node
+//!
+//! The paper's evaluation runs on a dual-socket Xeon 4116 server with four
+//! NVLink-connected Tesla V100s (Table II). No GPUs are available here, so
+//! this crate models that node analytically: every term in the paper's
+//! latency story — device compute throughput, memory bandwidth (including
+//! the random-gather penalty embedding lookups pay), PCIe/NVLink transfer
+//! time, ring all-reduce, per-op dispatch overhead — is an explicit,
+//! documented formula. The model is calibrated (see [`constants`]) so the
+//! *shapes* of Figs 13–15 and Tables IV–VI reproduce: who wins, by what
+//! factor, and where the crossovers sit.
+//!
+//! * [`DeviceSpec`] / [`LinkSpec`] — hardware parameters with
+//!   Xeon-4116 / V100 / PCIe3 / NVLink2 presets,
+//! * [`ModelProfile`] — the op-level shape of one recommendation model,
+//! * [`SystemConfig`] + [`step`] — per-mini-batch cost for the baseline
+//!   hybrid mode, the FAE pure-GPU hot mode, and a UVM-cache comparator
+//!   standing in for NvOPT,
+//! * [`Timeline`] — phase-tagged accumulation across a training schedule
+//!   (Fig 14's stacked bars, Table IV/V totals),
+//! * [`power`] — the per-GPU average-power model behind Table VI.
+
+pub mod collective;
+pub mod constants;
+pub mod device;
+pub mod link;
+pub mod multinode;
+pub mod overlap;
+pub mod power;
+pub mod profile;
+pub mod step;
+pub mod timeline;
+
+pub use collective::ring_allreduce_time;
+pub use device::DeviceSpec;
+pub use link::LinkSpec;
+pub use multinode::{cluster_step_cost, ClusterConfig};
+pub use overlap::{pipelining_headroom, step_dag, StepDag};
+pub use profile::ModelProfile;
+pub use step::{step_cost, sync_cost, ExecMode, SystemConfig};
+pub use timeline::{Phase, Timeline};

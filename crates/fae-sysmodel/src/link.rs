@@ -1,0 +1,67 @@
+//! Interconnect links.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point interconnect.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Per-transfer latency, seconds.
+    pub latency: f64,
+}
+
+impl LinkSpec {
+    /// PCIe Gen3 x16 — every GPU's path to host memory (Table II).
+    /// ~12 GB/s effective of the 15.75 GB/s raw.
+    pub fn pcie3_x16() -> Self {
+        Self { name: "PCIe 3.0 x16".into(), bandwidth: 12e9, latency: 15e-6 }
+    }
+
+    /// NVLink 2.0 — GPU↔GPU fabric used for collectives (§IV-A2).
+    pub fn nvlink2() -> Self {
+        Self { name: "NVLink 2.0".into(), bandwidth: 120e9, latency: 8e-6 }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency + bytes / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(LinkSpec::pcie3_x16().transfer_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let l = LinkSpec::pcie3_x16();
+        assert!(l.transfer_time(1.0) >= l.latency);
+    }
+
+    #[test]
+    fn nvlink_beats_pcie() {
+        let bytes = 100e6;
+        assert!(
+            LinkSpec::nvlink2().transfer_time(bytes) < LinkSpec::pcie3_x16().transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let l = LinkSpec::nvlink2();
+        let t1 = l.transfer_time(1e9) - l.latency;
+        let t2 = l.transfer_time(2e9) - l.latency;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

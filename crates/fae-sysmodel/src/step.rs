@@ -1,0 +1,419 @@
+//! Per-mini-batch cost models for the three execution modes.
+//!
+//! * **BaselineHybrid** — the state-of-the-art setup of Fig 3: embeddings
+//!   live on the CPU; pooled activations ship to the GPUs over PCIe; MLPs
+//!   run data-parallel on the GPUs; embedding gradients ship back and the
+//!   sparse optimizer runs on the CPU.
+//! * **FaeHotGpu** — the paper's hot path: hot embeddings are replicated on
+//!   every GPU, the whole step (lookup → MLPs → backward → optimizer) runs
+//!   on-device, and one fused ring all-reduce over NVLink synchronises
+//!   dense *and* embedding gradients (§II-B insight 3).
+//! * **UvmCache** — the NvOPT-style comparator (§V): all compute on GPU
+//!   with embeddings behind a device-side cache; misses fault rows across
+//!   PCIe.
+//!
+//! All formulas model weak scaling: `batch` is the *global* mini-batch,
+//! split evenly across `num_gpus`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::collective::ring_allreduce_time;
+use crate::constants::{
+    HOST_IO_BW, MULTI_GPU_SYNC_EXP, MULTI_GPU_SYNC_S, PCIE_SMALL_TENSOR_EFF, PER_STEP_FIXED_S,
+    SGD_BYTES_PER_PARAM,
+};
+use crate::device::DeviceSpec;
+use crate::link::LinkSpec;
+use crate::profile::ModelProfile;
+use crate::timeline::{Phase, Timeline};
+
+/// Execution mode of one mini-batch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Embeddings + sparse optimizer on CPU, MLPs on GPU (Fig 3).
+    BaselineHybrid,
+    /// Entire step on GPUs against the replicated hot bag.
+    FaeHotGpu,
+    /// GPU compute with a UVM-style embedding cache; `hit_rate` is the
+    /// fraction of lookups served from device memory.
+    UvmCache {
+        /// Cache hit rate in `[0, 1]`.
+        hit_rate: f64,
+    },
+}
+
+/// The machine the step runs on.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Host CPU.
+    pub cpu: DeviceSpec,
+    /// One GPU (all GPUs identical).
+    pub gpu: DeviceSpec,
+    /// Number of GPUs.
+    pub num_gpus: usize,
+    /// Host↔GPU link (per GPU).
+    pub pcie: LinkSpec,
+    /// GPU↔GPU fabric.
+    pub nvlink: LinkSpec,
+}
+
+impl SystemConfig {
+    /// The paper's server (Table II) with `num_gpus` V100s.
+    pub fn paper_server(num_gpus: usize) -> Self {
+        assert!(num_gpus >= 1, "need at least one GPU");
+        Self {
+            cpu: DeviceSpec::xeon_4116(),
+            gpu: DeviceSpec::tesla_v100(),
+            num_gpus,
+            pcie: LinkSpec::pcie3_x16(),
+            nvlink: LinkSpec::nvlink2(),
+        }
+    }
+
+    /// Effective per-GPU PCIe bandwidth once host-side I/O contention is
+    /// applied: `num_gpus` links cannot jointly exceed [`HOST_IO_BW`].
+    fn effective_pcie(&self) -> LinkSpec {
+        let aggregate = self.pcie.bandwidth * self.num_gpus as f64;
+        let scale = (HOST_IO_BW / aggregate).min(1.0);
+        LinkSpec {
+            name: self.pcie.name.clone(),
+            bandwidth: self.pcie.bandwidth * scale,
+            latency: self.pcie.latency,
+        }
+    }
+}
+
+/// Cost of one training step over a *global* mini-batch of `batch`
+/// samples, as a phase-tagged timeline.
+///
+/// ```
+/// use fae_sysmodel::{step_cost, ExecMode, ModelProfile, SystemConfig};
+/// let profile = ModelProfile {
+///     dense_features: 13,
+///     bottom_mlp: vec![13, 64, 16],
+///     top_mlp: vec![64, 1],
+///     emb_dim: 16,
+///     num_tables: 26,
+///     lookups_per_sample: 26,
+///     extra_flops_per_sample: 0.0,
+///     hot_emb_bytes: 256e6,
+///     full_emb_bytes: 2e9,
+///     host_prep_per_sample: 0.0,
+///     cpu_embed_per_sample: 0.0,
+/// };
+/// let sys = SystemConfig::paper_server(4);
+/// let base = step_cost(&profile, &sys, ExecMode::BaselineHybrid, 4096);
+/// let hot = step_cost(&profile, &sys, ExecMode::FaeHotGpu, 4096);
+/// assert!(hot.total() < base.total()); // the paper's headline, per step
+/// ```
+pub fn step_cost(
+    profile: &ModelProfile,
+    sys: &SystemConfig,
+    mode: ExecMode,
+    batch: usize,
+) -> Timeline {
+    let mut t = Timeline::new();
+    let n = sys.num_gpus as f64;
+    let per_gpu = (batch as f64 / n).ceil();
+    let pcie = sys.effective_pcie();
+
+    // Dense compute is data-parallel on the GPUs in every mode.
+    let fwd_gpu = sys
+        .gpu
+        .compute_time(profile.forward_flops(per_gpu as usize), profile.ops_per_forward());
+    let bwd_gpu = sys
+        .gpu
+        .compute_time(profile.backward_flops(per_gpu as usize), profile.ops_per_forward());
+    // Data-parallel MLPs all-reduce their dense gradients in every mode.
+    let dense_grad_bytes = profile.dense_params() * 4.0;
+
+    match mode {
+        ExecMode::BaselineHybrid => {
+            // 1. CPU gathers embedding rows for the whole global batch —
+            //    latency-bound per row, which is why Terabyte's dim-64
+            //    rows cost barely more than Kaggle's dim-16 ones.
+            let rows = profile.lookups_per_sample as f64 * batch as f64;
+            let row_bytes = (profile.emb_dim * 4) as f64;
+            t.add(
+                Phase::EmbedForward,
+                sys.cpu.gather_rows_time(rows, row_bytes)
+                    + profile.num_tables as f64 * sys.cpu.op_overhead
+                    + profile.cpu_embed_per_sample * batch as f64,
+            );
+            // 2. Embedding activations (one vector per lookup — TBSM ships
+            //    every timestep) + dense inputs move to each GPU over its
+            //    own (contended) PCIe link: one small transfer per table,
+            //    each paying DMA setup latency at reduced efficiency.
+            let fwd_bytes_per_gpu = (profile.emb_gather_bytes_per_sample()
+                + profile.dense_input_bytes_per_sample())
+                * per_gpu;
+            let small_xfer = |bytes: f64| {
+                profile.num_tables as f64 * pcie.latency
+                    + bytes / (pcie.bandwidth * PCIE_SMALL_TENSOR_EFF)
+            };
+            t.add(Phase::Transfer, small_xfer(fwd_bytes_per_gpu));
+            // 3–4. Dense forward/backward on the GPUs.
+            t.add(Phase::DenseForward, fwd_gpu);
+            t.add(Phase::Backward, bwd_gpu);
+            // 5. Dense-gradient all-reduce over NVLink.
+            t.add(
+                Phase::AllReduce,
+                ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_grad_bytes),
+            );
+            // 6. Embedding gradients ship back over PCIe, same per-table
+            //    small-tensor pattern.
+            let bwd_bytes_per_gpu = profile.emb_gather_bytes_per_sample() * per_gpu;
+            t.add(Phase::Transfer, small_xfer(bwd_bytes_per_gpu));
+            // 7. Sparse SGD on the CPU — the paper's headline bottleneck.
+            //    Each updated row costs two latency-bound touches (read
+            //    gradient, read-modify-write weight) plus the byte stream.
+            let upd_rows = profile.emb_rows_updated_per_sample() * batch as f64;
+            let cpu_sgd = sys.cpu.gather_rows_time(2.0 * upd_rows, row_bytes * 1.5)
+                + profile.num_tables as f64 * sys.cpu.op_overhead;
+            // Dense SGD stays on the GPUs (cheap, runs in parallel).
+            let gpu_dense_sgd = sys
+                .gpu
+                .stream_time(profile.dense_params() * SGD_BYTES_PER_PARAM)
+                .max(sys.gpu.compute_time(profile.dense_params() * 2.0, 1));
+            t.add(Phase::Optimizer, cpu_sgd + gpu_dense_sgd);
+            // While the CPU runs embeddings + sparse SGD, the GPUs idle
+            // (or spin-wait); the power model needs to know this.
+            t.add_cpu_resident(
+                t.get(Phase::EmbedForward) + cpu_sgd,
+            );
+        }
+        ExecMode::FaeHotGpu => {
+            // 1. Embedding gather runs on each GPU's HBM against the
+            //    replicated hot bag.
+            let rows = profile.lookups_per_sample as f64 * per_gpu;
+            let row_bytes = (profile.emb_dim * 4) as f64;
+            t.add(
+                Phase::EmbedForward,
+                sys.gpu.gather_rows_time(rows, row_bytes) + sys.gpu.op_overhead,
+            );
+            // 2–3. Dense forward/backward, plus the embedding scatter in
+            //      the backward pass (HBM-bound, folded into Backward).
+            t.add(Phase::DenseForward, fwd_gpu);
+            t.add(Phase::Backward, bwd_gpu + sys.gpu.gather_rows_time(rows, row_bytes));
+            // 4. One fused all-reduce: dense grads + hot-embedding grads
+            //    (§II-B: "While this increases the size of the synchronized
+            //    gradient, it is called only once"). NCCL all-reduces the
+            //    *dense* gradient buffer of the whole hot bag, not just the
+            //    touched rows — which is why Kaggle, with the largest hot
+            //    bag, shows the biggest FAE sync share in Fig 14.
+            let emb_grad_bytes = profile.hot_emb_bytes;
+            t.add(
+                Phase::AllReduce,
+                ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_grad_bytes + emb_grad_bytes),
+            );
+            // 5. Whole optimizer on the GPUs (sparse rows + dense params).
+            let upd_rows = profile.emb_rows_updated_per_sample() * per_gpu;
+            t.add(
+                Phase::Optimizer,
+                sys.gpu.gather_rows_time(2.0 * upd_rows, row_bytes * 1.5)
+                    + sys.gpu.stream_time(profile.dense_params() * SGD_BYTES_PER_PARAM)
+                    + sys.gpu.op_overhead,
+            );
+        }
+        ExecMode::UvmCache { hit_rate } => {
+            assert!((0.0..=1.0).contains(&hit_rate), "hit rate out of range");
+            // Hits gather from HBM; misses fault a full row across PCIe.
+            let lookups = profile.lookups_per_sample as f64 * per_gpu;
+            let row_bytes = (profile.emb_dim * 4) as f64;
+            let hit_rows = lookups * hit_rate;
+            let miss_rows = lookups * (1.0 - hit_rate);
+            let miss_bytes = miss_rows * row_bytes;
+            t.add(
+                Phase::EmbedForward,
+                sys.gpu.gather_rows_time(hit_rows, row_bytes) + sys.gpu.op_overhead,
+            );
+            // Each miss pays a faulting transfer: one bulk byte-movement
+            // term plus a fault-stall term. Scattered embedding rows
+            // coalesce poorly under on-demand paging; empirically UVM
+            // sustains roughly one fault-resolution stall per ~dozen
+            // random rows, which is what makes cache-based schemes ~1.5x
+            // slower than FAE's replication (§V's NvOPT comparison).
+            t.add(
+                Phase::Transfer,
+                pcie.transfer_time(miss_bytes) + (miss_rows / 12.0) * pcie.latency,
+            );
+            t.add(Phase::DenseForward, fwd_gpu);
+            t.add(Phase::Backward, bwd_gpu + sys.gpu.gather_rows_time(hit_rows, row_bytes));
+            // Write-back of missed rows' updates.
+            t.add(Phase::Transfer, pcie.transfer_time(miss_bytes));
+            t.add(
+                Phase::AllReduce,
+                ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_grad_bytes),
+            );
+            let upd_rows = profile.emb_rows_updated_per_sample() * per_gpu;
+            t.add(
+                Phase::Optimizer,
+                sys.gpu.gather_rows_time(2.0 * upd_rows, row_bytes * 1.5)
+                    + sys.gpu.stream_time(profile.dense_params() * SGD_BYTES_PER_PARAM)
+                    + sys.gpu.op_overhead,
+            );
+        }
+    }
+
+    // Multi-GPU coordination penalty, paid by every mode (NCCL launch,
+    // stream rendezvous, NUMA): this is what makes the paper's baseline
+    // *slower* on 4 GPUs than on 2 for Kaggle (Table IV).
+    if sys.num_gpus > 1 {
+        t.add(
+            Phase::AllReduce,
+            MULTI_GPU_SYNC_S * ((sys.num_gpus - 1) as f64).powf(MULTI_GPU_SYNC_EXP),
+        );
+    }
+    t.add(
+        Phase::Framework,
+        PER_STEP_FIXED_S + profile.host_prep_per_sample * batch as f64,
+    );
+    t
+}
+
+/// Cost of one hot-embedding synchronisation event (hot↔cold schedule
+/// transition): the hot bag moves CPU→each GPU (refresh) or GPU→CPU
+/// (write-back) over the contended PCIe links.
+pub fn sync_cost(sys: &SystemConfig, hot_bytes: f64) -> Timeline {
+    let mut t = Timeline::new();
+    let pcie = sys.effective_pcie();
+    // Refresh is parallel per GPU; write-back is a single GPU's transfer.
+    t.add(Phase::EmbedSync, pcie.transfer_time(hot_bytes) + sys.pcie.transfer_time(hot_bytes));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kaggle_profile() -> ModelProfile {
+        ModelProfile {
+            dense_features: 13,
+            bottom_mlp: vec![13, 512, 256, 64, 16],
+            top_mlp: vec![512, 256, 1],
+            emb_dim: 16,
+            num_tables: 26,
+            lookups_per_sample: 26,
+            extra_flops_per_sample: 0.0,
+            hot_emb_bytes: 256e6,
+            full_emb_bytes: 2e9,
+            host_prep_per_sample: 0.0,
+            cpu_embed_per_sample: 0.0,
+        }
+    }
+
+    #[test]
+    fn hot_step_beats_baseline_step() {
+        let p = kaggle_profile();
+        for gpus in [1, 2, 4] {
+            let sys = SystemConfig::paper_server(gpus);
+            let batch = 1024 * gpus;
+            let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, batch).total();
+            let hot = step_cost(&p, &sys, ExecMode::FaeHotGpu, batch).total();
+            assert!(
+                hot < base,
+                "{gpus} GPUs: hot {hot} should beat baseline {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_step_latency_in_paper_ballpark() {
+        // Table IV implies ≈33 ms/step for Kaggle, batch 1024, 1 GPU.
+        let p = kaggle_profile();
+        let sys = SystemConfig::paper_server(1);
+        let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, 1024).total();
+        assert!(
+            (5e-3..100e-3).contains(&base),
+            "baseline step {base}s implausible"
+        );
+    }
+
+    #[test]
+    fn hot_step_has_no_pcie_transfer() {
+        let p = kaggle_profile();
+        let sys = SystemConfig::paper_server(4);
+        let hot = step_cost(&p, &sys, ExecMode::FaeHotGpu, 4096);
+        assert_eq!(hot.get(Phase::Transfer), 0.0);
+        assert!(hot.get(Phase::AllReduce) > 0.0);
+        let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, 4096);
+        assert!(base.get(Phase::Transfer) > 0.0);
+    }
+
+    #[test]
+    fn optimizer_dominates_baseline_embed_path() {
+        // Fig 14: "the optimizer time is a large portion of the baseline".
+        let p = kaggle_profile();
+        let sys = SystemConfig::paper_server(1);
+        let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, 1024);
+        assert!(base.get(Phase::Optimizer) > base.get(Phase::DenseForward));
+        assert!(base.get(Phase::Optimizer) > base.get(Phase::Transfer));
+    }
+
+    #[test]
+    fn single_gpu_has_no_allreduce() {
+        let p = kaggle_profile();
+        let sys = SystemConfig::paper_server(1);
+        for mode in [ExecMode::BaselineHybrid, ExecMode::FaeHotGpu] {
+            assert_eq!(step_cost(&p, &sys, mode, 1024).get(Phase::AllReduce), 0.0);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_keeps_gpu_compute_flat_and_grows_cpu_side() {
+        let p = kaggle_profile();
+        let s1 = SystemConfig::paper_server(1);
+        let s4 = SystemConfig::paper_server(4);
+        let b1 = step_cost(&p, &s1, ExecMode::BaselineHybrid, 1024);
+        let b4 = step_cost(&p, &s4, ExecMode::BaselineHybrid, 4096);
+        // Per-GPU dense work identical under weak scaling.
+        assert!((b1.get(Phase::DenseForward) - b4.get(Phase::DenseForward)).abs() < 1e-9);
+        // CPU embedding work grows with the global batch (the gather term
+        // quadruples; the fixed dispatch term does not).
+        assert!(b4.get(Phase::EmbedForward) > 1.5 * b1.get(Phase::EmbedForward));
+    }
+
+    #[test]
+    fn uvm_cache_sits_between_baseline_and_hot() {
+        // The paper's NvOPT comparison runs Criteo Terabyte (dim 64) at
+        // batch 32k on one V100; use that shape here — wide rows amortise
+        // the fault stalls that dominate at small dims.
+        let p = ModelProfile {
+            emb_dim: 64,
+            top_mlp: vec![512, 512, 256, 1],
+            full_emb_bytes: 61e9,
+            ..kaggle_profile()
+        };
+        let sys = SystemConfig::paper_server(1);
+        let batch = 32 * 1024;
+        let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, batch).total();
+        let uvm = step_cost(&p, &sys, ExecMode::UvmCache { hit_rate: 0.85 }, batch).total();
+        let hot = step_cost(&p, &sys, ExecMode::FaeHotGpu, batch).total();
+        assert!(hot < uvm, "hot {hot} should beat uvm {uvm}");
+        assert!(uvm < base, "uvm {uvm} should beat baseline {base}");
+    }
+
+    #[test]
+    fn perfect_uvm_cache_approaches_hot_mode() {
+        let p = kaggle_profile();
+        let sys = SystemConfig::paper_server(1);
+        let uvm = step_cost(&p, &sys, ExecMode::UvmCache { hit_rate: 1.0 }, 1024);
+        assert_eq!(uvm.get(Phase::Transfer), 0.0);
+    }
+
+    #[test]
+    fn sync_cost_scales_with_hot_bytes() {
+        let sys = SystemConfig::paper_server(4);
+        let small = sync_cost(&sys, 16e6).total();
+        let large = sync_cost(&sys, 256e6).total();
+        assert!(large > 10.0 * small);
+    }
+
+    #[test]
+    fn pcie_contention_kicks_in_at_four_gpus() {
+        let s2 = SystemConfig::paper_server(2);
+        let s4 = SystemConfig::paper_server(4);
+        assert!((s2.effective_pcie().bandwidth - s2.pcie.bandwidth).abs() < 1.0);
+        assert!(s4.effective_pcie().bandwidth < s4.pcie.bandwidth);
+    }
+}

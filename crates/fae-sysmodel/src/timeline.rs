@@ -1,0 +1,187 @@
+//! Phase-tagged time accounting — the data behind Fig 14's stacked bars
+//! and the absolute totals of Tables IV/V.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Execution phases of one training step, following Fig 14's legend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Embedding-table lookups (CPU in baseline/cold, GPU in FAE-hot).
+    EmbedForward,
+    /// Dense forward: bottom MLP, interaction, top MLP (+ attention).
+    DenseForward,
+    /// Backward pass through the dense layers and embedding scatter.
+    Backward,
+    /// Optimizer: sparse embedding SGD + dense SGD.
+    Optimizer,
+    /// CPU↔GPU activation/gradient transfers over PCIe.
+    Transfer,
+    /// Gradient all-reduce across GPUs over NVLink.
+    AllReduce,
+    /// Hot-embedding CPU↔GPU synchronisation at schedule transitions
+    /// (FAE-only overhead).
+    EmbedSync,
+    /// Fixed per-step framework overhead.
+    Framework,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 8] = [
+        Phase::EmbedForward,
+        Phase::DenseForward,
+        Phase::Backward,
+        Phase::Optimizer,
+        Phase::Transfer,
+        Phase::AllReduce,
+        Phase::EmbedSync,
+        Phase::Framework,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::EmbedForward => "embed-forward",
+            Phase::DenseForward => "dense-forward",
+            Phase::Backward => "backward",
+            Phase::Optimizer => "optimizer",
+            Phase::Transfer => "cpu-gpu-transfer",
+            Phase::AllReduce => "all-reduce",
+            Phase::EmbedSync => "embed-sync",
+            Phase::Framework => "framework",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated seconds per phase.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    seconds: [f64; 8],
+    /// Seconds during which the GPUs sit idle (or spin-wait) because the
+    /// work is CPU-resident — baseline embedding phases. A subset of the
+    /// phase totals, tracked separately for the power model.
+    cpu_resident: f64,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(phase: Phase) -> usize {
+        Phase::ALL.iter().position(|&p| p == phase).expect("phase in ALL")
+    }
+
+    /// Adds `secs` to `phase`.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite(), "negative/NaN time");
+        self.seconds[Self::slot(phase)] += secs;
+    }
+
+    /// Marks `secs` of already-recorded time as CPU-resident (GPU idle).
+    pub fn add_cpu_resident(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite(), "negative/NaN time");
+        self.cpu_resident += secs;
+    }
+
+    /// Seconds of CPU-resident (GPU-idle) time.
+    pub fn cpu_resident(&self) -> f64 {
+        self.cpu_resident
+    }
+
+    /// Seconds accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[Self::slot(phase)]
+    }
+
+    /// Total seconds across phases.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Merges another timeline into this one.
+    pub fn merge(&mut self, other: &Timeline) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+        self.cpu_resident += other.cpu_resident;
+    }
+
+    /// Adds every phase of `other`, scaled by `k` (e.g. a per-step cost
+    /// repeated `k` times).
+    pub fn merge_scaled(&mut self, other: &Timeline, k: f64) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b * k;
+        }
+        self.cpu_resident += other.cpu_resident * k;
+    }
+
+    /// `(phase, seconds, fraction)` rows, display order.
+    pub fn breakdown(&self) -> Vec<(Phase, f64, f64)> {
+        let total = self.total().max(f64::MIN_POSITIVE);
+        Phase::ALL
+            .iter()
+            .map(|&p| {
+                let s = self.get(p);
+                (p, s, s / total)
+            })
+            .collect()
+    }
+
+    /// Sum of the CPU↔GPU communication phases (Table V's metric).
+    pub fn cpu_gpu_comm(&self) -> f64 {
+        self.get(Phase::Transfer) + self.get(Phase::EmbedSync)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut t = Timeline::new();
+        t.add(Phase::Optimizer, 2.0);
+        t.add(Phase::Optimizer, 1.0);
+        t.add(Phase::Transfer, 0.5);
+        assert_eq!(t.get(Phase::Optimizer), 3.0);
+        assert_eq!(t.get(Phase::Backward), 0.0);
+        assert!((t.total() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = Timeline::new();
+        a.add(Phase::DenseForward, 1.0);
+        let mut b = Timeline::new();
+        b.add(Phase::DenseForward, 2.0);
+        b.add(Phase::AllReduce, 4.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::DenseForward), 3.0);
+        let mut c = Timeline::new();
+        c.merge_scaled(&b, 10.0);
+        assert_eq!(c.get(Phase::AllReduce), 40.0);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut t = Timeline::new();
+        t.add(Phase::EmbedForward, 1.0);
+        t.add(Phase::EmbedSync, 3.0);
+        let fracs: f64 = t.breakdown().iter().map(|(_, _, f)| f).sum();
+        assert!((fracs - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_metric_covers_transfer_and_sync() {
+        let mut t = Timeline::new();
+        t.add(Phase::Transfer, 1.5);
+        t.add(Phase::EmbedSync, 0.5);
+        t.add(Phase::AllReduce, 9.0); // NVLink traffic is not CPU-GPU comm
+        assert_eq!(t.cpu_gpu_comm(), 2.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Data-parallel replicas with explicit synchronisation — a numerical
+//! demonstration of §II-B challenge 3: "copies of the hot embedding
+//! tables are replicated across all the GPU devices" and stay consistent
+//! through one all-reduce per step.
+//!
+//! Trains the same workload 1-way and 4-way data-parallel and shows the
+//! parameters agree to f32 precision, and the replicas never diverge.
+//!
+//! ```sh
+//! cargo run --release --example distributed_replicas
+//! ```
+
+use fae::core::distributed::{full_batch, DataParallel};
+use fae::models::RecModel;
+use fae::data::{generate, BatchKind, GenOptions, MiniBatch, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::tiny_test();
+    let ds = generate(&spec, &GenOptions::sized(17, 2_048));
+
+    let mut single = DataParallel::replicate(&spec, 1, 99);
+    let mut quad = DataParallel::replicate(&spec, 4, 99);
+
+    println!("training 1-way vs 4-way data-parallel on identical batches...");
+    for step in 0..16 {
+        let ids: Vec<usize> = (step * 128..(step + 1) * 128).collect();
+        let mb = MiniBatch::gather(&ds, &ids, BatchKind::Unclassified);
+        let l1 = single.train_step(&mb, 0.05);
+        let l4 = quad.train_step(&mb, 0.05);
+        if step % 4 == 0 {
+            println!(
+                "  step {step:>2}: loss 1-way {l1:.5} | 4-way {l4:.5} | replica divergence {:.1e}",
+                quad.max_divergence()
+            );
+        }
+    }
+
+    let mut p1 = Vec::new();
+    single.model(0).write_params(&mut p1);
+    let mut p4 = Vec::new();
+    quad.model(0).write_params(&mut p4);
+    let max_diff = p1.iter().zip(&p4).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+    println!("\nmax dense-parameter difference 1-way vs 4-way: {max_diff:.2e}");
+    println!("replica divergence after training: {:.1e}", quad.max_divergence());
+    println!(
+        "=> sharded training + one all-reduce per step is numerically the same as \
+         single-device SGD, which is why FAE can replicate hot embeddings freely."
+    );
+
+    // A final sanity batch to show predictions agree too.
+    let test = full_batch(&ds, 256);
+    use fae::models::{evaluate, MasterEmbeddings};
+    let e1 = {
+        let emb = MasterEmbeddings::from_tables(single.embeddings(0).tables().to_vec());
+        evaluate(single.model(0), &emb, std::slice::from_ref(&test))
+    };
+    let e4 = {
+        let emb = MasterEmbeddings::from_tables(quad.embeddings(0).tables().to_vec());
+        evaluate(quad.model(0), &emb, &[test])
+    };
+    println!("eval: 1-way loss {:.6} vs 4-way loss {:.6}", e1.loss, e4.loss);
+}

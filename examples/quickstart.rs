@@ -1,0 +1,82 @@
+//! Quickstart: the whole FAE pipeline on a tiny synthetic workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a Zipf-skewed dataset, calibrates the hot-embedding
+//! threshold, packs pure hot/cold mini-batches, then trains the same DLRM
+//! under the CPU+GPU baseline and under FAE, printing accuracy parity and
+//! the simulated speedup.
+
+use fae::core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+use fae::data::{generate, GenOptions, WorkloadSpec};
+
+fn main() {
+    let spec = WorkloadSpec::tiny_test();
+    println!("workload: {} ({} tables, dim {})", spec.name, spec.tables.len(), spec.embedding_dim);
+
+    let dataset = generate(&spec, &GenOptions::sized(42, 12_000));
+    let (train, test) = dataset.split(0.2);
+    println!("dataset: {} train / {} test samples", train.len(), test.len());
+
+    // Static phase (once per dataset): calibrate → classify → preprocess.
+    // A budget tight enough (and a small-table rule scaled down to this
+    // toy's table sizes) that the calibrator must pick a real threshold,
+    // so both hot and cold mini-batches appear.
+    let artifacts = pipeline::prepare(
+        &train,
+        CalibratorConfig {
+            gpu_budget_bytes: 48 << 10,
+            small_table_bytes: 2 << 10,
+            ..Default::default()
+        },
+        &PreprocessConfig { minibatch_size: 64, seed: 7 },
+    );
+    let cal = &artifacts.calibration;
+    println!(
+        "calibration: threshold t = {:.0e}, sampled {} inputs, est hot bytes = {:.1} KiB (fits: {})",
+        cal.threshold,
+        cal.sampled_inputs,
+        cal.est_hot_bytes / 1024.0,
+        cal.fits_budget
+    );
+    let pre = &artifacts.preprocessed;
+    println!(
+        "input processor: {:.1}% hot inputs -> {} hot / {} cold mini-batches",
+        pre.hot_input_fraction * 100.0,
+        pre.hot_batches.len(),
+        pre.cold_batches.len()
+    );
+
+    // Runtime phase: identical model/seed under both execution modes.
+    let cfg = TrainConfig { epochs: 2, minibatch_size: 64, ..Default::default() };
+    let (base, fae) = pipeline::compare(&spec, &train, &test, &artifacts, &cfg);
+
+    println!("\n{:<22} {:>12} {:>12}", "", "baseline", "FAE");
+    println!(
+        "{:<22} {:>11.2}% {:>11.2}%",
+        "test accuracy",
+        base.final_test.accuracy * 100.0,
+        fae.final_test.accuracy * 100.0
+    );
+    println!(
+        "{:<22} {:>11.4} {:>11.4}",
+        "test loss", base.final_test.loss, fae.final_test.loss
+    );
+    println!(
+        "{:<22} {:>11.2}s {:>11.2}s",
+        "simulated time", base.simulated_seconds, fae.simulated_seconds
+    );
+    println!(
+        "{:<22} {:>11.1}W {:>11.1}W",
+        "avg GPU power", base.avg_gpu_power_w, fae.avg_gpu_power_w
+    );
+    println!(
+        "\nFAE speedup: {:.2}x  (hot steps: {}, cold steps: {}, syncs: {})",
+        base.simulated_seconds / fae.simulated_seconds,
+        fae.hot_steps,
+        fae.cold_steps,
+        fae.transitions
+    );
+}

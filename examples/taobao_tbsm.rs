@@ -1,0 +1,61 @@
+//! Taobao-shaped TBSM training (the paper's RMC1 workload): behaviour
+//! sequences, attention, and the shuffle scheduler's rate dynamics.
+//!
+//! ```sh
+//! cargo run --release --example taobao_tbsm
+//! ```
+
+use fae::core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+use fae::data::{generate, GenOptions, WorkloadSpec};
+
+fn main() {
+    let mut spec = WorkloadSpec::rmc1_taobao();
+    // Shrink the id spaces and input count for a fast demo run.
+    spec.tables[0].rows = 8_000; // items
+    spec.tables[1].rows = 400; // categories
+    spec.tables[2].rows = 2_000; // users
+    spec.num_inputs = 10_000;
+
+    println!(
+        "workload: {} — sequences up to {} steps over {} items",
+        spec.name, spec.tables[0].lookups_per_input, spec.tables[0].rows
+    );
+
+    let dataset = generate(&spec, &GenOptions::seeded(27));
+    let (train, test) = dataset.split(0.2);
+
+    let artifacts = pipeline::prepare(
+        &train,
+        CalibratorConfig { gpu_budget_bytes: 200 << 10, ..Default::default() },
+        &PreprocessConfig { minibatch_size: 128, seed: 3 },
+    );
+    println!(
+        "hot inputs: {:.1}%  ({} hot / {} cold batches) — sequences make hot \
+         purity harder: every step of every sequence must hit hot rows",
+        artifacts.preprocessed.hot_input_fraction * 100.0,
+        artifacts.preprocessed.hot_batches.len(),
+        artifacts.preprocessed.cold_batches.len()
+    );
+
+    let cfg = TrainConfig { epochs: 2, minibatch_size: 128, lr: 0.03, ..Default::default() };
+    let (base, fae) = pipeline::compare(&spec, &train, &test, &artifacts, &cfg);
+
+    println!("\nscheduler trajectory (iteration, test loss, rate):");
+    for p in fae.history.iter().take(12) {
+        println!(
+            "  iter {:>5}  loss {:.4}  acc {:>6.2}%  rate R({})",
+            p.iteration,
+            p.test_loss,
+            p.test_accuracy * 100.0,
+            p.rate.unwrap_or(0)
+        );
+    }
+    println!(
+        "\nbaseline: acc {:.2}% in {:.1}s | FAE: acc {:.2}% in {:.1}s ({:.2}x)",
+        base.final_test.accuracy * 100.0,
+        base.simulated_seconds,
+        fae.final_test.accuracy * 100.0,
+        fae.simulated_seconds,
+        base.simulated_seconds / fae.simulated_seconds
+    );
+}

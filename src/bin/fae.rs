@@ -1,0 +1,226 @@
+//! `fae` — command-line driver for the FAE pipeline.
+//!
+//! ```text
+//! fae gen        --workload <name> [--inputs N] [--seed S]        # describe a workload
+//! fae calibrate  --workload <name> [--inputs N] [--budget-mb M]   # run the calibrator
+//! fae preprocess --workload <name> --out <file.fae> [...]         # static phase to disk
+//! fae train      --stream <file.fae> --workload <name> [...]      # FAE training from disk
+//! fae compare    --workload <name> [--inputs N] [--gpus G] [...]  # baseline vs FAE
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (flag pairs only).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fae::core::{artifacts, pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+use fae::data::{generate, GenOptions, WorkloadSpec};
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut it = argv.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{k}'"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.push((key.to_string(), v.clone()));
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+fn workload_from(args: &Args) -> Result<WorkloadSpec, String> {
+    if let Some(path) = args.get("spec-file") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--spec-file: {e}"))?;
+        return WorkloadSpec::from_json(&text).map_err(|e| format!("--spec-file: {e}"));
+    }
+    workload(args.get("workload").ok_or("--workload or --spec-file required")?)
+}
+
+fn workload(name: &str) -> Result<WorkloadSpec, String> {
+    match name {
+        "tiny" | "tiny-test" => Ok(WorkloadSpec::tiny_test()),
+        "kaggle" | "rmc2" => Ok(WorkloadSpec::rmc2_kaggle()),
+        "taobao" | "rmc1" => Ok(WorkloadSpec::rmc1_taobao()),
+        "terabyte" | "rmc3" => Ok(WorkloadSpec::rmc3_terabyte()),
+        other => Err(format!(
+            "unknown workload '{other}' (expected tiny | kaggle | taobao | terabyte)"
+        )),
+    }
+}
+
+fn calibrator_config(args: &Args, spec: &WorkloadSpec) -> Result<CalibratorConfig, String> {
+    let budget_mb: usize = args.num("budget-mb", 0)?;
+    let budget = if budget_mb > 0 { budget_mb << 20 } else { spec.embedding_bytes() / 8 };
+    Ok(CalibratorConfig {
+        gpu_budget_bytes: budget,
+        small_table_bytes: args.num("small-table-kb", 8usize)? << 10,
+        sample_rate: args.num("sample-rate", 0.05f64)?,
+        ..Default::default()
+    })
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
+    let ds = generate(&spec, &GenOptions::sized(args.num("seed", 1u64)?, inputs));
+    println!("workload {}: {} tables, dim {}, {} dense features", spec.name, spec.tables.len(), spec.embedding_dim, spec.dense_features);
+    println!("embedding footprint: {:.1} MiB", spec.embedding_bytes() as f64 / (1 << 20) as f64);
+    println!("generated {} inputs, positive rate {:.1}%", ds.len(), ds.positive_rate() * 100.0);
+    Ok(())
+}
+
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
+    let ds = generate(&spec, &GenOptions::sized(args.num("seed", 1u64)?, inputs));
+    let cal = fae::core::Calibrator::new(calibrator_config(args, &spec)?).calibrate(&ds);
+    println!("threshold t = {:.0e} ({} inputs sampled)", cal.threshold, cal.sampled_inputs);
+    println!(
+        "estimated hot bag: {:.2} MiB (budget fit: {})",
+        cal.est_hot_bytes / (1 << 20) as f64,
+        cal.fits_budget
+    );
+    for (i, t) in cal.tables.iter().enumerate() {
+        println!(
+            "  table {i:>2}: cutoff {:>4}  est hot rows {:>10.0}{}",
+            t.cutoff,
+            t.est_hot_rows,
+            if t.de_facto_hot { "  (de-facto hot: < 1 MB)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_preprocess(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let out = PathBuf::from(args.get("out").ok_or("--out required")?);
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
+    let ds = generate(&spec, &GenOptions::sized(args.num("seed", 1u64)?, inputs));
+    let art = pipeline::prepare(
+        &ds,
+        calibrator_config(args, &spec)?,
+        &PreprocessConfig {
+            minibatch_size: args.num("batch", spec.minibatch_size.min(256))?,
+            seed: args.num("seed", 1u64)?,
+        },
+    );
+    artifacts::save(&art, &spec.name, &out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} hot / {} cold batches ({:.1}% hot inputs) to {}",
+        art.preprocessed.hot_batches.len(),
+        art.preprocessed.cold_batches.len(),
+        art.preprocessed.hot_input_fraction * 100.0,
+        out.display()
+    );
+    Ok(())
+}
+
+fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String> {
+    Ok(TrainConfig {
+        epochs: args.num("epochs", 1usize)?,
+        minibatch_size: args.num("batch", spec.minibatch_size.min(256))?,
+        num_gpus: args.num("gpus", 1usize)?,
+        lr: args.num("lr", 0.05f32)?,
+        ..Default::default()
+    })
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let stream = PathBuf::from(args.get("stream").ok_or("--stream required")?);
+    let (art, name) = artifacts::load(&stream).map_err(|e| e.to_string())?;
+    println!("loaded preprocessed stream for '{name}'");
+    let inputs: usize = args.num("test-inputs", 5_000)?;
+    let test = generate(&spec, &GenOptions::sized(args.num("seed", 2u64)?, inputs));
+    let report = fae::core::train_fae(&spec, &art.preprocessed, &test, &train_config(args, &spec)?);
+    println!(
+        "test accuracy {:.2}% | loss {:.4} | simulated {:.1}s | {} syncs | final rate R({})",
+        report.final_test.accuracy * 100.0,
+        report.final_test.loss,
+        report.simulated_seconds,
+        report.transitions,
+        report.final_rate.unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(30_000))?;
+    let ds = generate(&spec, &GenOptions::sized(args.num("seed", 1u64)?, inputs));
+    let (train, test) = ds.split(0.2);
+    let cfg = train_config(args, &spec)?;
+    let art = pipeline::prepare(
+        &train,
+        calibrator_config(args, &spec)?,
+        &PreprocessConfig { minibatch_size: cfg.minibatch_size, seed: args.num("seed", 1u64)? },
+    );
+    let (base, fae_r) = pipeline::compare(&spec, &train, &test, &art, &cfg);
+    println!(
+        "baseline: acc {:.2}%  {:.1}s  {:.1}W",
+        base.final_test.accuracy * 100.0,
+        base.simulated_seconds,
+        base.avg_gpu_power_w
+    );
+    println!(
+        "FAE:      acc {:.2}%  {:.1}s  {:.1}W  ({:.2}x speedup, {:.1}% hot inputs)",
+        fae_r.final_test.accuracy * 100.0,
+        fae_r.simulated_seconds,
+        fae_r.avg_gpu_power_w,
+        base.simulated_seconds / fae_r.simulated_seconds,
+        art.preprocessed.hot_input_fraction * 100.0
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare> [--flag value]...
+  common flags: --workload tiny|kaggle|taobao|terabyte | --spec-file FILE.json
+                --inputs N  --seed S
+  calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
+  preprocess:   --out FILE  --batch B
+  train:        --stream FILE  --epochs E  --gpus G  --lr LR
+  compare:      --batch B  --epochs E  --gpus G";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let run = || -> Result<(), String> {
+        let args = Args::parse(rest)?;
+        match cmd.as_str() {
+            "gen" => cmd_gen(&args),
+            "calibrate" => cmd_calibrate(&args),
+            "preprocess" => cmd_preprocess(&args),
+            "train" => cmd_train(&args),
+            "compare" => cmd_compare(&args),
+            other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        }
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # fae — Frequently Accessed Embeddings
+//!
+//! A Rust reproduction of *"Accelerating Recommendation System Training by
+//! Leveraging Popular Choices"* (VLDB 2021): training deep recommendation
+//! models faster by replicating the *hot* (heavily accessed) slice of the
+//! embedding tables onto every GPU and running hot mini-batches entirely
+//! on-device.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`nn`] | `fae-nn` | tensors, MLP layers, losses, SGD |
+//! | [`embed`] | `fae-embed` | embedding tables, hot/cold partitions, replication |
+//! | [`data`] | `fae-data` | synthetic Criteo/Taobao-shaped workloads, FAE format |
+//! | [`sysmodel`] | `fae-sysmodel` | CPU+GPU performance & power model |
+//! | [`models`] | `fae-models` | DLRM and TBSM |
+//! | [`core`] | `fae-core` | calibrator, classifier, input processor, scheduler, trainer |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fae::core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+//! use fae::data::{generate, GenOptions, WorkloadSpec};
+//!
+//! // A Criteo-Kaggle-shaped workload, scaled down for a fast demo.
+//! let spec = WorkloadSpec::tiny_test();
+//! let dataset = generate(&spec, &GenOptions::sized(1, 4_000));
+//! let (train, test) = dataset.split(0.2);
+//!
+//! // Static phase: calibrate the hot threshold, classify rows, pack
+//! // pure hot/cold mini-batches.
+//! let artifacts = pipeline::prepare(
+//!     &train,
+//!     CalibratorConfig::default(),
+//!     &PreprocessConfig { minibatch_size: 64, seed: 7 },
+//! );
+//!
+//! // Runtime phase: train baseline vs FAE on the same data.
+//! let cfg = TrainConfig { epochs: 1, minibatch_size: 64, ..Default::default() };
+//! let (baseline, fae) = pipeline::compare(&spec, &train, &test, &artifacts, &cfg);
+//! assert!(fae.simulated_seconds <= baseline.simulated_seconds);
+//! ```
+
+pub use fae_core as core;
+pub use fae_data as data;
+pub use fae_embed as embed;
+pub use fae_models as models;
+pub use fae_nn as nn;
+pub use fae_sysmodel as sysmodel;
