@@ -1,0 +1,146 @@
+//! Offline drop-in shim for the subset of `criterion` 0.5 this
+//! workspace's benches use. It runs each benchmark for a short, fixed
+//! sampling window and prints a mean time per iteration — no warmup
+//! modelling, outlier analysis, or HTML reports, but the harness
+//! compiles and produces comparable numbers offline.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver handed to the functions in [`criterion_group!`].
+pub struct Criterion {
+    /// Target sampling time per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO, budget: self.measure };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group; benches inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the sampling budget is spent,
+    /// timing every call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed call so setup effects (lazy allocs, caches) do not
+        // dominate short budgets.
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations)");
+            return;
+        }
+        let per = self.elapsed.as_secs_f64() / self.iters as f64;
+        let (scaled, unit) = if per < 1e-6 {
+            (per * 1e9, "ns")
+        } else if per < 1e-3 {
+            (per * 1e6, "µs")
+        } else {
+            (per * 1e3, "ms")
+        };
+        println!("{name:<40} {scaled:>10.3} {unit}/iter ({} iters)", self.iters);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { measure: Duration::from_millis(5) };
+        tiny(&mut c);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline drop-in shim for the subset of `rand_distr` 0.4 this
+//! workspace uses: [`Normal`], [`Bernoulli`] and [`Zipf`], all behind
+//! the re-exported [`Distribution`] trait.
+//!
+//! `Normal` uses Box–Muller; `Zipf` uses Hörmann & Derflinger's
+//! rejection-inversion method (the same algorithm upstream uses), so
+//! sampled frequencies follow `p(k) ∝ k^(-s)` over `1..=n` with O(1)
+//! memory and no setup tables.
+
+use std::fmt;
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Invalid-parameter error shared by the shim's distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Error type for [`Normal::new`].
+pub type NormalError = ParamError;
+/// Error type for [`Bernoulli::new`].
+pub type BernoulliError = ParamError;
+/// Error type for [`Zipf::new`].
+pub type ZipfError = ParamError;
+
+/// Float substrate for the generic distributions (f32/f64).
+pub trait Float: Copy + PartialOrd {
+    /// Lossless widening to `f64`.
+    fn to_f64(self) -> f64;
+    /// Narrowing from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: never returns 0, so ln() below is finite.
+    1.0 - (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates the distribution; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError("normal std_dev must be finite and non-negative"));
+        }
+        if !mean.to_f64().is_finite() {
+            return Err(ParamError("normal mean must be finite"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller; the paired variate is discarded to keep the
+        // distribution stateless (`&self`).
+        let u1 = unit_open_f64(rng);
+        let u2 = unit_open_f64(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+/// Coin flip with success probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates the distribution; `p` must lie in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, BernoulliError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(ParamError("bernoulli p outside [0, 1]"));
+        }
+        Ok(Self { p })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Uniform in [0, 1) from the top 53 bits, compared against p.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.p
+    }
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`:
+/// `p(k) ∝ k^(-s)`. Samples are returned as the float rank.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf<F: Float> {
+    n: f64,
+    s: f64,
+    /// `H(n + 1/2)` — upper integration bound.
+    h_sup: f64,
+    /// `H(1/2)` — lower integration bound.
+    h_inf: f64,
+    /// Acceptance shortcut constant (Hörmann & Derflinger).
+    shortcut: f64,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: Float> Zipf<F> {
+    /// Creates the distribution over `1..=n`; requires `n >= 1`, `s > 0`.
+    pub fn new(n: u64, s: F) -> Result<Self, ZipfError> {
+        let s = s.to_f64();
+        if n == 0 {
+            return Err(ParamError("zipf n must be >= 1"));
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(ParamError("zipf exponent must be positive and finite"));
+        }
+        let n = n as f64;
+        let h_sup = Self::h(s, n + 0.5);
+        let h_inf = Self::h(s, 0.5);
+        let shortcut = 1.0 - Self::h_inv(s, Self::h(s, 1.5) - 1.0);
+        Ok(Self { n, s, h_sup, h_inf, shortcut, _marker: core::marker::PhantomData })
+    }
+
+    /// `H(x) = ∫ x^{-s} dx`, the primitive of the density envelope.
+    fn h(s: f64, x: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(1.0 - s) / (1.0 - s)
+        }
+    }
+
+    /// Inverse of [`Self::h`].
+    fn h_inv(s: f64, y: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            ((1.0 - s) * y).powf(1.0 / (1.0 - s))
+        }
+    }
+}
+
+impl<F: Float> Distribution<F> for Zipf<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Rejection-inversion (Hörmann & Derflinger 1996): invert the
+        // continuous envelope H, round to the nearest integer rank, and
+        // accept either via the shortcut band or the exact test.
+        loop {
+            let u = self.h_inf + unit_open_f64(rng) * (self.h_sup - self.h_inf);
+            let x = Self::h_inv(self.s, u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.shortcut
+                || u >= Self::h(self.s, k + 0.5) - (-self.s * k.ln()).exp()
+            {
+                return F::from_f64(k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Bernoulli::new(0.7).unwrap();
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng)).count();
+        assert!((68_000..72_000).contains(&hits), "{hits}");
+        assert!(Bernoulli::new(1.5).is_err());
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates_and_range_holds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d: Zipf<f64> = Zipf::new(1_000, 1.2).unwrap();
+        let mut counts = vec![0u32; 1_001];
+        for _ in 0..100_000 {
+            let k = d.sample(&mut rng);
+            assert!((1.0..=1_000.0).contains(&k), "rank {k} out of range");
+            counts[k as usize] += 1;
+        }
+        let max_idx = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(max_idx, 1, "rank 1 must be the mode");
+        // p(1)/p(2) should be ≈ 2^1.2 ≈ 2.3.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((1.9..2.9).contains(&ratio), "p1/p2 ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_matches_analytic_head_mass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 10_000u64;
+        let s = 1.1;
+        let d: Zipf<f64> = Zipf::new(n, s).unwrap();
+        let draws = 200_000;
+        let mut head = 0u64;
+        for _ in 0..draws {
+            if d.sample(&mut rng) <= 100.0 {
+                head += 1;
+            }
+        }
+        // Analytic head mass: sum_{k<=100} k^-s / sum_{k<=n} k^-s.
+        let z = |m: u64| (1..=m).map(|k| (k as f64).powf(-s)).sum::<f64>();
+        let expect = z(100) / z(n);
+        let got = head as f64 / draws as f64;
+        assert!((got - expect).abs() < 0.02, "head mass {got} vs analytic {expect}");
+    }
+
+    #[test]
+    fn zipf_small_n_and_s_one() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d: Zipf<f64> = Zipf::new(1, 1.0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1.0);
+        }
+        let d3: Zipf<f64> = Zipf::new(3, 1.0).unwrap();
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[d3.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

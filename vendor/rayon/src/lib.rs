@@ -1,0 +1,93 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! Everything executes **sequentially**: `into_par_iter()` hands back
+//! the standard iterator and `par_chunks_mut` the standard chunk
+//! iterator, so `.map(..).collect()` / `.enumerate().for_each(..)`
+//! chains compile unchanged. The workspace's "parallel" stages (input
+//! classification, matmul row fan-out) thus stay correct and
+//! deterministic, just single-threaded — acceptable for a build
+//! environment without crates.io access, and trivially replaceable by
+//! real rayon when the registry is reachable.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Sequential stand-in for rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// The (sequential) iterator returned.
+    type Iter: Iterator<Item = Self::Item>;
+    /// "Parallel" iteration — sequential in this shim.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential stand-in for rayon's `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item;
+    /// The (sequential) iterator returned.
+    type Iter: Iterator<Item = Self::Item>;
+    /// "Parallel" by-reference iteration — sequential in this shim.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().iter()
+    }
+}
+
+/// Sequential stand-in for rayon's `ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// "Parallel" mutable chunking — sequential in this shim.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_compile_and_run() {
+        let doubled: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+
+        let mut buf = vec![0u32; 12];
+        buf.par_chunks_mut(4).enumerate().for_each(|(row, chunk)| {
+            for c in chunk {
+                *c = row as u32;
+            }
+        });
+        assert_eq!(buf, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 6);
+    }
+}

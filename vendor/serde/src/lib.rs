@@ -1,0 +1,344 @@
+//! Offline drop-in shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of upstream's serializer/visitor architecture, this shim
+//! routes everything through a JSON-shaped [`Value`] tree:
+//! [`Serialize`] renders a type *to* a [`Value`] and [`Deserialize`]
+//! rebuilds it *from* one. The companion `serde_json` shim handles the
+//! text encoding, and the `serde_derive` shim generates these two
+//! methods for structs and enums. The data model (externally tagged
+//! enums, newtype structs as their inner value, missing `Option`
+//! fields as `None`) matches upstream serde_json, so files written by
+//! the real crates parse identically.
+
+mod value;
+
+pub use value::{Map, Number, Value};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Deserialization error (shared with the `serde_json` shim).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON-shaped value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts a value tree back into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called for a struct field whose key is absent. Only `Option`
+    /// yields a value (upstream's `missing_field` behaviour).
+    fn missing(key: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field `{key}`")))
+    }
+}
+
+/// Free-function form of [`Serialize::to_value`].
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Looks up (or defaults) one struct field during derived
+/// deserialization. Public for the derive macro's generated code.
+pub fn field<T: Deserialize>(m: &Map, key: &str, ty: &'static str) -> Result<T, Error> {
+    match m.get(key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+        None => T::missing(key).map_err(|e| Error::msg(format!("{ty}: {e}"))),
+    }
+}
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_number().ok_or_else(|| type_err(v, "an integer"))?;
+                let u = n.as_u64().ok_or_else(|| type_err(v, "an unsigned integer"))?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::msg(format!("integer {u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_number().ok_or_else(|| type_err(v, "an integer"))?;
+                let i = n.as_i64().ok_or_else(|| type_err(v, "a signed integer"))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::msg(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+fn type_err(v: &Value, want: &str) -> Error {
+    Error::msg(format!("invalid type: expected {want}, got {}", v.kind()))
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_number()
+            .map(|n| n.as_f64())
+            .ok_or_else(|| type_err(v, "a number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_err(other, "a boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(type_err(other, "a string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing(_key: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(type_err(other, "an array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) => items,
+            other => return Err(type_err(other, "an array")),
+        };
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected an array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| Error::msg("array length changed during conversion"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    other => return Err(type_err(other, "a tuple array")),
+                };
+                let want = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected a tuple of length {want}, got {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+ser_de_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn integers_accept_integer_numbers_only() {
+        assert!(u32::from_value(&Value::Number(Number::from_f64(1.5))).is_err());
+        assert!(u32::from_value(&Value::Number(Number::from_i64(-1))).is_err());
+        // Floats accept integer-valued numbers (JSON `1` vs `1.0`).
+        assert_eq!(f64::from_value(&Value::Number(Number::from_u64(3))).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+
+        let arr = [0.5f64; 8];
+        assert_eq!(<[f64; 8]>::from_value(&arr.to_value()).unwrap(), arr);
+
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()).unwrap(), None);
+        assert_eq!(Option::<u32>::missing("x").unwrap(), None);
+        assert!(u32::missing("x").is_err());
+
+        let pair = (3usize, 2.5f64);
+        assert_eq!(<(usize, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn wrong_array_len_errors() {
+        let v = vec![1.0f64; 7].to_value();
+        assert!(<[f64; 8]>::from_value(&v).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The JSON-shaped value tree shared by the `serde` and `serde_json`
+//! shims.
+
+use std::fmt;
+
+use crate::Error;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (integer fidelity is preserved).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The float value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// The unsigned value, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number().and_then(Number::as_u64)
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object lookup by key (`None` for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// The object map, or a typed error naming the expected type
+    /// (used by derived `Deserialize` impls).
+    pub fn as_object_for(&self, ty: &'static str) -> Result<&Map, Error> {
+        self.as_object()
+            .ok_or_else(|| Error::msg(format!("{ty}: expected an object, got {}", self.kind())))
+    }
+}
+
+/// A JSON number, keeping integers exact.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// From an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+
+    /// From a signed integer.
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+
+    /// From a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number(N::Float(v))
+    }
+
+    /// Widens to `f64` (lossy for huge integers, like upstream).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            N::PosInt(v) => v as f64,
+            N::NegInt(v) => v as f64,
+            N::Float(v) => v,
+        }
+    }
+
+    /// The exact unsigned value, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The exact signed value, if this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this number was an integer token.
+    pub fn is_integer(&self) -> bool {
+        !matches!(self.0, N::Float(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (N::PosInt(a), N::PosInt(b)) => a == b,
+            (N::NegInt(a), N::NegInt(b)) => a == b,
+            (N::Float(a), N::Float(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            N::Float(v) if v.is_finite() => {
+                // Rust's shortest round-trip repr; force a `.0` onto
+                // integral floats so the token re-parses as a float.
+                let s = format!("{v}");
+                if s.contains(['.', 'e', 'E']) {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+            // Upstream serde_json emits null for non-finite floats; at
+            // the Display level the closest stand-in is `null` too.
+            N::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map(Vec<(String, Value)>);
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map(Vec::new())
+    }
+
+    /// Inserts, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(slot) = self.0.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.0.push((key, value));
+        }
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.0.iter().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Bool(true));
+        m.insert("b".into(), Value::Null);
+        m.insert("a".into(), Value::Bool(false));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("a"), Some(&Value::Bool(false)));
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+
+    #[test]
+    fn number_fidelity() {
+        assert_eq!(Number::from_u64(u64::MAX).as_u64(), Some(u64::MAX));
+        assert_eq!(Number::from_i64(-5).as_i64(), Some(-5));
+        assert_eq!(Number::from_i64(7).as_u64(), Some(7));
+        assert!(Number::from_f64(1.5).as_u64().is_none());
+        assert_eq!(format!("{}", Number::from_f64(2.0)), "2.0");
+        assert_eq!(format!("{}", Number::from_f64(0.25)), "0.25");
+        assert_eq!(format!("{}", Number::from_u64(3)), "3");
+    }
+}

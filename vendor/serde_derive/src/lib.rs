@@ -1,0 +1,345 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim for the `serde`
+//! shim, written against `proc_macro` directly (no syn/quote, which
+//! aren't available offline).
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! - structs with named fields,
+//! - one-field tuple ("newtype") structs, serialized as the inner value,
+//! - enums with unit variants (as `"Variant"` strings) and struct
+//!   variants (externally tagged: `{"Variant": {..}}`).
+//!
+//! Generics, tuple structs of arity > 1, tuple enum variants and
+//! `#[serde(...)]` attributes are rejected with a compile error rather
+//! than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named { fields: Vec<String> },
+    Newtype,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(field names)` for struct variants.
+    fields: Option<Vec<String>>,
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is not supported");
+        }
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named { fields: parse_named_fields(g.stream(), &name) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if count_top_level_commas(g.stream()) > 0 {
+                    panic!(
+                        "serde shim derive: tuple struct `{name}` with more than one \
+                         field is not supported"
+                    );
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde shim derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { variants: parse_variants(g.stream(), &name) }
+            }
+            other => panic!("serde shim derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Item { name, shape }
+}
+
+/// Skips `#[...]` / `#![...]` attributes (incl. desugared doc comments)
+/// and a `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Punct(bang)) = tokens.get(*i) {
+                    if bang.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => panic!("serde shim derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Field names from `{ name: Type, ... }`; types are skipped
+/// angle-bracket-aware (groups arrive as single tokens).
+fn parse_named_fields(stream: TokenStream, owner: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i, "field name");
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after `{owner}.{field}`: {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, owner: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i, "variant name");
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream(), &format!("{owner}::{name}"));
+                i += 1;
+                Some(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple variant `{owner}::{name}` is not supported");
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde shim derive: discriminant on `{owner}::{name}` is not supported");
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn count_top_level_commas(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma doesn't make it a 2-tuple.
+                ',' if angle_depth == 0 && idx + 1 < tokens.len() => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named { fields } => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Enum { variants } => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        s.push_str(&format!("{name}::{vn} {{ {bindings} }} => {{\n"));
+                        s.push_str("let mut inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            s.push_str(&format!(
+                                "inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        s.push_str("let mut m = ::serde::Map::new();\n");
+                        s.push_str(&format!(
+                            "m.insert(\"{vn}\".to_string(), ::serde::Value::Object(inner));\n"
+                        ));
+                        s.push_str("::serde::Value::Object(m)\n}\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named { fields } => {
+            let mut s = format!("let m = v.as_object_for(\"{name}\")?;\n");
+            s.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!("{f}: ::serde::field(m, \"{f}\", \"{name}\")?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Newtype => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut obj_arms = String::new();
+            let has_struct_variant = variants.iter().any(|v| v.fields.is_some());
+            let inner_binding = if has_struct_variant { "inner" } else { "_inner" };
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    None => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Some(fields) => {
+                        obj_arms.push_str(&format!("\"{vn}\" => {{\n"));
+                        obj_arms.push_str(&format!(
+                            "let im = inner.as_object_for(\"{name}::{vn}\")?;\n"
+                        ));
+                        obj_arms.push_str(&format!(
+                            "::core::result::Result::Ok({name}::{vn} {{\n"
+                        ));
+                        for f in fields {
+                            obj_arms.push_str(&format!(
+                                "{f}: ::serde::field(im, \"{f}\", \"{name}::{vn}\")?,\n"
+                            ));
+                        }
+                        obj_arms.push_str("})\n}\n");
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                   ::serde::Value::String(s) => match s.as_str() {{\n\
+                     {unit_arms}\
+                     other => ::core::result::Result::Err(::serde::Error::msg(\
+                       format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                   }},\n\
+                   ::serde::Value::Object(m) => {{\n\
+                     let (tag, {inner_binding}) = match m.iter().next() {{\n\
+                       ::core::option::Option::Some(kv) => kv,\n\
+                       ::core::option::Option::None => return ::core::result::Result::Err(\
+                         ::serde::Error::msg(\"{name}: empty variant object\")),\n\
+                     }};\n\
+                     match tag.as_str() {{\n\
+                       {obj_arms}\
+                       other => ::core::result::Result::Err(::serde::Error::msg(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }}\n\
+                   }},\n\
+                   other => ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"{name}: expected a string or object, got {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}

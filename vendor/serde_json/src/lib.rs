@@ -1,0 +1,227 @@
+//! Offline drop-in shim for the subset of `serde_json` this workspace
+//! uses: `to_string[_pretty]` / `to_vec[_pretty]`, `from_str` /
+//! `from_slice`, the [`Value`] tree (shared with the `serde` shim) and
+//! the [`json!`] macro (flat and nested object literals).
+//!
+//! The emitted text matches upstream serde_json closely enough to
+//! interoperate: 2-space pretty indentation, integers kept integral,
+//! floats in shortest round-trip form, non-finite floats as `null`.
+
+mod parse;
+
+pub use parse::from_value_str;
+pub use serde::{to_value, Error, Map, Number, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to human-readable JSON text (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to pretty JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserializes from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&from_value_str(s)?)
+}
+
+/// Deserializes from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from a JSON-looking literal. Supports `null`,
+/// nested `{...}` / `[...]` literals with string-literal keys, and
+/// arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $crate::json_object_internal!(m, $($body)*);
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`] — munches `"key": value` pairs,
+/// recursing into nested `{...}` / `[...]` literals.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($m:ident,) => {};
+    ($m:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_internal!($m, $($($rest)*)?);
+    };
+    ($m:ident, $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($m, $($($rest)*)?);
+    };
+    ($m:ident, $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($m, $($($rest)*)?);
+    };
+    ($m:ident, $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $m.insert($key.to_string(), $crate::to_value(&$val));
+        $crate::json_object_internal!($m, $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_output() {
+        let v = json!({"a": 1, "b": [1.5, 2.0], "c": {"nested": true}, "d": "x\"y"});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.5,2.0],"c":{"nested":true},"d":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1,"));
+        assert!(pretty.contains("\"nested\": true"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let v = json!({"name": "rmc2", "vals": [1, -2, 3.5], "flag": false, "none": null});
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let label = String::from("w");
+        let pairs: Vec<(usize, f64)> = vec![(0, 0.5)];
+        let v = json!({
+            "workload": label,
+            "inner": {"x": 1, "y": {"deep": 2}},
+            "hist": pairs,
+            "arr": [1, 2],
+        });
+        assert_eq!(v.get("workload").and_then(Value::as_str), Some("w"));
+        assert_eq!(
+            v.get("inner").and_then(|i| i.get("y")).and_then(|y| y.get("deep")).and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("hist").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3u32), Value::Number(Number::from_u64(3)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_text() {
+        let v = to_value(&f64::NAN);
+        assert_eq!(to_string(&v).unwrap(), "null");
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_utf8() {
+        assert!(from_slice::<Value>(&[0xFF, 0xFE]).is_err());
+    }
+}
