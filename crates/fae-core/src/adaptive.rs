@@ -198,6 +198,9 @@ pub fn train_fae_adaptive(
             cold_steps,
             transitions,
             final_rate: None,
+            faults: Vec::new(),
+            recoveries: Vec::new(),
+            interrupted: false,
         },
         recalibrations: recals,
         window_shares,

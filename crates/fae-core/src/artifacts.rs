@@ -18,6 +18,7 @@ use fae_data::BatchKind;
 use fae_embed::HotColdPartition;
 
 use crate::calibrator::CalibrationResult;
+use crate::faults::{retry_with_backoff, FaultInjector, FaultKind, RecoveryAction, RetryPolicy};
 use crate::input_processor::Preprocessed;
 use crate::pipeline::StaticArtifacts;
 
@@ -74,16 +75,35 @@ fn sidecar_path(stream: &Path) -> PathBuf {
     PathBuf::from(p)
 }
 
+/// Writes `bytes` to `path` atomically: a sibling temp file in the same
+/// directory (same filesystem, so the rename cannot cross devices) is
+/// written in full, then renamed over the target. A crash mid-write
+/// leaves the old file intact; readers never see a torn file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
 /// Saves the static artifacts: `<path>` gets the FAE batch stream,
 /// `<path>.meta.json` the calibration + partitions.
+///
+/// Both files are written atomically (temp + rename), so a crash never
+/// leaves a half-written stream or sidecar. The stream lands first: the
+/// remaining hazard is a crash between the two renames, which leaves a
+/// new stream beside an old sidecar — [`load`] then fails on the
+/// partition/stream mismatch rather than silently mixing generations.
 pub fn save(artifacts: &StaticArtifacts, workload: &str, path: &Path) -> Result<(), ArtifactError> {
-    artifacts.preprocessed.to_fae_file(workload).write_file(path)?;
+    let stream = artifacts.preprocessed.to_fae_file(workload).encode();
+    write_atomic(path, &stream)?;
     let sidecar = Sidecar {
         calibration: artifacts.calibration.clone(),
         partitions: artifacts.preprocessed.partitions.clone(),
         hot_input_fraction: artifacts.preprocessed.hot_input_fraction,
     };
-    fs::write(sidecar_path(path), serde_json::to_vec_pretty(&sidecar)?)?;
+    write_atomic(&sidecar_path(path), &serde_json::to_vec_pretty(&sidecar)?)?;
     Ok(())
 }
 
@@ -108,9 +128,78 @@ pub fn load(path: &Path) -> Result<(StaticArtifacts, String), ArtifactError> {
     ))
 }
 
+/// Loads the artifacts at `path`, riding out transient I/O faults with
+/// bounded-backoff retries; if the stream is unusable (missing, torn,
+/// corrupt — anything [`load`] rejects), rebuilds the static artifacts
+/// from scratch via `rebuild`, persists them, and returns the rebuilt
+/// set. Injected [`FaultKind::ArtifactCorruption`] damages the file *on
+/// disk* first, so recovery is exercised through the real decode path.
+///
+/// Returns the artifacts, the workload name, and the recovery actions
+/// taken (empty on the clean path). Errs only when even the rebuilt
+/// artifacts cannot be persisted.
+pub fn load_or_rebuild(
+    path: &Path,
+    workload: &str,
+    injector: &mut FaultInjector,
+    retry: &RetryPolicy,
+    rebuild: impl FnOnce() -> StaticArtifacts,
+) -> Result<(StaticArtifacts, String, Vec<RecoveryAction>), ArtifactError> {
+    let mut recoveries = Vec::new();
+    if let Some(f) = injector.fire(FaultKind::ArtifactCorruption, 0) {
+        if let Ok(mut bytes) = fs::read(path) {
+            if !bytes.is_empty() {
+                // A torn write: the file is cut mid-stream and the byte at
+                // the tear is damaged. (A flip in the body alone might
+                // land in batch payload the codec cannot distinguish from
+                // data; the tear guarantees the decode path exercises its
+                // error handling.)
+                let keep = 1 + injector.variation(&f, bytes.len() as u64) as usize / 2;
+                bytes.truncate(keep);
+                bytes[keep - 1] ^= 0xFF;
+                fs::write(path, &bytes)?;
+            }
+        }
+    }
+    // Injected transient failures always clear within the retry budget
+    // (at most max_attempts − 1 of them), so an Err from the retry loop
+    // is a real load failure.
+    let io_failures = injector
+        .fire(FaultKind::TransientIo, 0)
+        .map(|f| 1 + injector.variation(&f, (retry.max_attempts - 1) as u64) as u32)
+        .unwrap_or(0);
+    match retry_with_backoff(retry, |attempt| {
+        if attempt <= io_failures {
+            Err(ArtifactError::Io(io::Error::other("injected transient i/o failure")))
+        } else {
+            load(path)
+        }
+    }) {
+        Ok(r) => {
+            if r.attempts > 1 {
+                recoveries
+                    .push(RecoveryAction::RetriedIo { attempts: r.attempts, waited_s: r.waited_s });
+            }
+            let (artifacts, name) = r.value;
+            Ok((artifacts, name, recoveries))
+        }
+        Err((err, _, _)) => {
+            eprintln!(
+                "fae: artifacts at {} unusable ({err}); rebuilding static artifacts",
+                path.display()
+            );
+            let artifacts = rebuild();
+            save(&artifacts, workload, path)?;
+            recoveries.push(RecoveryAction::RebuiltArtifacts);
+            Ok((artifacts, workload.to_string(), recoveries))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
     use crate::input_processor::PreprocessConfig;
     use crate::pipeline::prepare;
     use crate::CalibratorConfig;
@@ -148,6 +237,79 @@ mod tests {
         for (pa, pb) in a.preprocessed.partitions.iter().zip(&b.preprocessed.partitions) {
             assert_eq!(pa.hot_ids(), pb.hot_ids());
         }
+    }
+
+    #[test]
+    fn save_leaves_no_temp_residue() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-atomic");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        save(&a, "tiny-test", &path).expect("save");
+        let residue: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(residue.is_empty(), "temp files left behind: {residue:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_rebuild_recovers_from_injected_corruption() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-rebuild");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        save(&a, "tiny-test", &path).expect("save");
+
+        let retry = RetryPolicy::default();
+        let mut injector =
+            FaultInjector::new(FaultPlan::parse("artifact-corruption@0").unwrap());
+        let (b, name, recs) =
+            load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || a.clone())
+                .expect("recovery");
+        assert_eq!(name, "tiny-test");
+        assert_eq!(recs, vec![RecoveryAction::RebuiltArtifacts]);
+        assert_eq!(b.preprocessed.hot_batches.len(), a.preprocessed.hot_batches.len());
+
+        // The rebuilt artifacts were persisted: a clean injector loads
+        // them with no recovery actions.
+        let mut clean = FaultInjector::none();
+        let (_, name2, recs2) =
+            load_or_rebuild(&path, "tiny-test", &mut clean, &retry, || panic!("must not rebuild"))
+                .expect("clean load");
+        assert_eq!(name2, "tiny-test");
+        assert!(recs2.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_rebuild_retries_transient_io_and_reports_it() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-transient");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        save(&a, "tiny-test", &path).expect("save");
+
+        let retry = RetryPolicy::default();
+        let mut injector = FaultInjector::new(FaultPlan::parse("transient-io@0").unwrap());
+        let (_, name, recs) =
+            load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || panic!("must not rebuild"))
+                .expect("load after retries");
+        assert_eq!(name, "tiny-test");
+        assert_eq!(recs.len(), 1);
+        match recs[0] {
+            RecoveryAction::RetriedIo { attempts, waited_s } => {
+                assert!(attempts > 1);
+                assert!(waited_s > 0.0);
+            }
+            ref other => panic!("expected RetriedIo, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

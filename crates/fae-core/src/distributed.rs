@@ -57,6 +57,19 @@ impl DataParallel {
         &self.embeddings[device]
     }
 
+    /// Drops one replica from the group — the recovery step after a
+    /// device loss. The survivors carry identical parameters (invariant
+    /// after every [`DataParallel::train_step`]), so no state moves;
+    /// subsequent steps simply shard over N−1 devices. The *cost* of the
+    /// re-shard (communicator re-init, re-replication) is charged by
+    /// `fae_sysmodel::reshard_cost`, not here.
+    pub fn remove_device(&mut self, device: usize) {
+        assert!(self.devices() > 1, "cannot remove the last device");
+        assert!(device < self.devices(), "device {device} out of range");
+        self.models.remove(device);
+        self.embeddings.remove(device);
+    }
+
     /// Splits `batch` into `devices` contiguous shards (sizes differ by at
     /// most one sample).
     fn shards(&self, batch: &MiniBatch) -> Vec<MiniBatch> {
@@ -251,6 +264,44 @@ mod tests {
         dp1.model(0).write_params(&mut b);
         let diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
         assert!(diff < 1e-4, "uneven sharding broke equivalence: {diff}");
+    }
+
+    #[test]
+    fn removing_a_device_mid_run_preserves_sgd_equivalence() {
+        // Train 4-way, lose a device, keep training 3-way: the survivors
+        // must stay mutually identical and still match 1-way SGD on the
+        // same batch sequence.
+        let (spec, ds, mut dp) = setup(4);
+        let mut dp1 = DataParallel::replicate(&spec, 1, 7);
+        for i in 0..3 {
+            let ids: Vec<usize> = (i * 64..(i + 1) * 64).collect();
+            let mb = MiniBatch::gather(&ds, &ids, BatchKind::Unclassified);
+            dp.train_step(&mb, 0.05);
+            dp1.train_step(&mb, 0.05);
+        }
+        dp.remove_device(2);
+        assert_eq!(dp.devices(), 3);
+        assert_eq!(dp.max_divergence(), 0.0, "survivors must agree after removal");
+        for i in 3..6 {
+            let ids: Vec<usize> = (i * 64..(i + 1) * 64).collect();
+            let mb = MiniBatch::gather(&ds, &ids, BatchKind::Unclassified);
+            dp.train_step(&mb, 0.05);
+            dp1.train_step(&mb, 0.05);
+            assert_eq!(dp.max_divergence(), 0.0, "replicas diverged after removal");
+        }
+        let mut a = Vec::new();
+        dp.model(0).write_params(&mut a);
+        let mut b = Vec::new();
+        dp1.model(0).write_params(&mut b);
+        let diff = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        assert!(diff < 5e-4, "post-removal training diverged from 1-way SGD by {diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last device")]
+    fn removing_the_last_device_panics() {
+        let (_, _, mut dp) = setup(1);
+        dp.remove_device(0);
     }
 
     #[test]

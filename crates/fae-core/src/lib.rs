@@ -20,15 +20,22 @@
 //!   numerics (loss/accuracy, Fig 12) with the `fae-sysmodel` cost model
 //!   (latency/power, Figs 13–15, Tables IV–VI),
 //! * [`pipeline`] — one-call convenience wrappers used by the examples
-//!   and the experiment harness.
+//!   and the experiment harness,
+//! * [`faults`] — deterministic, seed-driven fault injection (device
+//!   loss, replication OOM, sync failure, artifact corruption, transient
+//!   I/O) with bounded-backoff retry plumbing,
+//! * [`checkpoint`] — binary training checkpoints (atomic write, CRC-32
+//!   verified) that make an interrupted run resume bit-identically.
 
 pub mod adaptive;
 pub mod artifacts;
 pub mod calibrator;
+pub mod checkpoint;
 pub mod classifier;
 pub mod convergence;
 pub mod distributed;
 pub mod drift;
+pub mod faults;
 pub mod input_processor;
 pub mod pipeline;
 pub mod replicator;
@@ -37,13 +44,19 @@ pub mod simsched;
 pub mod trainer;
 
 pub use calibrator::{CalibrationResult, Calibrator, CalibratorConfig, RandEmBox, RandEmEstimate};
+pub use checkpoint::{latest_in, CheckpointError, TableSnapshot, TrainCheckpoint};
 pub use classifier::classify_tables;
 pub use adaptive::{train_fae_adaptive, AdaptiveConfig, AdaptiveReport};
 pub use distributed::DataParallel;
 pub use drift::{hot_access_share, DriftMonitor, DriftVerdict};
+pub use faults::{
+    retry_with_backoff, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanError,
+    InjectedFault, RecoveryAction, RetryPolicy,
+};
 pub use input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
 pub use replicator::HotEmbeddings;
-pub use scheduler::{Rate, ShuffleScheduler};
+pub use scheduler::{Rate, SchedulerState, ShuffleScheduler};
 pub use trainer::{
-    train_baseline, train_fae, AnyModel, EvalPoint, TrainConfig, TrainReport,
+    train_baseline, train_fae, train_fae_resilient, AnyModel, EvalPoint, ResilienceOptions,
+    TrainConfig, TrainReport,
 };

@@ -9,6 +9,7 @@ use crate::input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
 use crate::trainer::{train_baseline, train_fae, TrainConfig, TrainReport};
 
 /// Output of the static (one-time per dataset) half of the framework.
+#[derive(Clone)]
 pub struct StaticArtifacts {
     /// The calibrator's threshold decision.
     pub calibration: CalibrationResult,

@@ -39,6 +39,13 @@ impl HotEmbeddings {
         self.bags.iter().map(|b| b.size_bytes()).sum()
     }
 
+    /// Bytes that cross PCIe per CPU↔GPU synchronisation (per replica):
+    /// the full hot bags, since a transition refresh/write-back moves
+    /// every hot row.
+    pub fn sync_bytes(&self) -> usize {
+        self.bags.iter().map(|b| b.sync_bytes()).sum()
+    }
+
     /// The partitions backing this source.
     pub fn partitions(&self) -> &[HotColdPartition] {
         &self.partitions
@@ -184,5 +191,7 @@ mod tests {
             .sum();
         assert_eq!(hot.hot_bytes(), expect);
         assert!(hot.hot_bytes() > 0);
+        // A transition moves the whole bag, so the two byte counts agree.
+        assert_eq!(hot.sync_bytes(), hot.hot_bytes());
     }
 }

@@ -51,6 +51,23 @@ impl Rate {
     }
 }
 
+/// A serialisable snapshot of the scheduler's adaptive state, used by
+/// the checkpoint container so a resumed run adapts identically to an
+/// uninterrupted one.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerState {
+    /// Current rate in percent.
+    pub rate: u32,
+    /// Last observed test loss, if any.
+    pub prev_loss: Option<f64>,
+    /// Consecutive improvements seen so far.
+    pub improving_streak: u32,
+    /// Improvements required before doubling.
+    pub u: u32,
+    /// `(test_loss, rate_pct)` per round.
+    pub history: Vec<(f64, u32)>,
+}
+
 /// The adaptive scheduler state.
 ///
 /// ```
@@ -88,6 +105,29 @@ impl ShuffleScheduler {
     /// `(test_loss, rate-after-observation)` per round.
     pub fn history(&self) -> &[(f64, Rate)] {
         &self.history
+    }
+
+    /// Snapshots the full adaptive state for checkpointing.
+    pub fn state(&self) -> SchedulerState {
+        SchedulerState {
+            rate: self.rate.pct(),
+            prev_loss: self.prev_loss,
+            improving_streak: self.improving_streak,
+            u: self.u,
+            history: self.history.iter().map(|&(l, r)| (l, r.pct())).collect(),
+        }
+    }
+
+    /// Rebuilds a scheduler from a [`SchedulerState`] snapshot; the
+    /// restored scheduler continues exactly where the snapshot left off.
+    pub fn from_state(state: &SchedulerState) -> Self {
+        Self {
+            rate: Rate::new(state.rate),
+            prev_loss: state.prev_loss,
+            improving_streak: state.improving_streak,
+            u: state.u,
+            history: state.history.iter().map(|&(l, r)| (l, Rate::new(r))).collect(),
+        }
     }
 
     /// Feeds the test loss measured after a schedule round; returns the
@@ -204,6 +244,22 @@ mod tests {
         s.observe_test_loss(1.0);
         assert_eq!(s.observe_test_loss(1.0), Rate::new(40));
         assert_eq!(s.observe_test_loss(1.0), Rate::new(40));
+    }
+
+    #[test]
+    fn state_round_trip_preserves_adaptive_behaviour() {
+        let mut a = ShuffleScheduler::new(Rate::new(10));
+        a.observe_test_loss(5.0);
+        a.observe_test_loss(4.0);
+        a.observe_test_loss(3.0); // streak = 2
+        let mut b = ShuffleScheduler::from_state(&a.state());
+        assert_eq!(b.rate(), a.rate());
+        assert_eq!(b.history(), a.history());
+        // Both see two more improvements: the 4th doubles the rate.
+        a.observe_test_loss(2.0);
+        b.observe_test_loss(2.0);
+        assert_eq!(a.observe_test_loss(1.0), Rate::new(20));
+        assert_eq!(b.observe_test_loss(1.0), Rate::new(20));
     }
 
     #[test]

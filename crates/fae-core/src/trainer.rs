@@ -10,8 +10,35 @@
 //! `rate%` cold then `rate%` hot, synchronise the hot bags CPU↔GPU at
 //! every transition (charged via [`sync_cost`]), evaluate after each
 //! round and let the [`ShuffleScheduler`] adapt the rate.
+//!
+//! # Resilience
+//!
+//! [`train_fae_resilient`] extends the FAE engine with fault injection,
+//! periodic checkpoints and graceful degradation (see [`crate::faults`]
+//! and [`crate::checkpoint`]):
+//!
+//! * **device loss** — the data-parallel group shrinks to the survivors;
+//!   re-sharding (communicator re-init, dense-parameter broadcast,
+//!   hot-bag re-replication) is charged to the timeline via
+//!   [`reshard_cost`], and training continues at the N−1 cost model.
+//!   Losing the last GPU falls back to CPU-only cold execution.
+//! * **replication OOM** — the aborted replication is charged, then the
+//!   run degrades to CPU-only cold execution: hot batches train against
+//!   the master tables at hybrid cost, with no further sync traffic.
+//! * **sync failure** — the failed sync attempts are retried with
+//!   bounded exponential backoff; each failed attempt still moves the
+//!   bytes (charged) and the backoff waits are charged to `Framework`.
+//! * **checkpoints** — written at schedule-round boundaries (where the
+//!   master tables are authoritative), atomically, with a CRC trailer.
+//!   Saving charges *zero* simulated time, so a checkpointed run's cost
+//!   is identical to an unmonitored one. Per-epoch shuffle orders come
+//!   from RNGs derived as `mix(seed, epoch)` rather than one continuous
+//!   stream, so a resumed run replays the exact batch order — resumption
+//!   is bit-identical to never having stopped.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -26,8 +53,13 @@ use fae_models::{
 };
 use fae_nn::Tensor;
 use fae_sysmodel::power::average_gpu_power;
-use fae_sysmodel::{step_cost, sync_cost, ExecMode, SystemConfig, Timeline};
+use fae_sysmodel::{reshard_cost, step_cost, sync_cost, ExecMode, Phase, SystemConfig, Timeline};
 
+use crate::checkpoint::{latest_in, TrainCheckpoint};
+use crate::faults::{
+    retry_with_backoff, FaultInjector, FaultKind, FaultPlan, InjectedFault, RecoveryAction,
+    RetryPolicy,
+};
 use crate::input_processor::Preprocessed;
 use crate::replicator::HotEmbeddings;
 use crate::scheduler::{Rate, ShuffleScheduler};
@@ -69,8 +101,26 @@ impl Default for TrainConfig {
     }
 }
 
+/// Fault-injection, checkpointing and resume options for
+/// [`train_fae_resilient`]. The default is a no-op: no faults, no
+/// checkpoints — [`train_fae`] semantics.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceOptions {
+    /// Faults to inject, with their trigger steps and determinism seed.
+    pub plan: FaultPlan,
+    /// Where to write checkpoints (`None` disables checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every this many schedule rounds (0 disables).
+    pub checkpoint_every_rounds: usize,
+    /// Resume from the latest checkpoint in `checkpoint_dir`, if any.
+    pub resume: bool,
+    /// Abort training once this many steps have run (crash simulation
+    /// for resume tests; the report comes back `interrupted`).
+    pub halt_after_steps: Option<usize>,
+}
+
 /// One evaluation snapshot along the training run (Fig 12's curves).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EvalPoint {
     /// Training steps completed when this evaluation ran.
     pub iteration: usize,
@@ -105,6 +155,12 @@ pub struct TrainReport {
     pub transitions: usize,
     /// Final scheduler rate (FAE only).
     pub final_rate: Option<u32>,
+    /// Faults injected during the run, in firing order.
+    pub faults: Vec<InjectedFault>,
+    /// Recovery actions taken in response (including resume itself).
+    pub recoveries: Vec<RecoveryAction>,
+    /// True when the run was halted early (`halt_after_steps`).
+    pub interrupted: bool,
 }
 
 /// A recommendation model of either family, chosen by the workload spec.
@@ -210,6 +266,68 @@ impl<'a> CostCache<'a> {
     }
 }
 
+/// The FAE engine's owned cost model. Unlike [`CostCache`] it owns the
+/// system description, because graceful degradation re-shapes the
+/// machine mid-run: after a device loss the surviving GPU count changes
+/// every per-step and sync cost, so the caches must be rebuilt.
+struct FaeCostModel {
+    profile: fae_sysmodel::ModelProfile,
+    sys: SystemConfig,
+    sync_bytes: f64,
+    cold: HashMap<usize, Timeline>,
+    hot: HashMap<usize, Timeline>,
+    sync: Timeline,
+}
+
+impl FaeCostModel {
+    fn new(profile: fae_sysmodel::ModelProfile, num_gpus: usize, sync_bytes: f64) -> Self {
+        let sys = SystemConfig::paper_server(num_gpus);
+        let sync = sync_cost(&sys, sync_bytes);
+        Self { profile, sys, sync_bytes, cold: HashMap::new(), hot: HashMap::new(), sync }
+    }
+
+    /// Re-shapes the machine to `num_gpus` survivors: every cached cost
+    /// is stale, so the caches are dropped and the sync cost recomputed.
+    fn set_gpus(&mut self, num_gpus: usize) {
+        self.sys = SystemConfig::paper_server(num_gpus);
+        self.cold.clear();
+        self.hot.clear();
+        self.sync = sync_cost(&self.sys, self.sync_bytes);
+    }
+
+    fn charge_cold(&mut self, timeline: &mut Timeline, batch: usize) {
+        let entry = self
+            .cold
+            .entry(batch)
+            .or_insert_with(|| step_cost(&self.profile, &self.sys, ExecMode::BaselineHybrid, batch));
+        timeline.merge(entry);
+    }
+
+    fn charge_hot(&mut self, timeline: &mut Timeline, batch: usize) {
+        let entry = self
+            .hot
+            .entry(batch)
+            .or_insert_with(|| step_cost(&self.profile, &self.sys, ExecMode::FaeHotGpu, batch));
+        timeline.merge(entry);
+    }
+
+    fn sync(&self) -> &Timeline {
+        &self.sync
+    }
+}
+
+/// Derives the shuffle seed for one epoch (SplitMix64 finalizer).
+///
+/// Each epoch's batch order comes from its own RNG rather than a stream
+/// threaded through training, so a resumed run can regenerate the exact
+/// order of any epoch without replaying the ones before it.
+fn shuffle_seed(seed: u64, epoch: usize) -> u64 {
+    let mut z = seed.wrapping_add((epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Trains the baseline: every mini-batch in hybrid CPU-GPU mode.
 pub fn train_baseline(
     spec: &WorkloadSpec,
@@ -267,48 +385,148 @@ pub fn train_baseline(
         cold_steps: steps,
         transitions: 0,
         final_rate: None,
+        faults: Vec::new(),
+        recoveries: Vec::new(),
+        interrupted: false,
     }
 }
 
 /// Trains with the FAE framework over a preprocessed hot/cold stream.
+///
+/// Equivalent to [`train_fae_resilient`] with default (no-op)
+/// [`ResilienceOptions`].
 pub fn train_fae(
     spec: &WorkloadSpec,
     pre: &Preprocessed,
     test: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
+    train_fae_resilient(spec, pre, test, cfg, &ResilienceOptions::default())
+}
+
+/// Trains with the FAE framework under fault injection, periodic
+/// checkpointing and graceful degradation (see the module docs).
+///
+/// With default options this is exactly [`train_fae`]. With
+/// `checkpoint_dir` + `resume`, a run killed at any step and restarted
+/// produces a [`TrainReport`] bit-identical to one that never stopped.
+pub fn train_fae_resilient(
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    opts: &ResilienceOptions,
+) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = AnyModel::from_spec(spec, &mut rng);
     let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
+
+    let mut scheduler = ShuffleScheduler::new(Rate::new(cfg.initial_rate));
+    let mut timeline = Timeline::new();
+    let mut history: Vec<EvalPoint> = Vec::new();
+    let (mut hot_steps, mut cold_steps, mut transitions, mut steps) = (0usize, 0usize, 0usize, 0);
+    let mut gpus_active = cfg.num_gpus.max(1);
+    let mut cold_only = false;
+    let mut injector = FaultInjector::new(opts.plan.clone());
+    let mut recoveries: Vec<RecoveryAction> = Vec::new();
+    let retry = RetryPolicy::default();
+    let mut start_epoch = 0usize;
+    let mut resume_cursors: Option<(usize, usize)> = None;
+    let mut resumed = false;
+
+    if opts.resume {
+        if let Some(dir) = &opts.checkpoint_dir {
+            match latest_in(dir) {
+                Ok(Some(path)) => match TrainCheckpoint::load(&path) {
+                    Ok(ck) => {
+                        assert_eq!(
+                            ck.config_seed, cfg.seed,
+                            "checkpoint {} was written by a run with seed {}, not {}",
+                            path.display(),
+                            ck.config_seed,
+                            cfg.seed
+                        );
+                        model.read_params(&ck.dense_params);
+                        master = ck.restore_master();
+                        scheduler = ShuffleScheduler::from_state(&ck.scheduler);
+                        timeline = ck.timeline.clone();
+                        history = ck.history.clone();
+                        steps = ck.steps as usize;
+                        hot_steps = ck.hot_steps as usize;
+                        cold_steps = ck.cold_steps as usize;
+                        transitions = ck.transitions as usize;
+                        gpus_active = ck.gpus_active as usize;
+                        cold_only = ck.cold_only;
+                        injector.restore(ck.faults.clone());
+                        recoveries = ck.recoveries;
+                        recoveries.push(RecoveryAction::ResumedFromCheckpoint { step: ck.steps });
+                        start_epoch = ck.epoch as usize;
+                        resume_cursors = Some((ck.hot_cursor as usize, ck.cold_cursor as usize));
+                        resumed = true;
+                    }
+                    Err(e) => eprintln!(
+                        "fae: ignoring unreadable checkpoint {}: {e}; starting fresh",
+                        path.display()
+                    ),
+                },
+                Ok(None) => {}
+                Err(e) => eprintln!("fae: cannot scan checkpoint dir: {e}; starting fresh"),
+            }
+        }
+    }
+
     let mut hot = HotEmbeddings::build(&master, pre.partitions.to_vec());
     let hot_bytes = hot.hot_bytes() as f64;
     let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
     let profile = bridge::profile_for(spec, hot_bytes);
-    let sys = SystemConfig::paper_server(cfg.num_gpus);
-    let mut cold_costs = CostCache::new(&profile, &sys, ExecMode::BaselineHybrid);
-    let mut hot_costs = CostCache::new(&profile, &sys, ExecMode::FaeHotGpu);
-    let sync = sync_cost(&sys, hot_bytes);
+    let mut costs = FaeCostModel::new(profile, gpus_active, hot.sync_bytes() as f64);
+    let dense_bytes = model.dense_param_count() as f64 * 4.0;
 
-    let mut scheduler = ShuffleScheduler::new(Rate::new(cfg.initial_rate));
-    let mut timeline = Timeline::new();
-    // Initial replication of the hot bags onto the GPUs.
-    timeline.merge(&sync);
+    if !resumed {
+        // Initial replication of the hot bags onto the GPUs.
+        timeline.merge(costs.sync());
+    }
 
-    let mut history = Vec::new();
-    let (mut hot_steps, mut cold_steps, mut transitions, mut steps) = (0usize, 0usize, 0usize, 0);
     let n_hot = pre.hot_batches.len();
     let n_cold = pre.cold_batches.len();
+    let halt_at = opts.halt_after_steps.unwrap_or(usize::MAX);
+    let mut interrupted = false;
+    let mut rounds_done = 0usize;
 
-    for _ in 0..cfg.epochs {
+    'epochs: for epoch in start_epoch..cfg.epochs {
+        // Each epoch's order comes from a derived seed (see
+        // `shuffle_seed`), so a resumed run regenerates it exactly.
+        let mut ep_rng = StdRng::seed_from_u64(shuffle_seed(cfg.seed, epoch));
         let mut hot_order: Vec<usize> = (0..n_hot).collect();
         let mut cold_order: Vec<usize> = (0..n_cold).collect();
-        hot_order.shuffle(&mut rng);
-        cold_order.shuffle(&mut rng);
-        let (mut hp, mut cp) = (0usize, 0usize);
+        hot_order.shuffle(&mut ep_rng);
+        cold_order.shuffle(&mut ep_rng);
+        let (mut hp, mut cp) = resume_cursors.take().unwrap_or((0, 0));
 
         // §III-C: "The scheduler always begins with training on cold
         // inputs", then alternates rate-sized blocks.
         while hp < n_hot || cp < n_cold {
+            // Device loss manifests at the round boundary (the allreduce
+            // after it would time out): shrink to the survivors, pay the
+            // re-shard, continue at the N−1 cost model.
+            if let Some(f) = injector.fire(FaultKind::DeviceLoss, steps as u64) {
+                if gpus_active > 1 {
+                    let from = gpus_active;
+                    gpus_active -= 1;
+                    costs.set_gpus(gpus_active);
+                    timeline.merge(&reshard_cost(&costs.sys, dense_bytes, hot_bytes));
+                    recoveries.push(RecoveryAction::ShrankReplicas {
+                        step: f.step,
+                        from: from as u32,
+                        to: gpus_active as u32,
+                    });
+                } else if !cold_only {
+                    // No GPU left to host the hot bags: CPU-only cold
+                    // execution for the rest of the run.
+                    cold_only = true;
+                    recoveries.push(RecoveryAction::ColdFallback { step: f.step });
+                }
+            }
             let rate = scheduler.rate();
             // Cold block on the CPU master tables.
             if cp < n_cold {
@@ -316,29 +534,83 @@ pub fn train_fae(
                 for &b in &cold_order[cp..cp + k] {
                     let mb = &pre.cold_batches[b];
                     train_step(&mut model, &mut master, mb, cfg.lr);
-                    cold_costs.charge(&mut timeline, mb.len());
+                    costs.charge_cold(&mut timeline, mb.len());
                     cold_steps += 1;
                     steps += 1;
+                    if steps >= halt_at {
+                        interrupted = true;
+                        break 'epochs;
+                    }
                 }
                 cp += k;
             }
             // Hot block on the replicated GPU bags, bracketed by syncs.
             if hp < n_hot {
-                hot.refresh_from(&master);
-                timeline.merge(&sync);
-                transitions += 1;
                 let k = rate.block_len(n_hot).min(n_hot - hp);
-                for &b in &hot_order[hp..hp + k] {
-                    let mb = &pre.hot_batches[b];
-                    train_step(&mut model, &mut hot, mb, cfg.lr);
-                    hot_costs.charge(&mut timeline, mb.len());
-                    hot_steps += 1;
-                    steps += 1;
+                if !cold_only {
+                    if let Some(f) = injector.fire(FaultKind::ReplicationOom, steps as u64) {
+                        // The aborted replication attempt still moved (some
+                        // of) the bytes; charge it, then degrade: all
+                        // remaining batches run CPU-resident.
+                        timeline.merge(costs.sync());
+                        cold_only = true;
+                        recoveries.push(RecoveryAction::ColdFallback { step: f.step });
+                    }
                 }
-                hp += k;
-                hot.write_back(&mut master);
-                timeline.merge(&sync);
-                transitions += 1;
+                if cold_only {
+                    // Degraded path: hot inputs are still *trained* — on the
+                    // master tables at hybrid cost, with no sync traffic.
+                    for &b in &hot_order[hp..hp + k] {
+                        let mb = &pre.hot_batches[b];
+                        train_step(&mut model, &mut master, mb, cfg.lr);
+                        costs.charge_cold(&mut timeline, mb.len());
+                        cold_steps += 1;
+                        steps += 1;
+                        if steps >= halt_at {
+                            interrupted = true;
+                            break 'epochs;
+                        }
+                    }
+                    hp += k;
+                } else {
+                    if let Some(f) = injector.fire(FaultKind::SyncFailure, steps as u64) {
+                        // Deterministic number of failed attempts in
+                        // [1, max_attempts): each moves the bytes before
+                        // dying, and each backoff wait stalls the framework.
+                        let failures =
+                            1 + injector.variation(&f, (retry.max_attempts - 1) as u64) as u32;
+                        let mut waited = 0.0;
+                        for attempt in 1..=failures {
+                            timeline.merge(costs.sync());
+                            let d = retry.backoff_delay(attempt);
+                            timeline.add(Phase::Framework, d);
+                            waited += d;
+                        }
+                        recoveries.push(RecoveryAction::SyncRetried {
+                            step: f.step,
+                            attempts: failures + 1,
+                            waited_s: waited,
+                        });
+                    }
+                    hot.refresh_from(&master);
+                    timeline.merge(costs.sync());
+                    transitions += 1;
+                    for &b in &hot_order[hp..hp + k] {
+                        let mb = &pre.hot_batches[b];
+                        train_step(&mut model, &mut hot, mb, cfg.lr);
+                        costs.charge_hot(&mut timeline, mb.len());
+                        hot_steps += 1;
+                        steps += 1;
+                        if steps >= halt_at {
+                            interrupted = true;
+                            break 'epochs;
+                        }
+                    }
+                    hp += k;
+                    hot.write_back(&mut master);
+                    timeline.merge(costs.sync());
+                    transitions += 1;
+                }
             }
             // Evaluate on the (synchronised) master copy and adapt.
             let e = evaluate(&mut model, &master, &test_batches);
@@ -349,6 +621,69 @@ pub fn train_fae(
                 test_accuracy: e.accuracy,
                 rate: Some(new_rate.pct()),
             });
+            rounds_done += 1;
+            // Checkpoint at the round boundary: master tables are
+            // authoritative and the scheduler has just adapted. Saving
+            // charges no simulated time — a monitored run costs the same
+            // as an unmonitored one.
+            if let Some(dir) = &opts.checkpoint_dir {
+                if opts.checkpoint_every_rounds > 0
+                    && rounds_done.is_multiple_of(opts.checkpoint_every_rounds)
+                {
+                    let mut dense_params = Vec::new();
+                    model.write_params(&mut dense_params);
+                    let ck = TrainCheckpoint {
+                        config_seed: cfg.seed,
+                        epoch: epoch as u32,
+                        hot_cursor: hp as u64,
+                        cold_cursor: cp as u64,
+                        steps: steps as u64,
+                        hot_steps: hot_steps as u64,
+                        cold_steps: cold_steps as u64,
+                        transitions: transitions as u64,
+                        gpus_active: gpus_active as u32,
+                        cold_only,
+                        scheduler: scheduler.state(),
+                        timeline: timeline.clone(),
+                        history: history.clone(),
+                        faults: injector.log().to_vec(),
+                        recoveries: recoveries.clone(),
+                        dense_params,
+                        tables: TrainCheckpoint::snapshot_master(&master),
+                    };
+                    // Transient I/O faults make the first save attempts
+                    // fail; the bounded-backoff retry absorbs them.
+                    let io_failures = injector
+                        .fire(FaultKind::TransientIo, steps as u64)
+                        .map(|f| 1 + injector.variation(&f, (retry.max_attempts - 1) as u64) as u32)
+                        .unwrap_or(0);
+                    let saved = retry_with_backoff(&retry, |attempt| {
+                        if attempt <= io_failures {
+                            Err(io::Error::other("injected transient i/o failure"))
+                        } else {
+                            ck.save(dir).map_err(|e| io::Error::other(e.to_string()))
+                        }
+                    });
+                    match saved {
+                        Ok(r) => {
+                            if r.attempts > 1 {
+                                timeline.add(Phase::Framework, r.waited_s);
+                                recoveries.push(RecoveryAction::RetriedIo {
+                                    attempts: r.attempts,
+                                    waited_s: r.waited_s,
+                                });
+                            }
+                        }
+                        Err((e, attempts, _)) => {
+                            // Checkpointing is best-effort: losing one
+                            // snapshot must not kill the training run.
+                            eprintln!(
+                                "fae: checkpoint save failed after {attempts} attempts: {e}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -372,6 +707,9 @@ pub fn train_fae(
         cold_steps,
         transitions,
         final_rate: Some(scheduler.rate().pct()),
+        faults: injector.log().to_vec(),
+        recoveries,
+        interrupted,
     }
 }
 
@@ -417,6 +755,7 @@ mod tests {
         assert!(r.final_test.accuracy > 0.5, "accuracy {}", r.final_test.accuracy);
         assert!(!r.history.is_empty());
         assert!(r.avg_gpu_power_w > 50.0);
+        assert!(r.faults.is_empty() && r.recoveries.is_empty() && !r.interrupted);
     }
 
     #[test]
@@ -475,5 +814,24 @@ mod tests {
             allreduce_delta > 0.6 * extra,
             "coordination cost should dominate the 4-GPU overhead: {allreduce_delta} of {extra}"
         );
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        let (spec, _train, test, pre, cfg) = small_run();
+        let a = train_fae(&spec, &pre, &test, &cfg);
+        let b = train_fae(&spec, &pre, &test, &cfg);
+        assert_eq!(a.final_test.loss.to_bits(), b.final_test.loss.to_bits());
+        assert_eq!(a.simulated_seconds.to_bits(), b.simulated_seconds.to_bits());
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn halt_after_steps_interrupts_mid_run() {
+        let (spec, _train, test, pre, cfg) = small_run();
+        let opts = ResilienceOptions { halt_after_steps: Some(10), ..Default::default() };
+        let r = train_fae_resilient(&spec, &pre, &test, &cfg, &opts);
+        assert!(r.interrupted);
+        assert_eq!(r.hot_steps + r.cold_steps, 10);
     }
 }

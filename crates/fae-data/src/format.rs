@@ -142,7 +142,12 @@ impl FaeFile {
     /// Parses a container from bytes.
     pub fn decode(buf: &[u8]) -> Result<Self, FormatError> {
         let mut reader = FaeStreamReader::open(buf)?;
-        let mut batches = Vec::with_capacity(reader.batches_remaining() as usize);
+        // The declared batch count is untrusted: clamp the up-front
+        // allocation by what the buffer could physically hold (a batch
+        // header alone is 5 bytes), so a corrupt header cannot force a
+        // huge allocation before the first decode error surfaces.
+        let plausible = (reader.batches_remaining() as usize).min(buf.len() / 5 + 1);
+        let mut batches = Vec::with_capacity(plausible);
         while let Some(batch) = reader.next_batch()? {
             batches.push(batch);
         }
@@ -261,8 +266,15 @@ impl<'a> FaeStreamReader<'a> {
             _ => return Err(FormatError::Corrupt("unknown batch kind")),
         };
         let len = buf.get_u32_le() as usize;
-        let dense_n = len * self.dense_width as usize;
-        need(buf, dense_n * 4, "dense block")?;
+        // Both factors are untrusted u32s: the products can exceed usize
+        // on 32-bit targets (and `dense_n * 4` can on 64-bit), so every
+        // size computation is overflow-checked before it sizes a read.
+        let dense_n = len
+            .checked_mul(self.dense_width as usize)
+            .ok_or(FormatError::Corrupt("dense block size overflows"))?;
+        let dense_bytes =
+            dense_n.checked_mul(4).ok_or(FormatError::Corrupt("dense block size overflows"))?;
+        need(buf, dense_bytes, "dense block")?;
         let mut dense = Vec::with_capacity(dense_n);
         for _ in 0..dense_n {
             dense.push(buf.get_f32_le());
@@ -276,7 +288,11 @@ impl<'a> FaeStreamReader<'a> {
         for _ in 0..self.num_tables {
             need(buf, 4, "csr nnz")?;
             let nnz = buf.get_u32_le() as usize;
-            need(buf, nnz * 4 + (len + 1) * 4, "csr body")?;
+            let csr_bytes = nnz
+                .checked_mul(4)
+                .and_then(|b| (len + 1).checked_mul(4).and_then(|c| b.checked_add(c)))
+                .ok_or(FormatError::Corrupt("csr body size overflows"))?;
+            need(buf, csr_bytes, "csr body")?;
             let mut indices = Vec::with_capacity(nnz);
             for _ in 0..nnz {
                 indices.push(buf.get_u32_le());
@@ -286,7 +302,7 @@ impl<'a> FaeStreamReader<'a> {
                 offsets.push(buf.get_u32_le() as usize);
             }
             if offsets[0] != 0
-                || *offsets.last().unwrap() != nnz
+                || offsets[len] != nnz
                 || offsets.windows(2).any(|w| w[0] > w[1])
             {
                 return Err(FormatError::Corrupt("csr offsets not monotonic"));
@@ -405,6 +421,39 @@ mod tests {
         assert_eq!(g.workload, "disk");
         assert_eq!(g.batches.len(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    // Header layout for a 1-char workload name ("t"): magic 0..4,
+    // version 4..8, name_len 8..12, name 12..13, dense_width 13..17,
+    // num_tables 17..21, batch count 21..25; first batch kind at 25,
+    // batch len at 26..30.
+
+    #[test]
+    fn huge_declared_batch_count_fails_fast_without_allocating() {
+        let mut bytes = FaeFile::new("t", vec![sample_batch(BatchKind::Hot, 1)]).encode().to_vec();
+        bytes[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+        // Must error (the buffer holds one batch, not 4 billion) without
+        // reserving u32::MAX batch slots first.
+        assert!(FaeFile::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn overflowing_declared_sizes_are_corrupt_not_a_panic() {
+        let mut bytes = FaeFile::new("t", vec![sample_batch(BatchKind::Hot, 1)]).encode().to_vec();
+        // dense_width = u32::MAX and batch len = u32::MAX: the dense block
+        // byte count overflows usize — the checked math must catch it.
+        bytes[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        bytes[26..30].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(FaeFile::decode(&bytes), Err(FormatError::Corrupt(_))));
+    }
+
+    #[test]
+    fn huge_declared_nnz_is_truncation_not_a_panic() {
+        let mut bytes = FaeFile::new("t", vec![sample_batch(BatchKind::Hot, 1)]).encode().to_vec();
+        // First CSR's nnz follows the batch header (1+4), one dense row
+        // (3×4) and one label (4): offset 25 + 5 + 12 + 4 = 46.
+        bytes[46..50].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(FaeFile::decode(&bytes), Err(FormatError::Truncated(_))));
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub const HOST_IO_BW: f64 = 25e9;
 /// (read gradient, read weight, write weight).
 pub const SGD_BYTES_PER_PARAM: f64 = 12.0;
 
+/// Fixed cost of tearing down and re-establishing the collective
+/// communicator after a device drops out of the data-parallel group:
+/// NCCL communicator destruction + re-init, process-group rendezvous and
+/// CUDA context cleanup. Dominated by rendezvous timeouts in practice.
+pub const COMM_REINIT_S: f64 = 0.75;
+
 /// Number of reported epochs in the paper's absolute-time tables.
 pub const PAPER_EPOCHS: usize = 10;
 

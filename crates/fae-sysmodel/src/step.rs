@@ -19,8 +19,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::collective::ring_allreduce_time;
 use crate::constants::{
-    HOST_IO_BW, MULTI_GPU_SYNC_EXP, MULTI_GPU_SYNC_S, PCIE_SMALL_TENSOR_EFF, PER_STEP_FIXED_S,
-    SGD_BYTES_PER_PARAM,
+    COMM_REINIT_S, HOST_IO_BW, MULTI_GPU_SYNC_EXP, MULTI_GPU_SYNC_S, PCIE_SMALL_TENSOR_EFF,
+    PER_STEP_FIXED_S, SGD_BYTES_PER_PARAM,
 };
 use crate::device::DeviceSpec;
 use crate::link::LinkSpec;
@@ -282,6 +282,25 @@ pub fn sync_cost(sys: &SystemConfig, hot_bytes: f64) -> Timeline {
     t
 }
 
+/// Cost of recovering from a device loss by shrinking the data-parallel
+/// group to the surviving GPUs (`sys.num_gpus` is the *post-shrink*
+/// count): the collective communicator is re-established, the dense
+/// parameters are re-broadcast so the survivors agree on a starting
+/// point, and the hot-embedding bags are re-replicated from the CPU
+/// master copy onto the new group.
+pub fn reshard_cost(sys: &SystemConfig, dense_param_bytes: f64, hot_bytes: f64) -> Timeline {
+    // Hot bags replicate CPU→GPU exactly like a schedule-transition sync.
+    let mut t = sync_cost(sys, hot_bytes);
+    // Parameter re-broadcast rides the same ring as an all-reduce.
+    t.add(
+        Phase::AllReduce,
+        ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_param_bytes),
+    );
+    // Communicator teardown + rendezvous: the fixed, dominant term.
+    t.add(Phase::Framework, COMM_REINIT_S);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +434,20 @@ mod tests {
         let s4 = SystemConfig::paper_server(4);
         assert!((s2.effective_pcie().bandwidth - s2.pcie.bandwidth).abs() < 1.0);
         assert!(s4.effective_pcie().bandwidth < s4.pcie.bandwidth);
+    }
+
+    #[test]
+    fn reshard_cost_charges_reinit_broadcast_and_replication() {
+        let sys = SystemConfig::paper_server(3);
+        let t = reshard_cost(&sys, 8e6, 64e6);
+        assert!((t.get(Phase::Framework) - COMM_REINIT_S).abs() < 1e-12);
+        assert!(t.get(Phase::AllReduce) > 0.0, "parameter re-broadcast missing");
+        assert!(t.get(Phase::EmbedSync) > 0.0, "hot-bag re-replication missing");
+        // The fixed rendezvous term dominates for modest models.
+        assert!(t.total() > COMM_REINIT_S);
+        // More surviving GPUs move more hot bytes (contended PCIe).
+        let t1 = reshard_cost(&SystemConfig::paper_server(1), 8e6, 64e6);
+        assert!(t1.get(Phase::AllReduce) == 0.0, "single survivor has no ring");
+        assert!(t1.total() < t.total());
     }
 }

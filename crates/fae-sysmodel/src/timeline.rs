@@ -57,7 +57,7 @@ impl fmt::Display for Phase {
 }
 
 /// Accumulated seconds per phase.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
     seconds: [f64; 8],
     /// Seconds during which the GPUs sit idle (or spin-wait) because the

@@ -13,7 +13,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fae::core::{artifacts, pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+use fae::core::{
+    artifacts, pipeline, CalibratorConfig, FaultInjector, FaultPlan, PreprocessConfig,
+    ResilienceOptions, RetryPolicy, TrainConfig,
+};
 use fae::data::{generate, GenOptions, WorkloadSpec};
 
 struct Args {
@@ -143,14 +146,58 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
     })
 }
 
+fn resilience_options(args: &Args) -> Result<ResilienceOptions, String> {
+    let plan = match args.get("fault-plan") {
+        Some(spec) => FaultPlan::parse_seeded(spec, args.num("fault-seed", 0u64)?)
+            .map_err(|e| format!("--fault-plan: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let halt: usize = args.num("halt-after", 0usize)?;
+    Ok(ResilienceOptions {
+        plan,
+        checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+        checkpoint_every_rounds: args.num("checkpoint-every", 1usize)?,
+        resume: args.num("resume", false)?,
+        halt_after_steps: if halt > 0 { Some(halt) } else { None },
+    })
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
     let spec = workload_from(args)?;
     let stream = PathBuf::from(args.get("stream").ok_or("--stream required")?);
-    let (art, name) = artifacts::load(&stream).map_err(|e| e.to_string())?;
+    let opts = resilience_options(args)?;
+    // The artifact-level faults (corruption, transient I/O at load time)
+    // are driven by their own injector; training consumes the plan's
+    // remaining events through `train_fae_resilient`.
+    let mut loader_injector = FaultInjector::new(opts.plan.clone());
+    let seed: u64 = args.num("seed", 1u64)?;
+    let cal_cfg = calibrator_config(args, &spec)?;
+    let batch: usize = args.num("batch", spec.minibatch_size.min(256))?;
+    let rebuild_inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
+    let (art, name, load_recoveries) = artifacts::load_or_rebuild(
+        &stream,
+        &spec.name,
+        &mut loader_injector,
+        &RetryPolicy::default(),
+        || {
+            let ds = generate(&spec, &GenOptions::sized(seed, rebuild_inputs));
+            pipeline::prepare(&ds, cal_cfg, &PreprocessConfig { minibatch_size: batch, seed })
+        },
+    )
+    .map_err(|e| e.to_string())?;
     println!("loaded preprocessed stream for '{name}'");
+    for r in &load_recoveries {
+        println!("recovery: {r}");
+    }
     let inputs: usize = args.num("test-inputs", 5_000)?;
     let test = generate(&spec, &GenOptions::sized(args.num("seed", 2u64)?, inputs));
-    let report = fae::core::train_fae(&spec, &art.preprocessed, &test, &train_config(args, &spec)?);
+    let report = fae::core::train_fae_resilient(
+        &spec,
+        &art.preprocessed,
+        &test,
+        &train_config(args, &spec)?,
+        &opts,
+    );
     println!(
         "test accuracy {:.2}% | loss {:.4} | simulated {:.1}s | {} syncs | final rate R({})",
         report.final_test.accuracy * 100.0,
@@ -159,6 +206,15 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         report.transitions,
         report.final_rate.unwrap_or(0)
     );
+    if report.interrupted {
+        println!("run interrupted by --halt-after (resume with --resume true)");
+    }
+    for f in &report.faults {
+        println!("fault: {f}");
+    }
+    for r in &report.recoveries {
+        println!("recovery: {r}");
+    }
     Ok(())
 }
 
@@ -197,6 +253,11 @@ const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare> [--flag
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
   preprocess:   --out FILE  --batch B
   train:        --stream FILE  --epochs E  --gpus G  --lr LR
+                --fault-plan 'kind@step,...'  --fault-seed S
+                  (kinds: device-loss replication-oom sync-failure
+                          artifact-corruption transient-io)
+                --checkpoint-dir DIR  --checkpoint-every ROUNDS
+                --resume true|false   --halt-after STEPS
   compare:      --batch B  --epochs E  --gpus G";
 
 fn main() -> ExitCode {
