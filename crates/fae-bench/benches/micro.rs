@@ -119,9 +119,7 @@ fn bench_randem(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(4);
         b.iter(|| black_box(box_.estimate(black_box(&counter), 2, &mut rng)))
     });
-    g.bench_function("full_scan", |b| {
-        b.iter(|| black_box(counter.rows_at_or_above(black_box(2))))
-    });
+    g.bench_function("full_scan", |b| b.iter(|| black_box(counter.rows_at_or_above(black_box(2)))));
     g.finish();
 }
 
@@ -174,7 +172,9 @@ fn bench_format(c: &mut Criterion) {
     let bytes = file.encode();
     let mut g = c.benchmark_group("fae_format_64x64");
     g.bench_function("encode", |b| b.iter(|| black_box(file.encode())));
-    g.bench_function("decode", |b| b.iter(|| black_box(FaeFile::decode(black_box(&bytes)).unwrap())));
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(FaeFile::decode(black_box(&bytes)).unwrap()))
+    });
     g.finish();
 }
 

@@ -28,15 +28,14 @@ fn main() {
             small_table_bytes: 16 << 10,
             ..Default::default()
         });
-        let mut rng: rand::rngs::StdRng =
-            rand::SeedableRng::seed_from_u64(calibrator.config.seed);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(calibrator.config.seed);
         let samples = sample_inputs(&ds, calibrator.config.sample_rate, &mut rng);
         let counters = log_accesses(&ds, &samples);
         let cal = calibrator.converge(&ds, &counters, &mut rng);
         let parts = classify_tables(&spec, &counters, &cal);
         let actual_hot = hot_bytes(&spec, &parts);
-        let hot_frac = classify_inputs(&ds, &parts).iter().filter(|&&h| h).count() as f64
-            / ds.len() as f64;
+        let hot_frac =
+            classify_inputs(&ds, &parts).iter().filter(|&&h| h).count() as f64 / ds.len() as f64;
 
         // Paper-scale speedup at this hot fraction.
         let profile = profile_for(&paper, actual_hot as f64 * shrink);

@@ -15,12 +15,10 @@ fn main() {
         let profile = profile_for(&w.paper, w.budget_bytes as f64);
         let sys = SystemConfig::paper_server(4);
         let batch = w.per_gpu_batch * 4;
-        for (label, mode) in [
-            ("baseline", ExecMode::BaselineHybrid),
-            ("FAE hot", ExecMode::FaeHotGpu),
-        ] {
-            let (serial, overlapped, ratio) =
-                pipelining_headroom(&profile, &sys, mode, batch);
+        for (label, mode) in
+            [("baseline", ExecMode::BaselineHybrid), ("FAE hot", ExecMode::FaeHotGpu)]
+        {
+            let (serial, overlapped, ratio) = pipelining_headroom(&profile, &sys, mode, batch);
             rows.push(vec![
                 w.label.to_string(),
                 label.to_string(),

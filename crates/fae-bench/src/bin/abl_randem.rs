@@ -53,6 +53,8 @@ fn main() {
         &["n", "m", "rows scanned", "mean err", "worst err"],
         &rows,
     );
-    println!("\npaper setting n=35, m=1024: CLT-valid (n>=30), ~3% of the table scanned, <10% error");
+    println!(
+        "\npaper setting n=35, m=1024: CLT-valid (n>=30), ~3% of the table scanned, <10% error"
+    );
     save_json("abl_randem", &serde_json::Value::Array(json));
 }

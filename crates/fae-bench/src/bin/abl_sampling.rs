@@ -64,6 +64,8 @@ fn main() {
         &["rate", "samples", "latency (ms)", "hot-set Jaccard"],
         &rows,
     );
-    println!("\npaper: 5% sampling reproduces the full access profile (Fig 7) at 19-55x lower cost");
+    println!(
+        "\npaper: 5% sampling reproduces the full access profile (Fig 7) at 19-55x lower cost"
+    );
     save_json("abl_sampling", &serde_json::Value::Array(json));
 }

@@ -44,12 +44,8 @@ fn main() {
         if cold_only {
             pre.hot_batches.clear();
         }
-        let cfg = TrainConfig {
-            epochs: 2,
-            minibatch_size: 64,
-            initial_rate: rate,
-            ..Default::default()
-        };
+        let cfg =
+            TrainConfig { epochs: 2, minibatch_size: 64, initial_rate: rate, ..Default::default() };
         let r = train_fae(&spec, &pre, &test, &cfg);
         rows.push(vec![
             label.to_string(),

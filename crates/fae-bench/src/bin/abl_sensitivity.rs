@@ -46,8 +46,7 @@ fn speedup_with(mut mutate: impl FnMut(&mut SystemConfig, &mut ModelProfile)) ->
 
 fn main() {
     let nominal = speedup_with(|_, _| {});
-    let mut rows =
-        vec![vec!["(calibrated)".to_string(), "1.0".into(), format!("{nominal:.2}x")]];
+    let mut rows = vec![vec!["(calibrated)".to_string(), "1.0".into(), format!("{nominal:.2}x")]];
     let mut json = vec![serde_json::json!({"knob": "nominal", "factor": 1.0, "speedup": nominal})];
     let mut all_ok = true;
 

@@ -1,0 +1,109 @@
+//! `BENCH_train` — end-to-end training throughput benchmark.
+//!
+//! Runs the full pipeline (calibrate → classify → preprocess → train) on
+//! the scaled Kaggle workload under both the baseline and FAE, and
+//! records wall-clock throughput (steps/sec), the simulated speedup at
+//! paper scale, and the process peak RSS. The JSON record lands in
+//! `results/BENCH_train.json` so successive checkouts can be compared.
+
+use fae_bench::{print_table, save_json, timed};
+use fae_core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
+use fae_data::{generate, GenOptions, WorkloadSpec};
+
+/// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable (non-Linux).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn main() {
+    let mut spec = WorkloadSpec::rmc2_kaggle();
+    spec.num_inputs = 60_000;
+    let ds = generate(&spec, &GenOptions::sized(0xBE9C, spec.num_inputs));
+    let (train, test) = ds.split(0.15);
+    let cfg = TrainConfig { epochs: 1, minibatch_size: 256, num_gpus: 2, ..Default::default() };
+
+    let (art, prep_secs) = timed(|| {
+        pipeline::prepare(
+            &train,
+            CalibratorConfig {
+                gpu_budget_bytes: spec.embedding_bytes() / 8,
+                small_table_bytes: 8 << 10,
+                ..Default::default()
+            },
+            &PreprocessConfig { minibatch_size: cfg.minibatch_size, seed: 7 },
+        )
+    });
+
+    let (base, base_secs) = timed(|| fae_core::train_baseline(&spec, &train, &test, &cfg));
+    let (fae, fae_secs) = timed(|| fae_core::train_fae(&spec, &art.preprocessed, &test, &cfg));
+
+    let base_steps = base.hot_steps + base.cold_steps;
+    let fae_steps = fae.hot_steps + fae.cold_steps;
+    let base_sps = base_steps as f64 / base_secs.max(1e-9);
+    let fae_sps = fae_steps as f64 / fae_secs.max(1e-9);
+    let sim_speedup = base.simulated_seconds / fae.simulated_seconds;
+    let rss = peak_rss_bytes();
+
+    print_table(
+        "BENCH_train: end-to-end training throughput (scaled Kaggle, 2 GPUs)",
+        &["mode", "steps", "wall (s)", "steps/sec", "sim (s)", "accuracy"],
+        &[
+            vec![
+                "baseline".into(),
+                base_steps.to_string(),
+                format!("{base_secs:.2}"),
+                format!("{base_sps:.1}"),
+                format!("{:.2}", base.simulated_seconds),
+                format!("{:.4}", base.final_test.accuracy),
+            ],
+            vec![
+                "fae".into(),
+                fae_steps.to_string(),
+                format!("{fae_secs:.2}"),
+                format!("{fae_sps:.1}"),
+                format!("{:.2}", fae.simulated_seconds),
+                format!("{:.4}", fae.final_test.accuracy),
+            ],
+        ],
+    );
+    println!(
+        "\nstatic phase {prep_secs:.2}s | simulated speedup {sim_speedup:.2}x | peak RSS {:.1} MiB",
+        rss as f64 / (1 << 20) as f64
+    );
+
+    save_json(
+        "BENCH_train",
+        &serde_json::json!({
+            "workload": spec.name,
+            "inputs": spec.num_inputs,
+            "minibatch_size": cfg.minibatch_size,
+            "num_gpus": cfg.num_gpus,
+            "prepare_seconds": prep_secs,
+            "baseline": {
+                "steps": base_steps,
+                "wall_seconds": base_secs,
+                "steps_per_sec": base_sps,
+                "simulated_seconds": base.simulated_seconds,
+                "accuracy": base.final_test.accuracy,
+            },
+            "fae": {
+                "steps": fae_steps,
+                "wall_seconds": fae_secs,
+                "steps_per_sec": fae_sps,
+                "simulated_seconds": fae.simulated_seconds,
+                "accuracy": fae.final_test.accuracy,
+            },
+            "simulated_speedup": sim_speedup,
+            "hot_input_fraction": art.preprocessed.hot_input_fraction,
+            "peak_rss_bytes": rss,
+        }),
+    );
+}

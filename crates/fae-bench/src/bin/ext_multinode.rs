@@ -20,10 +20,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    for (net_label, net) in [
-        ("100GbE", ClusterConfig::network_100g()),
-        ("25GbE", ClusterConfig::network_25g()),
-    ] {
+    for (net_label, net) in
+        [("100GbE", ClusterConfig::network_100g()), ("25GbE", ClusterConfig::network_25g())]
+    {
         for nodes in [1usize, 2, 4, 8] {
             let cluster = ClusterConfig::paper_cluster(nodes, 4, net.clone());
             let batch = 1024 * cluster.total_gpus();

@@ -45,10 +45,9 @@ fn main() {
 
     // Quantify agreement over the head of the distribution.
     let k = 2_000.min(fp.len());
-    let mae: f64 = (0..k)
-        .map(|i| (fp[i] as f64 / f_total - sp[i] as f64 / s_total).abs())
-        .sum::<f64>()
-        / k as f64;
+    let mae: f64 =
+        (0..k).map(|i| (fp[i] as f64 / f_total - sp[i] as f64 / s_total).abs()).sum::<f64>()
+            / k as f64;
     println!("\nmean abs deviation over top-{k} ranks: {mae:.2e} (paper: profiles coincide)");
     save_json("fig07_access_profile", &serde_json::Value::Array(json));
 }

@@ -9,7 +9,13 @@ use fae_bench::{print_table, save_json, train_test};
 use fae_core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
 use fae_data::{WorkloadKind, WorkloadSpec};
 
-fn run(label: &str, mut spec: WorkloadSpec, inputs: usize, batch: usize, lr: f32) -> serde_json::Value {
+fn run(
+    label: &str,
+    mut spec: WorkloadSpec,
+    inputs: usize,
+    batch: usize,
+    lr: f32,
+) -> serde_json::Value {
     spec.num_inputs = inputs;
     if spec.kind == WorkloadKind::Tbsm {
         // Shrink the item space so the scaled run trains in minutes.

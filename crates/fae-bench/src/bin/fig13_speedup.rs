@@ -44,7 +44,8 @@ fn main() {
             simulate_baseline(&profile, &cfg).total()
         };
 
-        let mut srow = vec![w.label.to_string(), format!("{:.1}%", stats.hot_input_fraction * 100.0)];
+        let mut srow =
+            vec![w.label.to_string(), format!("{:.1}%", stats.hot_input_fraction * 100.0)];
         for (gi, gpus) in [1usize, 2, 4].into_iter().enumerate() {
             let cfg = SimConfig {
                 total_inputs: w.paper.num_inputs,

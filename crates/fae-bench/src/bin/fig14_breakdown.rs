@@ -44,11 +44,7 @@ fn main() {
                     let bf = base.get(p) / base.total() * 100.0;
                     let ff = fae.get(p) / fae.total() * 100.0;
                     if bf > 0.05 || ff > 0.05 {
-                        rows.push(vec![
-                            p.to_string(),
-                            format!("{bf:.1}%"),
-                            format!("{ff:.1}%"),
-                        ]);
+                        rows.push(vec![p.to_string(), format!("{bf:.1}%"), format!("{ff:.1}%")]);
                     }
                 }
                 print_table(

@@ -27,7 +27,8 @@ fn main() {
                 epochs: 1,
                 num_gpus: 1,
             };
-            let s = simulate_baseline(&profile, &cfg).total() / simulate_fae(&profile, &cfg).total();
+            let s =
+                simulate_baseline(&profile, &cfg).total() / simulate_fae(&profile, &cfg).total();
             max_speedup = max_speedup.max(s);
             row.push(format!("{s:.2}x"));
             json.push(serde_json::json!({

@@ -58,10 +58,7 @@ fn prepare_window(
     let spec = &ds.spec;
     let sub = Dataset {
         spec: spec.clone(),
-        dense: window
-            .iter()
-            .flat_map(|&i| ds.dense_row(i).to_vec())
-            .collect(),
+        dense: window.iter().flat_map(|&i| ds.dense_row(i).to_vec()).collect(),
         sparse: ds.sparse.iter().map(|c| c.gather(window)).collect(),
         labels: window.iter().map(|&i| ds.labels[i]).collect(),
     };
@@ -123,8 +120,7 @@ pub fn train_fae_adaptive(
                 // Write trained hot rows back, re-run the static pipeline
                 // on this window, re-replicate.
                 hot.write_back(&mut master);
-                let (new_parts, new_pre) =
-                    prepare_window(train, window, &cfg.calibrator, &pre_cfg);
+                let (new_parts, new_pre) = prepare_window(train, window, &cfg.calibrator, &pre_cfg);
                 parts = new_parts;
                 pre = new_pre;
                 hot = HotEmbeddings::build(&master, parts.clone());
@@ -140,10 +136,7 @@ pub fn train_fae_adaptive(
                 pre = {
                     let sub = Dataset {
                         spec: spec.clone(),
-                        dense: window
-                            .iter()
-                            .flat_map(|&i| ds_row(train, i))
-                            .collect(),
+                        dense: window.iter().flat_map(|&i| ds_row(train, i)).collect(),
                         sparse: train.sparse.iter().map(|c| c.gather(window)).collect(),
                         labels: window.iter().map(|&i| train.labels[i]).collect(),
                     };
@@ -178,6 +171,9 @@ pub fn train_fae_adaptive(
                 test_loss: e.loss,
                 test_accuracy: e.accuracy,
                 rate: None,
+                hot_steps,
+                cold_steps,
+                sim_seconds: timeline.total(),
             });
         }
     }

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use fae_data::format::{FaeFile, FormatError};
 use fae_data::BatchKind;
 use fae_embed::HotColdPartition;
+use fae_telemetry::{JournalEvent, Telemetry};
 
 use crate::calibrator::CalibrationResult;
 use crate::faults::{retry_with_backoff, FaultInjector, FaultKind, RecoveryAction, RetryPolicy};
@@ -145,6 +146,23 @@ pub fn load_or_rebuild(
     retry: &RetryPolicy,
     rebuild: impl FnOnce() -> StaticArtifacts,
 ) -> Result<(StaticArtifacts, String, Vec<RecoveryAction>), ArtifactError> {
+    load_or_rebuild_with(path, workload, injector, retry, rebuild, &Telemetry::disabled())
+}
+
+/// [`load_or_rebuild`] with a telemetry handle: loads, retries and
+/// rebuilds are counted (`artifacts.loads` / `artifacts.io_retries` /
+/// `artifacts.rebuilds`) and a rebuild emits a `recovery` journal event
+/// carrying the load error that forced it.
+pub fn load_or_rebuild_with(
+    path: &Path,
+    workload: &str,
+    injector: &mut FaultInjector,
+    retry: &RetryPolicy,
+    rebuild: impl FnOnce() -> StaticArtifacts,
+    telemetry: &Telemetry,
+) -> Result<(StaticArtifacts, String, Vec<RecoveryAction>), ArtifactError> {
+    let _span = telemetry.span("artifacts/load_or_rebuild");
+    telemetry.counter_add("artifacts.loads", 1);
     let mut recoveries = Vec::new();
     if let Some(f) = injector.fire(FaultKind::ArtifactCorruption, 0) {
         if let Ok(mut bytes) = fs::read(path) {
@@ -179,15 +197,37 @@ pub fn load_or_rebuild(
             if r.attempts > 1 {
                 recoveries
                     .push(RecoveryAction::RetriedIo { attempts: r.attempts, waited_s: r.waited_s });
+                if telemetry.enabled() {
+                    telemetry.counter_add("artifacts.io_retries", (r.attempts - 1) as u64);
+                    telemetry.emit(&JournalEvent::Recovery {
+                        step: 0,
+                        action: "retried-io".into(),
+                        detail: format!(
+                            "{} attempts, {:.3}s backoff loading {}",
+                            r.attempts,
+                            r.waited_s,
+                            path.display()
+                        ),
+                    });
+                }
             }
             let (artifacts, name) = r.value;
             Ok((artifacts, name, recoveries))
         }
         Err((err, _, _)) => {
+            let reason = err.to_string();
             eprintln!(
-                "fae: artifacts at {} unusable ({err}); rebuilding static artifacts",
+                "fae: artifacts at {} unusable ({reason}); rebuilding static artifacts",
                 path.display()
             );
+            if telemetry.enabled() {
+                telemetry.counter_add("artifacts.rebuilds", 1);
+                telemetry.emit(&JournalEvent::Recovery {
+                    step: 0,
+                    action: "rebuilt-artifacts".into(),
+                    detail: reason,
+                });
+            }
             let artifacts = rebuild();
             save(&artifacts, workload, path)?;
             recoveries.push(RecoveryAction::RebuiltArtifacts);
@@ -266,8 +306,7 @@ mod tests {
         save(&a, "tiny-test", &path).expect("save");
 
         let retry = RetryPolicy::default();
-        let mut injector =
-            FaultInjector::new(FaultPlan::parse("artifact-corruption@0").unwrap());
+        let mut injector = FaultInjector::new(FaultPlan::parse("artifact-corruption@0").unwrap());
         let (b, name, recs) =
             load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || a.clone())
                 .expect("recovery");
@@ -297,9 +336,10 @@ mod tests {
 
         let retry = RetryPolicy::default();
         let mut injector = FaultInjector::new(FaultPlan::parse("transient-io@0").unwrap());
-        let (_, name, recs) =
-            load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || panic!("must not rebuild"))
-                .expect("load after retries");
+        let (_, name, recs) = load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || {
+            panic!("must not rebuild")
+        })
+        .expect("load after retries");
         assert_eq!(name, "tiny-test");
         assert_eq!(recs.len(), 1);
         match recs[0] {

@@ -74,10 +74,7 @@ impl RandEmBox {
         let mut ys = Vec::with_capacity(self.chunks);
         for _ in 0..self.chunks {
             let start = rng.gen_range(0..n_rows - self.chunk_len);
-            let y = counts[start..start + self.chunk_len]
-                .iter()
-                .filter(|&&k| k >= cutoff)
-                .count();
+            let y = counts[start..start + self.chunk_len].iter().filter(|&&k| k >= cutoff).count();
             ys.push(y as f64);
         }
         let n = self.chunks as f64;

@@ -37,7 +37,9 @@ use crate::scheduler::SchedulerState;
 use crate::trainer::EvalPoint;
 
 const MAGIC: &[u8; 4] = b"FAEK";
-const VERSION: u32 = 1;
+// Version 2 widened the eval-history record with the hot/cold step
+// counters and cumulative simulated seconds `EvalPoint` now carries.
+const VERSION: u32 = 2;
 const FILE_PREFIX: &str = "ckpt-";
 const FILE_SUFFIX: &str = ".faeck";
 
@@ -216,6 +218,9 @@ impl TrainCheckpoint {
                     buf.put_u32_le(0);
                 }
             }
+            buf.put_u64_le(p.hot_steps as u64);
+            buf.put_u64_le(p.cold_steps as u64);
+            buf.put_f64_le(p.sim_seconds);
         }
         // Fault log.
         buf.put_u32_le(self.faults.len() as u32);
@@ -351,7 +356,7 @@ impl TrainCheckpoint {
         // Eval history.
         need(buf, 4, "eval history length")?;
         let n_hist = buf.get_u32_le() as usize;
-        need(buf, checked(n_hist, 29, "eval history")?, "eval history")?;
+        need(buf, checked(n_hist, 53, "eval history")?, "eval history")?;
         let mut history = Vec::with_capacity(n_hist);
         for _ in 0..n_hist {
             let iteration = buf.get_u64_le() as usize;
@@ -364,7 +369,21 @@ impl TrainCheckpoint {
                 1 => Some(rate_raw),
                 _ => return Err(CheckpointError::Corrupt("eval rate flag")),
             };
-            history.push(EvalPoint { iteration, test_loss, test_accuracy, rate });
+            let hot_steps = buf.get_u64_le() as usize;
+            let cold_steps = buf.get_u64_le() as usize;
+            let sim_seconds = buf.get_f64_le();
+            if !sim_seconds.is_finite() || sim_seconds < 0.0 {
+                return Err(CheckpointError::Corrupt("negative or non-finite eval sim time"));
+            }
+            history.push(EvalPoint {
+                iteration,
+                test_loss,
+                test_accuracy,
+                rate,
+                hot_steps,
+                cold_steps,
+                sim_seconds,
+            });
         }
         // Fault log.
         need(buf, 4, "fault log length")?;
@@ -579,6 +598,9 @@ mod tests {
                 test_loss: 0.5,
                 test_accuracy: 0.7,
                 rate: Some(50),
+                hot_steps: 20,
+                cold_steps: 30,
+                sim_seconds: 1.75,
             }],
             faults: vec![InjectedFault { kind: FaultKind::DeviceLoss, at: 40, step: 41 }],
             recoveries: vec![
@@ -608,10 +630,7 @@ mod tests {
         for i in 0..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0xFF;
-            assert!(
-                TrainCheckpoint::decode(&bad).is_err(),
-                "flipping byte {i} went undetected"
-            );
+            assert!(TrainCheckpoint::decode(&bad).is_err(), "flipping byte {i} went undetected");
         }
     }
 
@@ -679,9 +698,6 @@ mod tests {
         let len = bytes.len();
         let crc = crc32(&bytes[..len - 4]);
         bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
-        assert!(matches!(
-            TrainCheckpoint::decode(&bytes),
-            Err(CheckpointError::Truncated(_))
-        ));
+        assert!(matches!(TrainCheckpoint::decode(&bytes), Err(CheckpointError::Truncated(_))));
     }
 }

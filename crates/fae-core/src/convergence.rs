@@ -1,8 +1,8 @@
 //! Convergence monitoring — Prechelt-style early stopping ("Early
-//! stopping — but when?", the paper's [40]).
+//! stopping — but when?", the paper's \[40\]).
 //!
 //! §III-C justifies the scheduler's `u = 4` with "the downward trend of
-//! test loss curve [40] consecutively for 4 strips shows a balance between
+//! test loss curve \[40\] consecutively for 4 strips shows a balance between
 //! redundancy, badness, and slowness". This module implements the two
 //! criteria that argument rests on, usable to terminate training runs:
 //!

@@ -233,11 +233,7 @@ mod tests {
         dp4.model(0).write_params(&mut p4);
         let mut p1 = Vec::new();
         dp1.model(0).write_params(&mut p1);
-        let max_diff = p4
-            .iter()
-            .zip(&p1)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_diff = p4.iter().zip(&p1).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_diff < 5e-4, "dense params diverged by {max_diff}");
         // Embeddings agree too.
         for t in 0..dp4.embeddings(0).num_tables() {

@@ -98,10 +98,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn calibrate_on(
-        ds: &Dataset,
-        range: std::ops::Range<usize>,
-    ) -> Vec<HotColdPartition> {
+    fn calibrate_on(ds: &Dataset, range: std::ops::Range<usize>) -> Vec<HotColdPartition> {
         let calibrator = Calibrator::new(CalibratorConfig {
             gpu_budget_bytes: 40 << 10,
             small_table_bytes: 2 << 10,

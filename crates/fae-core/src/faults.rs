@@ -23,6 +23,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+use fae_telemetry::{JournalEvent, Telemetry};
+
 /// The failure modes the injector can simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -169,14 +171,11 @@ impl FaultPlan {
             if entry.is_empty() {
                 continue;
             }
-            let (kind, step) = entry
-                .split_once('@')
-                .ok_or_else(|| FaultPlanError::BadEntry(entry.to_string()))?;
+            let (kind, step) =
+                entry.split_once('@').ok_or_else(|| FaultPlanError::BadEntry(entry.to_string()))?;
             let kind: FaultKind = kind.trim().parse()?;
-            let at: u64 = step
-                .trim()
-                .parse()
-                .map_err(|_| FaultPlanError::BadStep(step.to_string()))?;
+            let at: u64 =
+                step.trim().parse().map_err(|_| FaultPlanError::BadStep(step.to_string()))?;
             events.push(FaultEvent { kind, at });
         }
         events.sort_by_key(|e| e.at);
@@ -299,18 +298,25 @@ pub struct FaultInjector {
     plan: FaultPlan,
     fired: Vec<bool>,
     log: Vec<InjectedFault>,
+    telemetry: Telemetry,
 }
 
 impl FaultInjector {
     /// Builds an injector over `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let fired = vec![false; plan.events.len()];
-        Self { plan, fired, log: Vec::new() }
+        Self { plan, fired, log: Vec::new(), telemetry: Telemetry::disabled() }
     }
 
     /// An injector that never fires.
     pub fn none() -> Self {
         Self::new(FaultPlan::none())
+    }
+
+    /// Attaches a telemetry handle: every fired fault is journalled as a
+    /// `fault` event and counted under `faults.injected.<kind>`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Fires (at most) the earliest unfired event of `kind` whose trigger
@@ -326,6 +332,10 @@ impl FaultInjector {
         self.fired[idx] = true;
         let fault = InjectedFault { kind, at: self.plan.events[idx].at, step };
         self.log.push(fault);
+        if self.telemetry.enabled() {
+            self.telemetry.counter_add(&format!("faults.injected.{}", kind.as_str()), 1);
+            self.telemetry.emit(&JournalEvent::Fault { step, kind: kind.as_str().to_string() });
+        }
         Some(fault)
     }
 
@@ -469,15 +479,9 @@ mod tests {
 
     #[test]
     fn plan_rejects_garbage() {
-        assert!(matches!(
-            FaultPlan::parse("gpu-melted@3"),
-            Err(FaultPlanError::UnknownKind(_))
-        ));
+        assert!(matches!(FaultPlan::parse("gpu-melted@3"), Err(FaultPlanError::UnknownKind(_))));
         assert!(matches!(FaultPlan::parse("device-loss"), Err(FaultPlanError::BadEntry(_))));
-        assert!(matches!(
-            FaultPlan::parse("device-loss@soon"),
-            Err(FaultPlanError::BadStep(_))
-        ));
+        assert!(matches!(FaultPlan::parse("device-loss@soon"), Err(FaultPlanError::BadStep(_))));
     }
 
     #[test]
@@ -545,14 +549,9 @@ mod tests {
     #[test]
     fn retry_succeeds_after_failures_and_reports_wait() {
         let p = RetryPolicy::default();
-        let r = retry_with_backoff(&p, |attempt| {
-            if attempt <= 2 {
-                Err("flaky")
-            } else {
-                Ok(attempt)
-            }
-        })
-        .expect("third attempt succeeds");
+        let r =
+            retry_with_backoff(&p, |attempt| if attempt <= 2 { Err("flaky") } else { Ok(attempt) })
+                .expect("third attempt succeeds");
         assert_eq!(r.attempts, 3);
         assert_eq!(r.value, 3);
         assert!((r.waited_s - p.total_backoff(2)).abs() < 1e-12);

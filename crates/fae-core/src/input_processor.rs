@@ -130,10 +130,8 @@ mod tests {
         // Force real partitions from full counts with a visible cutoff.
         let all: Vec<usize> = (0..ds.len()).collect();
         let counters = crate::calibrator::log_accesses(&ds, &all);
-        let parts: Vec<HotColdPartition> = counters
-            .iter()
-            .map(|c| HotColdPartition::from_counts(c, 5))
-            .collect();
+        let parts: Vec<HotColdPartition> =
+            counters.iter().map(|c| HotColdPartition::from_counts(c, 5)).collect();
         (ds, parts)
     }
 
@@ -197,7 +195,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (ds, parts) = setup();
-        let a = preprocess_inputs(&ds, parts.clone(), &PreprocessConfig { minibatch_size: 64, seed: 3 });
+        let a = preprocess_inputs(
+            &ds,
+            parts.clone(),
+            &PreprocessConfig { minibatch_size: 64, seed: 3 },
+        );
         let b = preprocess_inputs(&ds, parts, &PreprocessConfig { minibatch_size: 64, seed: 3 });
         assert_eq!(a.hot_batches.len(), b.hot_batches.len());
         for (x, y) in a.hot_batches.iter().zip(&b.hot_batches) {
@@ -221,8 +223,7 @@ mod tests {
         assert!(p99 < 0.1, "P(all hot @ 256) = {p99}");
         assert!(all_hot_minibatch_probability(0.99, 1) > 0.98);
         assert!(
-            all_hot_minibatch_probability(0.999, 256)
-                > all_hot_minibatch_probability(0.99, 256)
+            all_hot_minibatch_probability(0.999, 256) > all_hot_minibatch_probability(0.99, 256)
         );
     }
 

@@ -43,12 +43,13 @@ pub mod scheduler;
 pub mod simsched;
 pub mod trainer;
 
+pub use adaptive::{train_fae_adaptive, AdaptiveConfig, AdaptiveReport};
 pub use calibrator::{CalibrationResult, Calibrator, CalibratorConfig, RandEmBox, RandEmEstimate};
 pub use checkpoint::{latest_in, CheckpointError, TableSnapshot, TrainCheckpoint};
 pub use classifier::classify_tables;
-pub use adaptive::{train_fae_adaptive, AdaptiveConfig, AdaptiveReport};
 pub use distributed::DataParallel;
 pub use drift::{hot_access_share, DriftMonitor, DriftVerdict};
+pub use fae_telemetry::Telemetry;
 pub use faults::{
     retry_with_backoff, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanError,
     InjectedFault, RecoveryAction, RetryPolicy,

@@ -2,8 +2,11 @@
 //! generate/load data → calibrate → classify → preprocess → train.
 
 use fae_data::{Dataset, WorkloadSpec};
+use fae_telemetry::Telemetry;
 
-use crate::calibrator::{log_accesses, sample_inputs, CalibrationResult, Calibrator, CalibratorConfig};
+use crate::calibrator::{
+    log_accesses, sample_inputs, CalibrationResult, Calibrator, CalibratorConfig,
+};
 use crate::classifier::classify_tables;
 use crate::input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
 use crate::trainer::{train_baseline, train_fae, TrainConfig, TrainReport};
@@ -23,14 +26,49 @@ pub fn prepare(
     calibrator_cfg: CalibratorConfig,
     pre_cfg: &PreprocessConfig,
 ) -> StaticArtifacts {
+    prepare_with(train, calibrator_cfg, pre_cfg, &Telemetry::disabled())
+}
+
+/// [`prepare`] with a telemetry handle: every static-pipeline stage runs
+/// under a span (`prepare/sample` → `prepare/log` → `prepare/converge` →
+/// `prepare/classify` → `prepare/preprocess`) and the hot/cold split is
+/// exported as counters and gauges.
+pub fn prepare_with(
+    train: &Dataset,
+    calibrator_cfg: CalibratorConfig,
+    pre_cfg: &PreprocessConfig,
+    telemetry: &Telemetry,
+) -> StaticArtifacts {
+    let _span = telemetry.span("prepare");
     let calibrator = Calibrator::new(calibrator_cfg);
     let mut rng = rand::SeedableRng::seed_from_u64(calibrator.config.seed);
-    let samples = sample_inputs(train, calibrator.config.sample_rate, &mut rng);
-    let counters = log_accesses(train, &samples);
-    let mut calibration = calibrator.converge(train, &counters, &mut rng);
+    let samples = {
+        let _s = telemetry.span("prepare/sample");
+        sample_inputs(train, calibrator.config.sample_rate, &mut rng)
+    };
+    let counters = {
+        let _s = telemetry.span("prepare/log");
+        log_accesses(train, &samples)
+    };
+    let mut calibration = {
+        let _s = telemetry.span("prepare/converge");
+        calibrator.converge(train, &counters, &mut rng)
+    };
     calibration.sampled_inputs = samples.len();
-    let partitions = classify_tables(&train.spec, &counters, &calibration);
-    let preprocessed = preprocess_inputs(train, partitions, pre_cfg);
+    let partitions = {
+        let _s = telemetry.span("prepare/classify");
+        classify_tables(&train.spec, &counters, &calibration)
+    };
+    let preprocessed = {
+        let _s = telemetry.span("prepare/preprocess");
+        preprocess_inputs(train, partitions, pre_cfg)
+    };
+    telemetry.counter_add("calibrator.sampled_inputs", calibration.sampled_inputs as u64);
+    telemetry.gauge_set("calibrator.threshold", calibration.threshold);
+    telemetry.gauge_set("calibrator.est_hot_bytes", calibration.est_hot_bytes);
+    telemetry.counter_add("preprocess.hot_batches", preprocessed.hot_batches.len() as u64);
+    telemetry.counter_add("preprocess.cold_batches", preprocessed.cold_batches.len() as u64);
+    telemetry.gauge_set("preprocess.hot_input_fraction", preprocessed.hot_input_fraction);
     StaticArtifacts { calibration, preprocessed }
 }
 

@@ -13,12 +13,14 @@ use fae_nn::Tensor;
 
 use fae_embed::{HotColdPartition, HotEmbeddingBag, SparseGrad};
 use fae_models::{EmbeddingSource, MasterEmbeddings};
+use fae_telemetry::Telemetry;
 
 /// Hot-embedding bags for every table, with global→local id translation.
 pub struct HotEmbeddings {
     bags: Vec<HotEmbeddingBag>,
     partitions: Vec<HotColdPartition>,
     dim: usize,
+    telemetry: Telemetry,
 }
 
 impl HotEmbeddings {
@@ -31,7 +33,15 @@ impl HotEmbeddings {
             .zip(&partitions)
             .map(|(t, p)| HotEmbeddingBag::extract(t, p.hot_ids().to_vec()))
             .collect();
-        Self { bags, partitions, dim: master.dim() }
+        Self { bags, partitions, dim: master.dim(), telemetry: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle: refreshes and write-backs are counted
+    /// (`replicator.refreshes` / `replicator.write_backs`) along with the
+    /// bytes they move (`replicator.moved_bytes`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.gauge_set("replicator.hot_bytes", self.hot_bytes() as f64);
+        self.telemetry = telemetry;
     }
 
     /// Total bytes of the hot bags (per GPU replica).
@@ -57,6 +67,8 @@ impl HotEmbeddings {
         for (bag, table) in self.bags.iter().zip(master.tables_mut()) {
             bag.write_back(table);
         }
+        self.telemetry.counter_add("replicator.write_backs", 1);
+        self.telemetry.counter_add("replicator.moved_bytes", self.sync_bytes() as u64);
     }
 
     /// Cold→hot transition: pulls rows updated by cold batches back into
@@ -65,6 +77,8 @@ impl HotEmbeddings {
         for (bag, table) in self.bags.iter_mut().zip(master.tables()) {
             bag.refresh_from(table);
         }
+        self.telemetry.counter_add("replicator.refreshes", 1);
+        self.telemetry.counter_add("replicator.moved_bytes", self.sync_bytes() as u64);
     }
 
     fn translate(&self, t: usize, indices: &[u32]) -> Vec<u32> {
@@ -90,9 +104,8 @@ impl EmbeddingSource for HotEmbeddings {
         assert_eq!(grads.len(), self.bags.len(), "one gradient per table");
         for ((bag, p), g) in self.bags.iter_mut().zip(&self.partitions).zip(grads) {
             let local = g.clone().remap(|global| {
-                p.hot_local(global).unwrap_or_else(|| {
-                    panic!("cold row {global} updated through the hot source")
-                })
+                p.hot_local(global)
+                    .unwrap_or_else(|| panic!("cold row {global} updated through the hot source"))
             });
             bag.table_mut().sgd_step_sparse(&local, lr);
         }
@@ -184,11 +197,7 @@ mod tests {
     #[test]
     fn hot_bytes_counts_extracted_rows() {
         let (_, hot) = setup();
-        let expect: usize = hot
-            .partitions()
-            .iter()
-            .map(|p| p.hot_count() * hot.dim() * 4)
-            .sum();
+        let expect: usize = hot.partitions().iter().map(|p| p.hot_count() * hot.dim() * 4).sum();
         assert_eq!(hot.hot_bytes(), expect);
         assert!(hot.hot_bytes() > 0);
         // A transition moves the whole bag, so the two byte counts agree.

@@ -14,6 +14,7 @@
 //! leave its bounds; we implement the evident intent: clamp to
 //! `[R(1), R(100)]`.)
 
+use fae_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// An interleaving rate in percent of each class issued per round.
@@ -84,12 +85,28 @@ pub struct ShuffleScheduler {
     /// Consecutive improvements required before doubling (paper: u = 4).
     u: u32,
     history: Vec<(f64, Rate)>,
+    telemetry: Telemetry,
 }
 
 impl ShuffleScheduler {
     /// Creates a scheduler starting at `initial` (paper: R(50)).
     pub fn new(initial: Rate) -> Self {
-        Self { rate: initial, prev_loss: None, improving_streak: 0, u: 4, history: Vec::new() }
+        Self {
+            rate: initial,
+            prev_loss: None,
+            improving_streak: 0,
+            u: 4,
+            history: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: adaptation decisions are counted
+    /// (`scheduler.rate_halved` / `rate_doubled` / `rate_held`) and the
+    /// live rate is exported as the `scheduler.rate` gauge.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.gauge_set("scheduler.rate", self.rate.pct() as f64);
+        self.telemetry = telemetry;
     }
 
     /// Paper-default scheduler: R(50), u = 4.
@@ -127,6 +144,7 @@ impl ShuffleScheduler {
             improving_streak: state.improving_streak,
             u: state.u,
             history: state.history.iter().map(|&(l, r)| (l, Rate::new(r))).collect(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -138,20 +156,26 @@ impl ShuffleScheduler {
             Some(prev) if loss > prev => {
                 self.rate = self.rate.halved();
                 self.improving_streak = 0;
+                self.telemetry.counter_add("scheduler.rate_halved", 1);
             }
             Some(prev) if loss < prev => {
                 self.improving_streak += 1;
                 if self.improving_streak >= self.u {
                     self.rate = self.rate.doubled();
                     self.improving_streak = 0;
+                    self.telemetry.counter_add("scheduler.rate_doubled", 1);
+                } else {
+                    self.telemetry.counter_add("scheduler.rate_held", 1);
                 }
             }
             _ => {
                 // First observation or exactly flat: hold the rate.
+                self.telemetry.counter_add("scheduler.rate_held", 1);
             }
         }
         self.prev_loss = Some(loss);
         self.history.push((loss, self.rate));
+        self.telemetry.gauge_set("scheduler.rate", self.rate.pct() as f64);
         self.rate
     }
 }
@@ -260,6 +284,21 @@ mod tests {
         b.observe_test_loss(2.0);
         assert_eq!(a.observe_test_loss(1.0), Rate::new(20));
         assert_eq!(b.observe_test_loss(1.0), Rate::new(20));
+    }
+
+    #[test]
+    fn telemetry_counts_adaptations_and_tracks_rate() {
+        let t = Telemetry::builder().build();
+        let mut s = ShuffleScheduler::paper_default();
+        s.set_telemetry(t.clone());
+        s.observe_test_loss(1.0); // held (first observation)
+        s.observe_test_loss(1.5); // halved
+        s.observe_test_loss(1.2); // improving, streak 1 -> held
+        let m = t.metrics();
+        assert_eq!(m.counter("scheduler.rate_held"), 2);
+        assert_eq!(m.counter("scheduler.rate_halved"), 1);
+        assert_eq!(m.counter("scheduler.rate_doubled"), 0);
+        assert_eq!(m.gauge("scheduler.rate"), Some(25.0));
     }
 
     #[test]

@@ -191,7 +191,8 @@ mod tests {
         for batch in [1024usize, 4096, 16384, 32768] {
             let (profile, mut cfg) = kaggle_cfg(1, batch);
             cfg.batch = batch;
-            let s = simulate_baseline(&profile, &cfg).total() / simulate_fae(&profile, &cfg).total();
+            let s =
+                simulate_baseline(&profile, &cfg).total() / simulate_fae(&profile, &cfg).total();
             assert!(s > last, "speedup fell from {last:.2} to {s:.2} at batch {batch}");
             last = s;
         }

@@ -54,6 +54,7 @@ use fae_models::{
 use fae_nn::Tensor;
 use fae_sysmodel::power::average_gpu_power;
 use fae_sysmodel::{reshard_cost, step_cost, sync_cost, ExecMode, Phase, SystemConfig, Timeline};
+use fae_telemetry::{JournalEvent, PhaseSeconds, StepMode, Telemetry};
 
 use crate::checkpoint::{latest_in, TrainCheckpoint};
 use crate::faults::{
@@ -117,6 +118,9 @@ pub struct ResilienceOptions {
     /// Abort training once this many steps have run (crash simulation
     /// for resume tests; the report comes back `interrupted`).
     pub halt_after_steps: Option<usize>,
+    /// Telemetry sink: metrics, per-step journal, progress echo. The
+    /// default ([`Telemetry::disabled`]) records nothing at zero cost.
+    pub telemetry: Telemetry,
 }
 
 /// One evaluation snapshot along the training run (Fig 12's curves).
@@ -130,6 +134,13 @@ pub struct EvalPoint {
     pub test_accuracy: f64,
     /// Scheduler rate after this round (FAE only).
     pub rate: Option<u32>,
+    /// Cumulative pure-GPU hot steps when this evaluation ran, so
+    /// accuracy can be correlated with the hot/cold schedule.
+    pub hot_steps: usize,
+    /// Cumulative hybrid (cold) steps when this evaluation ran.
+    pub cold_steps: usize,
+    /// Cumulative simulated seconds when this evaluation ran.
+    pub sim_seconds: f64,
 }
 
 /// Everything a training run produces.
@@ -296,10 +307,9 @@ impl FaeCostModel {
     }
 
     fn charge_cold(&mut self, timeline: &mut Timeline, batch: usize) {
-        let entry = self
-            .cold
-            .entry(batch)
-            .or_insert_with(|| step_cost(&self.profile, &self.sys, ExecMode::BaselineHybrid, batch));
+        let entry = self.cold.entry(batch).or_insert_with(|| {
+            step_cost(&self.profile, &self.sys, ExecMode::BaselineHybrid, batch)
+        });
         timeline.merge(entry);
     }
 
@@ -326,6 +336,15 @@ fn shuffle_seed(seed: u64, epoch: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The per-phase seconds charged since the last snapshot, advancing the
+/// snapshot. Journalling every timeline mutation through this keeps the
+/// journal's invariant: its phase seconds sum to `Timeline::total`.
+fn take_delta(prev: &mut Timeline, now: &Timeline) -> PhaseSeconds {
+    let d = PhaseSeconds::delta(prev, now);
+    prev.clone_from(now);
+    d
 }
 
 /// Trains the baseline: every mini-batch in hybrid CPU-GPU mode.
@@ -361,6 +380,9 @@ pub fn train_baseline(
                     test_loss: e.loss,
                     test_accuracy: e.accuracy,
                     rate: None,
+                    hot_steps: 0,
+                    cold_steps: steps,
+                    sim_seconds: timeline.total(),
                 });
             }
         }
@@ -373,6 +395,9 @@ pub fn train_baseline(
         test_loss: final_test.loss,
         test_accuracy: final_test.accuracy,
         rate: None,
+        hot_steps: 0,
+        cold_steps: steps,
+        sim_seconds: timeline.total(),
     });
     TrainReport {
         history,
@@ -440,7 +465,8 @@ pub fn train_fae_resilient(
                 Ok(Some(path)) => match TrainCheckpoint::load(&path) {
                     Ok(ck) => {
                         assert_eq!(
-                            ck.config_seed, cfg.seed,
+                            ck.config_seed,
+                            cfg.seed,
                             "checkpoint {} was written by a run with seed {}, not {}",
                             path.display(),
                             ck.config_seed,
@@ -475,16 +501,63 @@ pub fn train_fae_resilient(
         }
     }
 
+    let telem = opts.telemetry.clone();
+    let enabled = telem.enabled();
+    let mut span_train = telem.span("train");
+    scheduler.set_telemetry(telem.clone());
+    injector.set_telemetry(telem.clone());
+
     let mut hot = HotEmbeddings::build(&master, pre.partitions.to_vec());
+    hot.set_telemetry(telem.clone());
     let hot_bytes = hot.hot_bytes() as f64;
     let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
     let profile = bridge::profile_for(spec, hot_bytes);
     let mut costs = FaeCostModel::new(profile, gpus_active, hot.sync_bytes() as f64);
     let dense_bytes = model.dense_param_count() as f64 * 4.0;
 
+    telem.emit(&JournalEvent::RunStart {
+        workload: spec.name.clone(),
+        seed: cfg.seed,
+        num_gpus: gpus_active,
+        epochs: cfg.epochs,
+        minibatch_size: cfg.minibatch_size,
+        initial_rate: cfg.initial_rate,
+    });
+    telem.gauge_set("train.gpus_active", gpus_active as f64);
+    let sim_at_start = timeline.total();
+    // Every timeline mutation below is journalled as the delta against
+    // this snapshot, so the journal's phase seconds sum exactly to the
+    // final `TrainReport::simulated_seconds`.
+    let mut tl_prev = timeline.clone();
+    if resumed && enabled {
+        telem.emit(&JournalEvent::Recovery {
+            step: steps as u64,
+            action: "resumed-from-checkpoint".into(),
+            detail: format!("replaying from step {steps}"),
+        });
+        // The checkpoint carried simulated time accumulated before the
+        // resume; journal it so the sums-to-total invariant holds for
+        // resumed runs too.
+        telem.emit(&JournalEvent::Charge {
+            step: steps as u64,
+            label: "resumed-prior-timeline".into(),
+            phases: PhaseSeconds::delta(&Timeline::new(), &timeline),
+        });
+        telem.counter_add("train.resumes", 1);
+    }
+
     if !resumed {
         // Initial replication of the hot bags onto the GPUs.
         timeline.merge(costs.sync());
+        if enabled {
+            telem.emit(&JournalEvent::Sync {
+                step: steps as u64,
+                direction: "initial".into(),
+                bytes: hot.sync_bytes() as u64,
+                phases: take_delta(&mut tl_prev, &timeline),
+            });
+            telem.counter_add("replicator.sync_bytes", hot.sync_bytes() as u64);
+        }
     }
 
     let n_hot = pre.hot_batches.len();
@@ -520,11 +593,31 @@ pub fn train_fae_resilient(
                         from: from as u32,
                         to: gpus_active as u32,
                     });
+                    if enabled {
+                        telem.emit(&JournalEvent::Charge {
+                            step: f.step,
+                            label: "reshard".into(),
+                            phases: take_delta(&mut tl_prev, &timeline),
+                        });
+                        telem.emit(&JournalEvent::Recovery {
+                            step: f.step,
+                            action: "shrank-replicas".into(),
+                            detail: format!("{from} -> {gpus_active}"),
+                        });
+                        telem.gauge_set("train.gpus_active", gpus_active as f64);
+                    }
                 } else if !cold_only {
                     // No GPU left to host the hot bags: CPU-only cold
                     // execution for the rest of the run.
                     cold_only = true;
                     recoveries.push(RecoveryAction::ColdFallback { step: f.step });
+                    if enabled {
+                        telem.emit(&JournalEvent::Recovery {
+                            step: f.step,
+                            action: "cold-fallback".into(),
+                            detail: "last GPU lost; CPU-only cold execution".into(),
+                        });
+                    }
                 }
             }
             let rate = scheduler.rate();
@@ -533,10 +626,21 @@ pub fn train_fae_resilient(
                 let k = rate.block_len(n_cold).min(n_cold - cp);
                 for &b in &cold_order[cp..cp + k] {
                     let mb = &pre.cold_batches[b];
-                    train_step(&mut model, &mut master, mb, cfg.lr);
+                    let loss = train_step(&mut model, &mut master, mb, cfg.lr);
                     costs.charge_cold(&mut timeline, mb.len());
                     cold_steps += 1;
                     steps += 1;
+                    if enabled {
+                        telem.emit(&JournalEvent::Step {
+                            step: steps as u64,
+                            mode: StepMode::Cold,
+                            rate: rate.pct(),
+                            loss: loss as f64,
+                            phases: take_delta(&mut tl_prev, &timeline),
+                        });
+                        telem.counter_add("train.steps_cold", 1);
+                        telem.observe("train.step_loss", loss as f64);
+                    }
                     if steps >= halt_at {
                         interrupted = true;
                         break 'epochs;
@@ -555,6 +659,19 @@ pub fn train_fae_resilient(
                         timeline.merge(costs.sync());
                         cold_only = true;
                         recoveries.push(RecoveryAction::ColdFallback { step: f.step });
+                        if enabled {
+                            telem.emit(&JournalEvent::Sync {
+                                step: f.step,
+                                direction: "aborted-replication".into(),
+                                bytes: hot.sync_bytes() as u64,
+                                phases: take_delta(&mut tl_prev, &timeline),
+                            });
+                            telem.emit(&JournalEvent::Recovery {
+                                step: f.step,
+                                action: "cold-fallback".into(),
+                                detail: "hot-bag replication aborted (OOM)".into(),
+                            });
+                        }
                     }
                 }
                 if cold_only {
@@ -562,10 +679,21 @@ pub fn train_fae_resilient(
                     // master tables at hybrid cost, with no sync traffic.
                     for &b in &hot_order[hp..hp + k] {
                         let mb = &pre.hot_batches[b];
-                        train_step(&mut model, &mut master, mb, cfg.lr);
+                        let loss = train_step(&mut model, &mut master, mb, cfg.lr);
                         costs.charge_cold(&mut timeline, mb.len());
                         cold_steps += 1;
                         steps += 1;
+                        if enabled {
+                            telem.emit(&JournalEvent::Step {
+                                step: steps as u64,
+                                mode: StepMode::Cold,
+                                rate: rate.pct(),
+                                loss: loss as f64,
+                                phases: take_delta(&mut tl_prev, &timeline),
+                            });
+                            telem.counter_add("train.steps_cold", 1);
+                            telem.observe("train.step_loss", loss as f64);
+                        }
                         if steps >= halt_at {
                             interrupted = true;
                             break 'epochs;
@@ -591,16 +719,52 @@ pub fn train_fae_resilient(
                             attempts: failures + 1,
                             waited_s: waited,
                         });
+                        if enabled {
+                            // One journal entry covers every failed
+                            // attempt: the re-moved bytes plus the
+                            // Framework-phase backoff stalls.
+                            telem.emit(&JournalEvent::Sync {
+                                step: f.step,
+                                direction: "retry".into(),
+                                bytes: failures as u64 * hot.sync_bytes() as u64,
+                                phases: take_delta(&mut tl_prev, &timeline),
+                            });
+                            telem.emit(&JournalEvent::Recovery {
+                                step: f.step,
+                                action: "sync-retried".into(),
+                                detail: format!("{} attempts, {waited:.3}s backoff", failures + 1),
+                            });
+                        }
                     }
                     hot.refresh_from(&master);
                     timeline.merge(costs.sync());
                     transitions += 1;
+                    if enabled {
+                        telem.emit(&JournalEvent::Sync {
+                            step: steps as u64,
+                            direction: "refresh".into(),
+                            bytes: hot.sync_bytes() as u64,
+                            phases: take_delta(&mut tl_prev, &timeline),
+                        });
+                        telem.counter_add("replicator.sync_bytes", hot.sync_bytes() as u64);
+                    }
                     for &b in &hot_order[hp..hp + k] {
                         let mb = &pre.hot_batches[b];
-                        train_step(&mut model, &mut hot, mb, cfg.lr);
+                        let loss = train_step(&mut model, &mut hot, mb, cfg.lr);
                         costs.charge_hot(&mut timeline, mb.len());
                         hot_steps += 1;
                         steps += 1;
+                        if enabled {
+                            telem.emit(&JournalEvent::Step {
+                                step: steps as u64,
+                                mode: StepMode::Hot,
+                                rate: rate.pct(),
+                                loss: loss as f64,
+                                phases: take_delta(&mut tl_prev, &timeline),
+                            });
+                            telem.counter_add("train.steps_hot", 1);
+                            telem.observe("train.step_loss", loss as f64);
+                        }
                         if steps >= halt_at {
                             interrupted = true;
                             break 'epochs;
@@ -610,6 +774,15 @@ pub fn train_fae_resilient(
                     hot.write_back(&mut master);
                     timeline.merge(costs.sync());
                     transitions += 1;
+                    if enabled {
+                        telem.emit(&JournalEvent::Sync {
+                            step: steps as u64,
+                            direction: "write-back".into(),
+                            bytes: hot.sync_bytes() as u64,
+                            phases: take_delta(&mut tl_prev, &timeline),
+                        });
+                        telem.counter_add("replicator.sync_bytes", hot.sync_bytes() as u64);
+                    }
                 }
             }
             // Evaluate on the (synchronised) master copy and adapt.
@@ -620,6 +793,18 @@ pub fn train_fae_resilient(
                 test_loss: e.loss,
                 test_accuracy: e.accuracy,
                 rate: Some(new_rate.pct()),
+                hot_steps,
+                cold_steps,
+                sim_seconds: timeline.total(),
+            });
+            telem.emit(&JournalEvent::Eval {
+                step: steps as u64,
+                test_loss: e.loss,
+                test_accuracy: e.accuracy,
+                rate: Some(new_rate.pct()),
+                hot_steps: hot_steps as u64,
+                cold_steps: cold_steps as u64,
+                sim_seconds: timeline.total(),
             });
             rounds_done += 1;
             // Checkpoint at the round boundary: master tables are
@@ -672,14 +857,28 @@ pub fn train_fae_resilient(
                                     attempts: r.attempts,
                                     waited_s: r.waited_s,
                                 });
+                                if enabled {
+                                    telem.emit(&JournalEvent::Charge {
+                                        step: steps as u64,
+                                        label: "checkpoint-io".into(),
+                                        phases: take_delta(&mut tl_prev, &timeline),
+                                    });
+                                    telem.emit(&JournalEvent::Recovery {
+                                        step: steps as u64,
+                                        action: "retried-io".into(),
+                                        detail: format!(
+                                            "{} attempts, {:.3}s backoff",
+                                            r.attempts, r.waited_s
+                                        ),
+                                    });
+                                }
                             }
+                            telem.counter_add("train.checkpoints_saved", 1);
                         }
                         Err((e, attempts, _)) => {
                             // Checkpointing is best-effort: losing one
                             // snapshot must not kill the training run.
-                            eprintln!(
-                                "fae: checkpoint save failed after {attempts} attempts: {e}"
-                            );
+                            eprintln!("fae: checkpoint save failed after {attempts} attempts: {e}");
                         }
                     }
                 }
@@ -696,6 +895,20 @@ pub fn train_fae_resilient(
         .cloned()
         .collect();
     let final_train = evaluate(&mut model, &master, &train_sample);
+    telem.emit(&JournalEvent::RunEnd {
+        steps: steps as u64,
+        hot_steps: hot_steps as u64,
+        cold_steps: cold_steps as u64,
+        transitions: transitions as u64,
+        simulated_seconds: timeline.total(),
+        final_accuracy: final_test.accuracy,
+        final_rate: Some(scheduler.rate().pct()),
+        interrupted,
+    });
+    telem.gauge_set("train.simulated_seconds", timeline.total());
+    telem.gauge_set("train.final_accuracy", final_test.accuracy);
+    span_train.add_sim(timeline.total() - sim_at_start);
+    drop(span_train);
     TrainReport {
         history,
         final_test,
@@ -736,11 +949,8 @@ mod tests {
             tc.cutoff = (counters[t].total() / counters[t].rows() as u64).max(2);
         }
         let parts = classify_tables(&spec, &counters, &cal2);
-        let pre = preprocess_inputs(
-            &train,
-            parts,
-            &PreprocessConfig { minibatch_size: 64, seed: 5 },
-        );
+        let pre =
+            preprocess_inputs(&train, parts, &PreprocessConfig { minibatch_size: 64, seed: 5 });
         let cfg = TrainConfig { epochs: 1, minibatch_size: 64, ..Default::default() };
         (spec, train, test, pre, cfg)
     }

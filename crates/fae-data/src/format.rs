@@ -301,21 +301,12 @@ impl<'a> FaeStreamReader<'a> {
             for _ in 0..=len {
                 offsets.push(buf.get_u32_le() as usize);
             }
-            if offsets[0] != 0
-                || offsets[len] != nnz
-                || offsets.windows(2).any(|w| w[0] > w[1])
-            {
+            if offsets[0] != 0 || offsets[len] != nnz || offsets.windows(2).any(|w| w[0] > w[1]) {
                 return Err(FormatError::Corrupt("csr offsets not monotonic"));
             }
             sparse.push(TableIndices { indices, offsets });
         }
-        Ok(Some(MiniBatch {
-            kind,
-            dense,
-            dense_width: self.dense_width as usize,
-            sparse,
-            labels,
-        }))
+        Ok(Some(MiniBatch { kind, dense, dense_width: self.dense_width as usize, sparse, labels }))
     }
 }
 

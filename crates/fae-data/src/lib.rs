@@ -14,7 +14,7 @@
 //! * [`generate`] — deterministic dataset synthesis with per-table Zipf
 //!   popularity and shuffled id spaces,
 //! * [`Dataset`] / [`TableIndices`] / [`MiniBatch`] — CSR-style storage,
-//! * [`format`] — the *FAE format*: a binary container for the
+//! * [`mod@format`] — the *FAE format*: a binary container for the
 //!   preprocessed hot/cold mini-batch stream, written once per dataset and
 //!   reloaded on subsequent training runs (§III-B).
 

@@ -265,10 +265,7 @@ fn criteo_like_tables(max_rows: usize, count: usize) -> Vec<TableSpec> {
     let scale = max_rows as f64 / CRITEO_CARDINALITIES[0] as f64;
     CRITEO_CARDINALITIES
         .iter()
-        .map(|&c| TableSpec {
-            rows: ((c as f64 * scale) as usize).max(4),
-            lookups_per_input: 1,
-        })
+        .map(|&c| TableSpec { rows: ((c as f64 * scale) as usize).max(4), lookups_per_input: 1 })
         .collect()
 }
 

@@ -96,12 +96,8 @@ mod tests {
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        let mode = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| i as u32)
-            .unwrap();
+        let mode =
+            counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i as u32).unwrap();
         assert_eq!(mode, z.id_of_rank(0));
     }
 

@@ -64,11 +64,7 @@ impl HotColdPartition {
     /// Marks *every* row hot — the paper treats tables under 1 MB as
     /// "de-facto hot" since they trivially fit in GPU memory.
     pub fn all_hot(rows: usize) -> Self {
-        Self {
-            remap: (0..rows as u32).collect(),
-            hot_ids: (0..rows as u32).collect(),
-            cutoff: 0,
-        }
+        Self { remap: (0..rows as u32).collect(), hot_ids: (0..rows as u32).collect(), cutoff: 0 }
     }
 
     /// Marks every row cold (a degenerate partition used in ablations).

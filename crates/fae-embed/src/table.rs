@@ -100,7 +100,12 @@ impl EmbeddingTable {
     /// Backward pass of [`Self::lookup_bag`]: scatters `grad_out`
     /// (`batch × dim`) onto the rows each sample touched, coalescing
     /// duplicates into a [`SparseGrad`].
-    pub fn bag_backward(&self, indices: &[u32], offsets: &[usize], grad_out: &Tensor) -> SparseGrad {
+    pub fn bag_backward(
+        &self,
+        indices: &[u32],
+        offsets: &[usize],
+        grad_out: &Tensor,
+    ) -> SparseGrad {
         let batch = offsets.len() - 1;
         assert_eq!(grad_out.rows(), batch, "grad_out batch mismatch");
         assert_eq!(grad_out.cols(), self.dim, "grad_out dim mismatch");
@@ -139,7 +144,10 @@ impl HotEmbeddingBag {
     /// Extracts the given global rows (must be sorted, deduplicated) from
     /// `master` into a compact bag.
     pub fn extract(master: &EmbeddingTable, global_ids: Vec<u32>) -> Self {
-        debug_assert!(global_ids.windows(2).all(|w| w[0] < w[1]), "global_ids must be sorted+unique");
+        debug_assert!(
+            global_ids.windows(2).all(|w| w[0] < w[1]),
+            "global_ids must be sorted+unique"
+        );
         let dim = master.dim();
         let mut weights = Tensor::zeros(global_ids.len().max(1), dim);
         for (local, &g) in global_ids.iter().enumerate() {
@@ -305,7 +313,7 @@ mod tests {
         bag.write_back(&mut master);
         assert_eq!(master.row(1), &[100.0, 100.0]);
         assert_eq!(master.row(4), &[4.0, 4.0]); // untouched hot row preserved
-        // Cold phase updates the master; refresh pulls it into the bag.
+                                                // Cold phase updates the master; refresh pulls it into the bag.
         master.set_row(4, &[-7.0, -7.0]);
         bag.refresh_from(&master);
         assert_eq!(bag.table().row(1), &[-7.0, -7.0]);

@@ -93,18 +93,11 @@ impl RecModel for Dlrm {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Vec<SparseGrad> {
-        let sparse = self
-            .cached_sparse
-            .take()
-            .expect("Dlrm::backward called before forward");
+        let sparse = self.cached_sparse.take().expect("Dlrm::backward called before forward");
         let d_inter = self.top.backward(grad);
         let feature_grads = self.interaction.backward(&d_inter);
         self.bottom.backward(&feature_grads[0]);
-        feature_grads[1..]
-            .iter()
-            .zip(&sparse)
-            .map(|(g, csr)| scatter_bag_grad(csr, g))
-            .collect()
+        feature_grads[1..].iter().zip(&sparse).map(|(g, csr)| scatter_bag_grad(csr, g)).collect()
     }
 
     fn sgd_step(&mut self, lr: f32) {

@@ -30,10 +30,8 @@ pub fn bce_loss_backward(pred: &Tensor, target: &Tensor) -> Tensor {
     assert_eq!(pred.shape(), target.shape(), "bce shape mismatch");
     let n = pred.len() as f32;
     let mut out = Tensor::zeros(pred.rows(), pred.cols());
-    for (o, (&p, &t)) in out
-        .as_mut_slice()
-        .iter_mut()
-        .zip(pred.as_slice().iter().zip(target.as_slice()))
+    for (o, (&p, &t)) in
+        out.as_mut_slice().iter_mut().zip(pred.as_slice().iter().zip(target.as_slice()))
     {
         let p = p.clamp(BCE_EPS, 1.0 - BCE_EPS);
         *o = (-(t / p) + (1.0 - t) / (1.0 - p)) / n;
@@ -45,12 +43,7 @@ pub fn bce_loss_backward(pred: &Tensor, target: &Tensor) -> Tensor {
 pub fn mse_loss(pred: &Tensor, target: &Tensor) -> f32 {
     assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
     let n = pred.len() as f32;
-    pred.as_slice()
-        .iter()
-        .zip(target.as_slice())
-        .map(|(&p, &t)| (p - t) * (p - t))
-        .sum::<f32>()
-        / n
+    pred.as_slice().iter().zip(target.as_slice()).map(|(&p, &t)| (p - t) * (p - t)).sum::<f32>() / n
 }
 
 /// Gradient of [`mse_loss`] with respect to `pred`.

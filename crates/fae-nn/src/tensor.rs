@@ -65,12 +65,7 @@ impl Tensor {
 
     /// Wraps an existing buffer. Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "tensor data length {} != {rows}x{cols}",
-            data.len()
-        );
+        assert_eq!(data.len(), rows * cols, "tensor data length {} != {rows}x{cols}", data.len());
         Self { data, rows, cols }
     }
 
@@ -151,7 +146,7 @@ impl Tensor {
     ///
     /// Uses the classic ikj loop order (streaming over `rhs` rows) and fans
     /// out over result rows with rayon once the work exceeds
-    /// [`PAR_MATMUL_THRESHOLD`].
+    /// `PAR_MATMUL_THRESHOLD`.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, rhs.rows,
@@ -224,11 +219,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Tensor { data: self.data.iter().map(|&v| f(v)).collect(), rows: self.rows, cols: self.cols }
     }
 
     /// Adds a length-`cols` bias vector to every row.
@@ -264,10 +255,7 @@ impl Tensor {
     pub fn hcat(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty(), "hcat of zero tensors");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|p| p.rows == rows),
-            "hcat row-count mismatch"
-        );
+        assert!(parts.iter().all(|p| p.rows == rows), "hcat row-count mismatch");
         let cols: usize = parts.iter().map(|p| p.cols).sum();
         let mut out = Tensor::zeros(rows, cols);
         for r in 0..rows {
@@ -283,13 +271,8 @@ impl Tensor {
 
     /// Splits the tensor horizontally into parts of the given widths.
     pub fn hsplit(&self, widths: &[usize]) -> Vec<Tensor> {
-        assert_eq!(
-            widths.iter().sum::<usize>(),
-            self.cols,
-            "hsplit widths must sum to cols"
-        );
-        let mut outs: Vec<Tensor> =
-            widths.iter().map(|&w| Tensor::zeros(self.rows, w)).collect();
+        assert_eq!(widths.iter().sum::<usize>(), self.cols, "hsplit widths must sum to cols");
+        let mut outs: Vec<Tensor> = widths.iter().map(|&w| Tensor::zeros(self.rows, w)).collect();
         for r in 0..self.rows {
             let src = self.row(r);
             let mut off = 0;

@@ -104,8 +104,8 @@ pub fn cluster_step_cost_fae_sparse(
     if cluster.nodes <= 1 {
         return t;
     }
-    let touched_bytes = (profile.lookups_per_sample * batch) as f64
-        * (profile.emb_dim as f64 * 4.0 + 4.0);
+    let touched_bytes =
+        (profile.lookups_per_sample * batch) as f64 * (profile.emb_dim as f64 * 4.0 + 4.0);
     let payload = profile.dense_params() * 4.0 + touched_bytes.min(profile.hot_emb_bytes);
     t.add(Phase::AllReduce, ring_allreduce_time(&cluster.network, cluster.nodes, payload));
     t
@@ -137,8 +137,7 @@ mod tests {
         let single = ClusterConfig::paper_cluster(1, 4, ClusterConfig::network_100g());
         let bytes = 64e6;
         assert!(
-            hierarchical_allreduce_time(&c, bytes)
-                > hierarchical_allreduce_time(&single, bytes)
+            hierarchical_allreduce_time(&c, bytes) > hierarchical_allreduce_time(&single, bytes)
         );
         // Network ring dominates NVLink ring for equal payloads.
         let intra = ring_allreduce_time(&c.node.nvlink, 4, bytes);

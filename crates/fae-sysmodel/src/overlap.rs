@@ -81,8 +81,7 @@ impl StepDag {
         let mut resource_free: HashMap<Resource, f64> = HashMap::new();
         let mut end = 0.0f64;
         for t in &self.tasks {
-            let deps_done =
-                t.deps.iter().map(|d| finish[*d]).fold(0.0f64, f64::max);
+            let deps_done = t.deps.iter().map(|d| finish[*d]).fold(0.0f64, f64::max);
             let res_free = resource_free.get(&t.resource).copied().unwrap_or(0.0);
             let start = deps_done.max(res_free);
             let fin = start + t.duration;
@@ -121,28 +120,82 @@ pub fn step_dag(
             // gradient return.
             let xfer = t.get(Phase::Transfer) / 2.0;
             dag.add("h2d", Resource::Pcie, xfer, &["embed"], Phase::Transfer);
-            dag.add("fwd", Resource::Gpu, t.get(Phase::DenseForward), &["h2d"], Phase::DenseForward);
+            dag.add(
+                "fwd",
+                Resource::Gpu,
+                t.get(Phase::DenseForward),
+                &["h2d"],
+                Phase::DenseForward,
+            );
             dag.add("bwd", Resource::Gpu, t.get(Phase::Backward), &["fwd"], Phase::Backward);
-            dag.add("allreduce", Resource::NvLink, t.get(Phase::AllReduce), &["bwd"], Phase::AllReduce);
+            dag.add(
+                "allreduce",
+                Resource::NvLink,
+                t.get(Phase::AllReduce),
+                &["bwd"],
+                Phase::AllReduce,
+            );
             dag.add("d2h", Resource::Pcie, xfer, &["bwd"], Phase::Transfer);
-            dag.add("optimizer", Resource::Cpu, t.get(Phase::Optimizer), &["d2h"], Phase::Optimizer);
+            dag.add(
+                "optimizer",
+                Resource::Cpu,
+                t.get(Phase::Optimizer),
+                &["d2h"],
+                Phase::Optimizer,
+            );
             dag.add("loop", Resource::Cpu, t.get(Phase::Framework), &[], Phase::Framework);
         }
         ExecMode::FaeHotGpu => {
             dag.add("embed", Resource::Gpu, t.get(Phase::EmbedForward), &[], Phase::EmbedForward);
-            dag.add("fwd", Resource::Gpu, t.get(Phase::DenseForward), &["embed"], Phase::DenseForward);
+            dag.add(
+                "fwd",
+                Resource::Gpu,
+                t.get(Phase::DenseForward),
+                &["embed"],
+                Phase::DenseForward,
+            );
             dag.add("bwd", Resource::Gpu, t.get(Phase::Backward), &["fwd"], Phase::Backward);
-            dag.add("allreduce", Resource::NvLink, t.get(Phase::AllReduce), &["bwd"], Phase::AllReduce);
-            dag.add("optimizer", Resource::Gpu, t.get(Phase::Optimizer), &["allreduce"], Phase::Optimizer);
+            dag.add(
+                "allreduce",
+                Resource::NvLink,
+                t.get(Phase::AllReduce),
+                &["bwd"],
+                Phase::AllReduce,
+            );
+            dag.add(
+                "optimizer",
+                Resource::Gpu,
+                t.get(Phase::Optimizer),
+                &["allreduce"],
+                Phase::Optimizer,
+            );
             dag.add("loop", Resource::Cpu, t.get(Phase::Framework), &[], Phase::Framework);
         }
         ExecMode::UvmCache { .. } => {
             dag.add("embed", Resource::Gpu, t.get(Phase::EmbedForward), &[], Phase::EmbedForward);
             dag.add("faults", Resource::Pcie, t.get(Phase::Transfer), &[], Phase::Transfer);
-            dag.add("fwd", Resource::Gpu, t.get(Phase::DenseForward), &["embed", "faults"], Phase::DenseForward);
+            dag.add(
+                "fwd",
+                Resource::Gpu,
+                t.get(Phase::DenseForward),
+                &["embed", "faults"],
+                Phase::DenseForward,
+            );
             dag.add("bwd", Resource::Gpu, t.get(Phase::Backward), &["fwd"], Phase::Backward);
-            dag.add("allreduce", Resource::NvLink, t.get(Phase::AllReduce), &["bwd"], Phase::AllReduce);
-            dag.add("optimizer", Resource::Gpu, t.get(Phase::Optimizer), &["bwd"], Phase::Optimizer);
+            dag.add(
+                "allreduce",
+                Resource::NvLink,
+                t.get(Phase::AllReduce),
+                &["bwd"],
+                Phase::AllReduce,
+            );
+            dag.add(
+                "optimizer",
+                Resource::Gpu,
+                t.get(Phase::Optimizer),
+                &["bwd"],
+                Phase::Optimizer,
+            );
             dag.add("loop", Resource::Cpu, t.get(Phase::Framework), &[], Phase::Framework);
         }
     }
@@ -215,11 +268,9 @@ mod tests {
     fn overlap_never_exceeds_serial_time() {
         let p = profile();
         let sys = SystemConfig::paper_server(4);
-        for mode in [
-            ExecMode::BaselineHybrid,
-            ExecMode::FaeHotGpu,
-            ExecMode::UvmCache { hit_rate: 0.85 },
-        ] {
+        for mode in
+            [ExecMode::BaselineHybrid, ExecMode::FaeHotGpu, ExecMode::UvmCache { hit_rate: 0.85 }]
+        {
             let (serial, overlapped, ratio) = pipelining_headroom(&p, &sys, mode, 4096);
             assert!(overlapped <= serial + 1e-12, "{mode:?}");
             assert!(ratio > 0.0 && ratio <= 1.0);
@@ -236,8 +287,7 @@ mod tests {
         // i.e. it widens rather than closes the gap.
         let p = profile();
         let sys = SystemConfig::paper_server(4);
-        let (_, _, base_ratio) =
-            pipelining_headroom(&p, &sys, ExecMode::BaselineHybrid, 4096);
+        let (_, _, base_ratio) = pipelining_headroom(&p, &sys, ExecMode::BaselineHybrid, 4096);
         let (_, _, fae_ratio) = pipelining_headroom(&p, &sys, ExecMode::FaeHotGpu, 4096);
         assert!(
             base_ratio > 0.8,

@@ -50,9 +50,8 @@ impl ModelProfile {
 
     /// Trainable dense parameters (MLP weights + biases).
     pub fn dense_params(&self) -> f64 {
-        let count = |w: &[usize]| -> f64 {
-            w.windows(2).map(|p| (p[0] * p[1] + p[1]) as f64).sum()
-        };
+        let count =
+            |w: &[usize]| -> f64 { w.windows(2).map(|p| (p[0] * p[1] + p[1]) as f64).sum() };
         count(&self.bottom_mlp) + count(&self.top_mlp)
     }
 

@@ -118,12 +118,10 @@ pub fn step_cost(
     let pcie = sys.effective_pcie();
 
     // Dense compute is data-parallel on the GPUs in every mode.
-    let fwd_gpu = sys
-        .gpu
-        .compute_time(profile.forward_flops(per_gpu as usize), profile.ops_per_forward());
-    let bwd_gpu = sys
-        .gpu
-        .compute_time(profile.backward_flops(per_gpu as usize), profile.ops_per_forward());
+    let fwd_gpu =
+        sys.gpu.compute_time(profile.forward_flops(per_gpu as usize), profile.ops_per_forward());
+    let bwd_gpu =
+        sys.gpu.compute_time(profile.backward_flops(per_gpu as usize), profile.ops_per_forward());
     // Data-parallel MLPs all-reduce their dense gradients in every mode.
     let dense_grad_bytes = profile.dense_params() * 4.0;
 
@@ -178,9 +176,7 @@ pub fn step_cost(
             t.add(Phase::Optimizer, cpu_sgd + gpu_dense_sgd);
             // While the CPU runs embeddings + sparse SGD, the GPUs idle
             // (or spin-wait); the power model needs to know this.
-            t.add_cpu_resident(
-                t.get(Phase::EmbedForward) + cpu_sgd,
-            );
+            t.add_cpu_resident(t.get(Phase::EmbedForward) + cpu_sgd);
         }
         ExecMode::FaeHotGpu => {
             // 1. Embedding gather runs on each GPU's HBM against the
@@ -264,10 +260,7 @@ pub fn step_cost(
             MULTI_GPU_SYNC_S * ((sys.num_gpus - 1) as f64).powf(MULTI_GPU_SYNC_EXP),
         );
     }
-    t.add(
-        Phase::Framework,
-        PER_STEP_FIXED_S + profile.host_prep_per_sample * batch as f64,
-    );
+    t.add(Phase::Framework, PER_STEP_FIXED_S + profile.host_prep_per_sample * batch as f64);
     t
 }
 
@@ -292,10 +285,7 @@ pub fn reshard_cost(sys: &SystemConfig, dense_param_bytes: f64, hot_bytes: f64) 
     // Hot bags replicate CPU→GPU exactly like a schedule-transition sync.
     let mut t = sync_cost(sys, hot_bytes);
     // Parameter re-broadcast rides the same ring as an all-reduce.
-    t.add(
-        Phase::AllReduce,
-        ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_param_bytes),
-    );
+    t.add(Phase::AllReduce, ring_allreduce_time(&sys.nvlink, sys.num_gpus, dense_param_bytes));
     // Communicator teardown + rendezvous: the fixed, dominant term.
     t.add(Phase::Framework, COMM_REINIT_S);
     t
@@ -329,10 +319,7 @@ mod tests {
             let batch = 1024 * gpus;
             let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, batch).total();
             let hot = step_cost(&p, &sys, ExecMode::FaeHotGpu, batch).total();
-            assert!(
-                hot < base,
-                "{gpus} GPUs: hot {hot} should beat baseline {base}"
-            );
+            assert!(hot < base, "{gpus} GPUs: hot {hot} should beat baseline {base}");
         }
     }
 
@@ -342,10 +329,7 @@ mod tests {
         let p = kaggle_profile();
         let sys = SystemConfig::paper_server(1);
         let base = step_cost(&p, &sys, ExecMode::BaselineHybrid, 1024).total();
-        assert!(
-            (5e-3..100e-3).contains(&base),
-            "baseline step {base}s implausible"
-        );
+        assert!((5e-3..100e-3).contains(&base), "baseline step {base}s implausible");
     }
 
     #[test]

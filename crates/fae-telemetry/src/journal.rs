@@ -1,0 +1,607 @@
+//! The per-step event journal: one JSON object per line, written
+//! incrementally and flushed after every event so a crashed run leaves a
+//! readable prefix (crash-safe by construction — a torn final line is
+//! skipped by the reader, everything before it is intact).
+//!
+//! The schema is deliberately flat and stable — every event carries a
+//! `"type"` tag, and every simulated-time charge carries a `"phases"`
+//! object whose values sum (across the whole journal) to the run's
+//! `TrainReport::simulated_seconds`. `fae report` and the Chrome trace
+//! exporter both consume this stream.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use fae_sysmodel::{Phase, Timeline};
+use serde_json::{Map, Value};
+
+/// Per-phase simulated seconds of one charge, in `Phase::ALL` order.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PhaseSeconds(pub [f64; 8]);
+
+impl PhaseSeconds {
+    /// The difference `after − before`, phase by phase.
+    pub fn delta(before: &Timeline, after: &Timeline) -> Self {
+        let mut out = [0.0; 8];
+        for (slot, phase) in out.iter_mut().zip(Phase::ALL) {
+            *slot = after.get(phase) - before.get(phase);
+        }
+        PhaseSeconds(out)
+    }
+
+    /// Total seconds across phases.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Seconds charged to `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        let i = Phase::ALL.iter().position(|&p| p == phase).expect("phase in ALL");
+        self.0[i]
+    }
+
+    fn to_json(self) -> Value {
+        let mut m = Map::new();
+        for (phase, secs) in Phase::ALL.iter().zip(self.0) {
+            if secs != 0.0 {
+                m.insert(phase.to_string(), serde_json::to_value(&secs));
+            }
+        }
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let m = v.as_object().ok_or("phases: expected an object")?;
+        let mut out = [0.0; 8];
+        for (k, secs) in m.iter() {
+            let i = Phase::ALL
+                .iter()
+                .position(|p| p.to_string() == *k)
+                .ok_or_else(|| format!("phases: unknown phase '{k}'"))?;
+            out[i] = secs.as_f64().ok_or_else(|| format!("phases.{k}: expected a number"))?;
+        }
+        Ok(PhaseSeconds(out))
+    }
+}
+
+/// Whether a training step ran hot (pure-GPU) or cold (hybrid CPU+GPU).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepMode {
+    /// Pure-GPU execution against the replicated hot bags.
+    Hot,
+    /// Hybrid execution against the CPU master tables.
+    Cold,
+}
+
+impl StepMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            StepMode::Hot => "hot",
+            StepMode::Cold => "cold",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hot" => Ok(StepMode::Hot),
+            "cold" => Ok(StepMode::Cold),
+            other => Err(format!("unknown step mode '{other}'")),
+        }
+    }
+}
+
+/// One journal line. Every variant that charges simulated time carries
+/// its per-phase breakdown; summing `phases` over all events reproduces
+/// the run's `Timeline` exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEvent {
+    /// Run header: emitted once, first.
+    RunStart {
+        /// Workload name.
+        workload: String,
+        /// Training seed.
+        seed: u64,
+        /// Simulated GPU count at launch.
+        num_gpus: usize,
+        /// Epochs requested.
+        epochs: usize,
+        /// Global mini-batch size.
+        minibatch_size: usize,
+        /// Initial shuffle-scheduler rate (percent).
+        initial_rate: u32,
+    },
+    /// One training step.
+    Step {
+        /// Global step index (1-based, after the step completes).
+        step: u64,
+        /// Hot or cold execution.
+        mode: StepMode,
+        /// Scheduler rate in effect (percent).
+        rate: u32,
+        /// This batch's training BCE loss.
+        loss: f64,
+        /// Simulated seconds charged by this step, per phase.
+        phases: PhaseSeconds,
+    },
+    /// A hot↔cold embedding synchronisation (or the initial replication).
+    Sync {
+        /// Step count when the sync happened.
+        step: u64,
+        /// What the sync was for: `initial`, `refresh`, `write-back`,
+        /// `aborted-replication` or `retry`.
+        direction: String,
+        /// Bytes moved over PCIe per replica.
+        bytes: u64,
+        /// Simulated seconds charged, per phase.
+        phases: PhaseSeconds,
+    },
+    /// A non-step, non-sync simulated-time charge (re-shard after device
+    /// loss, retry backoff, checkpoint I/O stall).
+    Charge {
+        /// Step count when the charge happened.
+        step: u64,
+        /// What was charged (`reshard`, `sync-backoff`, `checkpoint-io`).
+        label: String,
+        /// Simulated seconds charged, per phase.
+        phases: PhaseSeconds,
+    },
+    /// An end-of-round evaluation.
+    Eval {
+        /// Step count at evaluation.
+        step: u64,
+        /// Test BCE loss.
+        test_loss: f64,
+        /// Test accuracy.
+        test_accuracy: f64,
+        /// Scheduler rate after adaptation (percent), if FAE.
+        rate: Option<u32>,
+        /// Cumulative hot steps at this point.
+        hot_steps: u64,
+        /// Cumulative cold steps at this point.
+        cold_steps: u64,
+        /// Cumulative simulated seconds at this point.
+        sim_seconds: f64,
+    },
+    /// An injected fault fired.
+    Fault {
+        /// Step at which it fired.
+        step: u64,
+        /// Fault kind (spec-string form, e.g. `device-loss`).
+        kind: String,
+    },
+    /// A recovery action was taken (including artifact rebuilds).
+    Recovery {
+        /// Step at which it was taken (0 for load-time recoveries).
+        step: u64,
+        /// Action label (e.g. `shrank-replicas`, `rebuilt-artifacts`).
+        action: String,
+        /// Human-readable detail (rebuild reason, retry counts, ...).
+        detail: String,
+    },
+    /// Run trailer: totals, emitted once, last.
+    RunEnd {
+        /// Total steps executed.
+        steps: u64,
+        /// Steps run hot.
+        hot_steps: u64,
+        /// Steps run cold.
+        cold_steps: u64,
+        /// Hot↔cold transitions.
+        transitions: u64,
+        /// Total simulated seconds (`Timeline::total`).
+        simulated_seconds: f64,
+        /// Final test accuracy.
+        final_accuracy: f64,
+        /// Final scheduler rate, if FAE.
+        final_rate: Option<u32>,
+        /// Whether the run was interrupted (`halt_after_steps`).
+        interrupted: bool,
+    },
+}
+
+impl JournalEvent {
+    /// The `"type"` tag this event serializes under.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            JournalEvent::RunStart { .. } => "run_start",
+            JournalEvent::Step { .. } => "step",
+            JournalEvent::Sync { .. } => "sync",
+            JournalEvent::Charge { .. } => "charge",
+            JournalEvent::Eval { .. } => "eval",
+            JournalEvent::Fault { .. } => "fault",
+            JournalEvent::Recovery { .. } => "recovery",
+            JournalEvent::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The per-phase simulated charge this event carries, if any.
+    pub fn phases(&self) -> Option<&PhaseSeconds> {
+        match self {
+            JournalEvent::Step { phases, .. }
+            | JournalEvent::Sync { phases, .. }
+            | JournalEvent::Charge { phases, .. } => Some(phases),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("type".into(), Value::String(self.type_tag().into()));
+        match self {
+            JournalEvent::RunStart {
+                workload,
+                seed,
+                num_gpus,
+                epochs,
+                minibatch_size,
+                initial_rate,
+            } => {
+                m.insert("workload".into(), Value::String(workload.clone()));
+                m.insert("seed".into(), serde_json::to_value(seed));
+                m.insert("num_gpus".into(), serde_json::to_value(num_gpus));
+                m.insert("epochs".into(), serde_json::to_value(epochs));
+                m.insert("minibatch_size".into(), serde_json::to_value(minibatch_size));
+                m.insert("initial_rate".into(), serde_json::to_value(initial_rate));
+            }
+            JournalEvent::Step { step, mode, rate, loss, phases } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("mode".into(), Value::String(mode.as_str().into()));
+                m.insert("rate".into(), serde_json::to_value(rate));
+                m.insert("loss".into(), serde_json::to_value(loss));
+                m.insert("phases".into(), phases.to_json());
+            }
+            JournalEvent::Sync { step, direction, bytes, phases } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("direction".into(), Value::String(direction.clone()));
+                m.insert("bytes".into(), serde_json::to_value(bytes));
+                m.insert("phases".into(), phases.to_json());
+            }
+            JournalEvent::Charge { step, label, phases } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("label".into(), Value::String(label.clone()));
+                m.insert("phases".into(), phases.to_json());
+            }
+            JournalEvent::Eval {
+                step,
+                test_loss,
+                test_accuracy,
+                rate,
+                hot_steps,
+                cold_steps,
+                sim_seconds,
+            } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("test_loss".into(), serde_json::to_value(test_loss));
+                m.insert("test_accuracy".into(), serde_json::to_value(test_accuracy));
+                m.insert("rate".into(), serde_json::to_value(rate));
+                m.insert("hot_steps".into(), serde_json::to_value(hot_steps));
+                m.insert("cold_steps".into(), serde_json::to_value(cold_steps));
+                m.insert("sim_seconds".into(), serde_json::to_value(sim_seconds));
+            }
+            JournalEvent::Fault { step, kind } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("kind".into(), Value::String(kind.clone()));
+            }
+            JournalEvent::Recovery { step, action, detail } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("action".into(), Value::String(action.clone()));
+                m.insert("detail".into(), Value::String(detail.clone()));
+            }
+            JournalEvent::RunEnd {
+                steps,
+                hot_steps,
+                cold_steps,
+                transitions,
+                simulated_seconds,
+                final_accuracy,
+                final_rate,
+                interrupted,
+            } => {
+                m.insert("steps".into(), serde_json::to_value(steps));
+                m.insert("hot_steps".into(), serde_json::to_value(hot_steps));
+                m.insert("cold_steps".into(), serde_json::to_value(cold_steps));
+                m.insert("transitions".into(), serde_json::to_value(transitions));
+                m.insert("simulated_seconds".into(), serde_json::to_value(simulated_seconds));
+                m.insert("final_accuracy".into(), serde_json::to_value(final_accuracy));
+                m.insert("final_rate".into(), serde_json::to_value(final_rate));
+                m.insert("interrupted".into(), serde_json::to_value(interrupted));
+            }
+        }
+        Value::Object(m)
+    }
+
+    /// Parses one journal line's value tree.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let tag = v.get("type").and_then(Value::as_str).ok_or("journal event: missing \"type\"")?;
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{tag}: missing or non-integer \"{key}\""))
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{tag}: missing or non-numeric \"{key}\""))
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{tag}: missing or non-string \"{key}\""))
+        };
+        let get_phases = || -> Result<PhaseSeconds, String> {
+            PhaseSeconds::from_json(v.get("phases").ok_or(format!("{tag}: missing \"phases\""))?)
+        };
+        let get_rate_opt = |key: &str| -> Result<Option<u32>, String> {
+            match v.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(r) => r
+                    .as_u64()
+                    .map(|u| Some(u as u32))
+                    .ok_or_else(|| format!("{tag}: non-integer \"{key}\"")),
+            }
+        };
+        Ok(match tag {
+            "run_start" => JournalEvent::RunStart {
+                workload: get_str("workload")?,
+                seed: get_u64("seed")?,
+                num_gpus: get_u64("num_gpus")? as usize,
+                epochs: get_u64("epochs")? as usize,
+                minibatch_size: get_u64("minibatch_size")? as usize,
+                initial_rate: get_u64("initial_rate")? as u32,
+            },
+            "step" => JournalEvent::Step {
+                step: get_u64("step")?,
+                mode: StepMode::parse(&get_str("mode")?)?,
+                rate: get_u64("rate")? as u32,
+                loss: get_f64("loss")?,
+                phases: get_phases()?,
+            },
+            "sync" => JournalEvent::Sync {
+                step: get_u64("step")?,
+                direction: get_str("direction")?,
+                bytes: get_u64("bytes")?,
+                phases: get_phases()?,
+            },
+            "charge" => JournalEvent::Charge {
+                step: get_u64("step")?,
+                label: get_str("label")?,
+                phases: get_phases()?,
+            },
+            "eval" => JournalEvent::Eval {
+                step: get_u64("step")?,
+                test_loss: get_f64("test_loss")?,
+                test_accuracy: get_f64("test_accuracy")?,
+                rate: get_rate_opt("rate")?,
+                hot_steps: get_u64("hot_steps")?,
+                cold_steps: get_u64("cold_steps")?,
+                sim_seconds: get_f64("sim_seconds")?,
+            },
+            "fault" => JournalEvent::Fault { step: get_u64("step")?, kind: get_str("kind")? },
+            "recovery" => JournalEvent::Recovery {
+                step: get_u64("step")?,
+                action: get_str("action")?,
+                detail: get_str("detail")?,
+            },
+            "run_end" => JournalEvent::RunEnd {
+                steps: get_u64("steps")?,
+                hot_steps: get_u64("hot_steps")?,
+                cold_steps: get_u64("cold_steps")?,
+                transitions: get_u64("transitions")?,
+                simulated_seconds: get_f64("simulated_seconds")?,
+                final_accuracy: get_f64("final_accuracy")?,
+                final_rate: get_rate_opt("final_rate")?,
+                interrupted: v
+                    .get("interrupted")
+                    .and_then(|b| match b {
+                        Value::Bool(x) => Some(*x),
+                        _ => None,
+                    })
+                    .ok_or("run_end: missing \"interrupted\"")?,
+            },
+            other => return Err(format!("unknown journal event type '{other}'")),
+        })
+    }
+}
+
+/// An incremental JSONL writer. Every [`write`](JournalWriter::write)
+/// appends one line and flushes, so the file on disk is always a valid
+/// prefix of the journal — a crash costs at most the line being written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl JournalWriter {
+    /// Creates (truncates) the journal file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self { out: BufWriter::new(File::create(path)?), lines: 0 })
+    }
+
+    /// Appends one event and flushes it to disk.
+    pub fn write(&mut self, event: &JournalEvent) -> io::Result<()> {
+        let line =
+            serde_json::to_string(&event.to_json()).map_err(|e| io::Error::other(e.to_string()))?;
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+/// Parses a journal text (JSONL). Blank lines are skipped; a torn final
+/// line (crash mid-write) is tolerated and dropped, but a malformed line
+/// anywhere else is an error.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEvent>, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!("journal: dropping torn final line: {e}");
+                break;
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        };
+        events.push(
+            JournalEvent::from_json(&value).map_err(|e| format!("journal line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+/// Reads and parses a journal file.
+pub fn read_journal(path: &Path) -> Result<Vec<JournalEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_journal(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        let mut t0 = Timeline::new();
+        let mut t1 = Timeline::new();
+        t1.add(Phase::DenseForward, 0.25);
+        t1.add(Phase::AllReduce, 0.5);
+        vec![
+            JournalEvent::RunStart {
+                workload: "tiny-test".into(),
+                seed: 7,
+                num_gpus: 4,
+                epochs: 1,
+                minibatch_size: 64,
+                initial_rate: 50,
+            },
+            JournalEvent::Step {
+                step: 1,
+                mode: StepMode::Cold,
+                rate: 50,
+                loss: 0.693,
+                phases: PhaseSeconds::delta(&t0, &t1),
+            },
+            JournalEvent::Sync {
+                step: 1,
+                direction: "refresh".into(),
+                bytes: 1 << 20,
+                phases: {
+                    t0 = t1.clone();
+                    t1.add(Phase::EmbedSync, 0.125);
+                    PhaseSeconds::delta(&t0, &t1)
+                },
+            },
+            JournalEvent::Charge {
+                step: 2,
+                label: "reshard".into(),
+                phases: PhaseSeconds([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0625]),
+            },
+            JournalEvent::Eval {
+                step: 2,
+                test_loss: 0.69,
+                test_accuracy: 0.55,
+                rate: Some(25),
+                hot_steps: 1,
+                cold_steps: 1,
+                sim_seconds: 0.9375,
+            },
+            JournalEvent::Fault { step: 2, kind: "device-loss".into() },
+            JournalEvent::Recovery {
+                step: 2,
+                action: "shrank-replicas".into(),
+                detail: "4 -> 3".into(),
+            },
+            JournalEvent::RunEnd {
+                steps: 2,
+                hot_steps: 1,
+                cold_steps: 1,
+                transitions: 2,
+                simulated_seconds: 0.9375,
+                final_accuracy: 0.55,
+                final_rate: Some(25),
+                interrupted: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        for e in sample_events() {
+            let back = JournalEvent::from_json(&e.to_json()).expect("round trip");
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let dir = std::env::temp_dir().join("fae-telemetry-journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let events = sample_events();
+        let mut w = JournalWriter::create(&path).unwrap();
+        for e in &events {
+            w.write(e).unwrap();
+        }
+        assert_eq!(w.lines(), events.len() as u64);
+        let back = read_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let events = sample_events();
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&serde_json::to_string(&e.to_json()).unwrap());
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"step\",\"ste"); // torn mid-write
+        let back = parse_journal(&text).expect("torn tail tolerated");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn malformed_interior_line_is_an_error() {
+        let text = "not json\n{\"type\":\"fault\",\"step\":1,\"kind\":\"device-loss\"}\n";
+        assert!(parse_journal(text).is_err());
+    }
+
+    #[test]
+    fn phase_delta_and_total() {
+        let mut a = Timeline::new();
+        a.add(Phase::Optimizer, 1.0);
+        let mut b = a.clone();
+        b.add(Phase::Optimizer, 0.5);
+        b.add(Phase::Transfer, 0.25);
+        let d = PhaseSeconds::delta(&a, &b);
+        assert_eq!(d.get(Phase::Optimizer), 0.5);
+        assert_eq!(d.get(Phase::Transfer), 0.25);
+        assert_eq!(d.get(Phase::Backward), 0.0);
+        assert!((d.total() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unknown_event_type_is_rejected() {
+        let v: Value = serde_json::from_str("{\"type\":\"mystery\"}").unwrap();
+        assert!(JournalEvent::from_json(&v).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Structured telemetry for the FAE training pipeline.
+//!
+//! Four pieces, all zero-dependency (std + the vendored serde shims):
+//!
+//! * [`metrics`] — a registry of counters, gauges and fixed-bucket
+//!   log₂-scale histograms, plus per-path span aggregates;
+//! * [`span`] — RAII guards measuring real wall-clock seconds and
+//!   explicitly-attributed simulated seconds per pipeline stage;
+//! * [`journal`] — a crash-safe per-step JSONL event journal whose
+//!   per-phase simulated seconds sum exactly to the run's `Timeline`;
+//! * [`trace`] + [`report`] — consumers of the journal: a deterministic
+//!   Chrome trace-event (Perfetto) exporter and the Fig.-14-style phase
+//!   breakdown behind `fae report`.
+//!
+//! Everything hangs off the [`Telemetry`] handle: a cheap, cloneable,
+//! global-free capability that is threaded through the trainer,
+//! scheduler, replicator, calibrator and fault layer. A
+//! [`Telemetry::disabled`] handle (also `Default`) makes every call a
+//! no-op, so instrumented code paths cost nothing when observability is
+//! off and call sites never need `if let Some(telemetry)` guards.
+
+pub mod journal;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+pub use journal::{
+    parse_journal, read_journal, JournalEvent, JournalWriter, PhaseSeconds, StepMode,
+};
+pub use metrics::{Histogram, MetricsRegistry, SpanStat};
+pub use report::{render, summarize, PhaseBreakdown, RunSummary};
+pub use span::SpanGuard;
+pub use trace::chrome_trace;
+
+struct Inner {
+    metrics: Mutex<MetricsRegistry>,
+    journal: Mutex<Option<JournalWriter>>,
+    events: Mutex<Vec<JournalEvent>>,
+    retain_events: bool,
+    progress: bool,
+    progress_every: u64,
+}
+
+/// The telemetry capability handle.
+///
+/// Cloning is cheap (an `Arc` bump); a disabled handle is a `None` and
+/// every operation on it returns immediately. Interior mutability means
+/// instrumented code takes `&Telemetry` (or a clone) without threading
+/// `&mut` through the whole call tree.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Telemetry(disabled)"),
+            Some(inner) => {
+                let journalling = inner.journal.lock().map(|j| j.is_some()).unwrap_or(false);
+                write!(f, "Telemetry(enabled, journal: {journalling})")
+            }
+        }
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: every call returns immediately, nothing is
+    /// recorded. This is also the `Default`.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// Starts configuring an enabled handle.
+    pub fn builder() -> TelemetryBuilder {
+        TelemetryBuilder::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if let Some(inner) = &self.0 {
+            if let Ok(mut m) = inner.metrics.lock() {
+                m.counter_add(name, n);
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.0 {
+            if let Ok(mut m) = inner.metrics.lock() {
+                m.gauge_set(name, v);
+            }
+        }
+    }
+
+    /// Records an observation into the histogram `name`.
+    pub fn observe(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.0 {
+            if let Ok(mut m) = inner.metrics.lock() {
+                m.observe(name, v);
+            }
+        }
+    }
+
+    /// Records one completed span occurrence (used by [`SpanGuard`]).
+    pub fn span_record(&self, path: &str, real_s: f64, sim_s: f64) {
+        if let Some(inner) = &self.0 {
+            if let Ok(mut m) = inner.metrics.lock() {
+                m.span_record(path, real_s, sim_s);
+            }
+        }
+    }
+
+    /// Opens a span at `path`; real seconds are measured until the guard
+    /// drops, simulated seconds are attributed via
+    /// [`SpanGuard::add_sim`].
+    pub fn span(&self, path: &str) -> SpanGuard {
+        SpanGuard::open(self.clone(), path)
+    }
+
+    /// Emits one journal event: appended (and flushed) to the journal
+    /// file if one is attached, retained in memory when configured, and
+    /// echoed as a progress line when `--progress` is on. Journal write
+    /// errors are reported to stderr once per event, never fatal — losing
+    /// telemetry must not kill training.
+    pub fn emit(&self, event: &JournalEvent) {
+        let Some(inner) = &self.0 else { return };
+        if let Ok(mut j) = inner.journal.lock() {
+            if let Some(w) = j.as_mut() {
+                if let Err(e) = w.write(event) {
+                    eprintln!("telemetry: journal write failed: {e}");
+                }
+            }
+        }
+        if inner.retain_events {
+            if let Ok(mut ev) = inner.events.lock() {
+                ev.push(event.clone());
+            }
+        }
+        if inner.progress {
+            self.progress_line(inner, event);
+        }
+    }
+
+    fn progress_line(&self, inner: &Inner, event: &JournalEvent) {
+        match event {
+            JournalEvent::RunStart { workload, num_gpus, epochs, initial_rate, .. } => {
+                eprintln!(
+                    "[fae] start workload={workload} gpus={num_gpus} epochs={epochs} rate=R({initial_rate})"
+                );
+            }
+            JournalEvent::Step { step, mode, rate, loss, .. }
+                if *step % inner.progress_every == 0 =>
+            {
+                let mode = match mode {
+                    StepMode::Hot => "hot",
+                    StepMode::Cold => "cold",
+                };
+                eprintln!("[fae] step {step} mode={mode} rate=R({rate}) loss={loss:.5}");
+            }
+            JournalEvent::Eval { step, test_loss, test_accuracy, rate, sim_seconds, .. } => {
+                let rate = rate.map(|r| format!(" rate=R({r})")).unwrap_or_default();
+                eprintln!(
+                    "[fae] eval @{step} loss={test_loss:.5} acc={test_accuracy:.5}{rate} sim={sim_seconds:.3}s"
+                );
+            }
+            JournalEvent::Fault { step, kind } => {
+                eprintln!("[fae] fault @{step}: {kind}");
+            }
+            JournalEvent::Recovery { step, action, detail } => {
+                eprintln!("[fae] recovery @{step}: {action} ({detail})");
+            }
+            JournalEvent::RunEnd { steps, hot_steps, cold_steps, simulated_seconds, .. } => {
+                eprintln!(
+                    "[fae] done: {steps} steps ({hot_steps} hot / {cold_steps} cold), {simulated_seconds:.3} simulated s"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Snapshot of the metrics registry (empty when disabled).
+    pub fn metrics(&self) -> MetricsRegistry {
+        match &self.0 {
+            None => MetricsRegistry::new(),
+            Some(inner) => inner.metrics.lock().map(|m| m.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// The retained in-memory event stream (empty unless
+    /// [`TelemetryBuilder::retain_events`] was set).
+    pub fn events(&self) -> Vec<JournalEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.events.lock().map(|e| e.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Serializes the metrics snapshot as pretty JSON.
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics().to_json())
+            .expect("Value serialization cannot fail")
+    }
+
+    /// Writes the metrics snapshot to `path`.
+    pub fn write_metrics(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.metrics_json())
+    }
+}
+
+/// Configures and builds an enabled [`Telemetry`] handle.
+#[derive(Debug, Default)]
+pub struct TelemetryBuilder {
+    journal_path: Option<PathBuf>,
+    retain_events: bool,
+    progress: bool,
+    progress_every: Option<u64>,
+}
+
+impl TelemetryBuilder {
+    /// Attaches a JSONL journal at `path` (created/truncated on build).
+    pub fn journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Keeps every emitted event in memory, retrievable via
+    /// [`Telemetry::events`] — used by the trace exporter and tests.
+    pub fn retain_events(mut self, yes: bool) -> Self {
+        self.retain_events = yes;
+        self
+    }
+
+    /// Echoes progress lines to stderr as events are emitted.
+    pub fn progress(mut self, yes: bool) -> Self {
+        self.progress = yes;
+        self
+    }
+
+    /// Prints a progress line every `n` steps (default 100).
+    pub fn progress_every(mut self, n: u64) -> Self {
+        self.progress_every = Some(n.max(1));
+        self
+    }
+
+    /// Builds the handle. Fails only if the journal file cannot be
+    /// created.
+    pub fn try_build(self) -> io::Result<Telemetry> {
+        let journal = match &self.journal_path {
+            None => None,
+            Some(p) => Some(JournalWriter::create(p)?),
+        };
+        Ok(Telemetry(Some(Arc::new(Inner {
+            metrics: Mutex::new(MetricsRegistry::new()),
+            journal: Mutex::new(journal),
+            events: Mutex::new(Vec::new()),
+            retain_events: self.retain_events,
+            progress: self.progress,
+            progress_every: self.progress_every.unwrap_or(100),
+        }))))
+    }
+
+    /// Builds the handle, panicking on journal-creation failure. Use
+    /// [`try_build`](TelemetryBuilder::try_build) to handle the error.
+    pub fn build(self) -> Telemetry {
+        self.try_build().expect("telemetry journal creation failed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.counter_add("c", 5);
+        t.gauge_set("g", 1.0);
+        t.observe("h", 1.0);
+        t.emit(&JournalEvent::Fault { step: 1, kind: "k".into() });
+        assert_eq!(t.metrics(), MetricsRegistry::new());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_records_and_clones_share_state() {
+        let t = Telemetry::builder().retain_events(true).build();
+        let t2 = t.clone();
+        t.counter_add("c", 2);
+        t2.counter_add("c", 3);
+        t2.emit(&JournalEvent::Fault { step: 9, kind: "bitflip".into() });
+        assert_eq!(t.metrics().counter("c"), 5);
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn journal_file_receives_events() {
+        let dir = std::env::temp_dir().join("fae-telemetry-lib");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("handle.jsonl");
+        let t = Telemetry::builder().journal_path(&path).build();
+        t.emit(&JournalEvent::Fault { step: 1, kind: "device-loss".into() });
+        t.emit(&JournalEvent::Recovery {
+            step: 1,
+            action: "shrank-replicas".into(),
+            detail: "2 -> 1".into(),
+        });
+        let events = read_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], JournalEvent::Fault { step: 1, kind: "device-loss".into() });
+    }
+
+    #[test]
+    fn debug_formats_do_not_leak_internals() {
+        assert_eq!(format!("{:?}", Telemetry::disabled()), "Telemetry(disabled)");
+        let t = Telemetry::builder().build();
+        assert_eq!(format!("{t:?}"), "Telemetry(enabled, journal: false)");
+    }
+}

@@ -1,0 +1,369 @@
+//! The metrics registry: counters, gauges and fixed-bucket log-scale
+//! histograms, all behind plain `String` names.
+//!
+//! The registry is deliberately zero-dependency (std collections only;
+//! serde is used solely to snapshot it to JSON). Names follow a
+//! dot-separated hierarchy — `scheduler.rate`, `replicator.sync_bytes`,
+//! `faults.injected.device-loss` — documented in DESIGN.md §8.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets. Bucket `i` covers
+/// `[2^(i + MIN_EXP), 2^(i + MIN_EXP + 1))`; the first and last buckets
+/// additionally absorb underflow and overflow.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Exponent of the lower bound of bucket 0 (`2^-40 ≈ 9.1e-13`), chosen so
+/// sub-nanosecond durations and multi-megasecond simulated times both
+/// land inside the range.
+pub const HISTOGRAM_MIN_EXP: i32 = -40;
+
+/// A fixed-bucket log₂-scale histogram.
+///
+/// Observations are binned by `floor(log2(v))`; the bucket layout is
+/// fixed at construction so histograms from different runs (or shards)
+/// [`merge`](Histogram::merge) bucket-by-bucket without rebinning.
+/// Non-positive and non-finite observations clamp into the underflow
+/// bucket (0); values beyond the top bound clamp into the last bucket.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bucket observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+inf` when empty).
+    pub min: f64,
+    /// Largest observed value (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket an observation falls into.
+    pub fn bucket_index(v: f64) -> usize {
+        if !v.is_finite() || v <= 0.0 {
+            return 0;
+        }
+        let exp = v.log2().floor() as i64 - HISTOGRAM_MIN_EXP as i64;
+        exp.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// `[lower, upper)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+        let lo = 2f64.powi(HISTOGRAM_MIN_EXP + i as i32);
+        (lo, lo * 2.0)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bucket layouts must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One completed span occurrence, aggregated by path.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Times this span path was entered.
+    pub count: u64,
+    /// Total real (host wall-clock) seconds across occurrences.
+    pub real_s: f64,
+    /// Total simulated seconds attributed across occurrences.
+    pub sim_s: f64,
+}
+
+/// The registry: three name-keyed maps plus the span aggregate.
+///
+/// `BTreeMap` keeps snapshots deterministically ordered, so two runs with
+/// the same metric activity serialize identically (modulo wall-clock
+/// values).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name` (created at 0).
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records an observation into the histogram `name`.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Records one completed span occurrence under `path`.
+    pub fn span_record(&mut self, path: &str, real_s: f64, sim_s: f64) {
+        let s = self.spans.entry(path.to_string()).or_default();
+        s.count += 1;
+        s.real_s += real_s;
+        s.sim_s += sim_s;
+    }
+
+    /// Current counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The aggregated span stats under `path`.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// Merges another registry into this one (counters add, gauges take
+    /// the other's value, histograms and spans merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+        for (k, v) in &other.spans {
+            let s = self.spans.entry(k.clone()).or_default();
+            s.count += v.count;
+            s.real_s += v.real_s;
+            s.sim_s += v.sim_s;
+        }
+    }
+
+    /// Snapshots the registry as a JSON value tree.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::{Map, Value};
+        let mut counters = Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), serde_json::to_value(v));
+        }
+        let mut gauges = Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), serde_json::to_value(v));
+        }
+        let mut histograms = Map::new();
+        for (k, h) in &self.histograms {
+            // Sparse bucket encoding: only non-empty buckets, as
+            // [index, lower_bound, count] triples.
+            let buckets: Vec<Value> = h
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    Value::Array(vec![
+                        serde_json::to_value(&(i as u64)),
+                        serde_json::to_value(&Histogram::bucket_bounds(i).0),
+                        serde_json::to_value(&c),
+                    ])
+                })
+                .collect();
+            let mut m = Map::new();
+            m.insert("count".into(), serde_json::to_value(&h.count));
+            m.insert("sum".into(), serde_json::to_value(&h.sum));
+            m.insert("mean".into(), serde_json::to_value(&h.mean()));
+            m.insert("min".into(), serde_json::to_value(&h.min));
+            m.insert("max".into(), serde_json::to_value(&h.max));
+            m.insert("buckets".into(), Value::Array(buckets));
+            histograms.insert(k.clone(), Value::Object(m));
+        }
+        let mut spans = Map::new();
+        for (k, s) in &self.spans {
+            let mut m = Map::new();
+            m.insert("count".into(), serde_json::to_value(&s.count));
+            m.insert("real_s".into(), serde_json::to_value(&s.real_s));
+            m.insert("sim_s".into(), serde_json::to_value(&s.sim_s));
+            spans.insert(k.clone(), Value::Object(m));
+        }
+        let mut root = Map::new();
+        root.insert("counters".into(), Value::Object(counters));
+        root.insert("gauges".into(), Value::Object(gauges));
+        root.insert("histograms".into(), Value::Object(histograms));
+        root.insert("spans".into(), Value::Object(spans));
+        Value::Object(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 1.0 = 2^0 → bucket -MIN_EXP; the lower bound is inclusive,
+        // the upper bound exclusive.
+        let one = (-HISTOGRAM_MIN_EXP) as usize;
+        assert_eq!(Histogram::bucket_index(1.0), one);
+        assert_eq!(Histogram::bucket_index(1.999), one);
+        assert_eq!(Histogram::bucket_index(2.0), one + 1);
+        assert_eq!(Histogram::bucket_index(0.5), one - 1);
+        let (lo, hi) = Histogram::bucket_bounds(one);
+        assert_eq!(lo, 1.0);
+        assert_eq!(hi, 2.0);
+    }
+
+    #[test]
+    fn bucket_underflow_and_overflow_clamp() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(1e-300), 0);
+        assert_eq!(Histogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_bucket_bound_maps_back_to_its_bucket() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, _hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of bucket {i}");
+            // The bucket midpoint stays inside (probing one ulp under the
+            // upper bound is not robust: log2 rounds it up to the bound).
+            assert_eq!(Histogram::bucket_index(lo * 1.5), i, "midpoint of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn observe_tracks_count_sum_min_max() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        h.observe(4.0);
+        h.observe(0.25);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 5.25);
+        assert_eq!(h.min, 0.25);
+        assert_eq!(h.max, 4.0);
+        assert!((h.mean() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_bucket_by_bucket() {
+        let mut a = Histogram::new();
+        a.observe(1.0);
+        a.observe(1.5);
+        let mut b = Histogram::new();
+        b.observe(1.0);
+        b.observe(1024.0);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        let one = (-HISTOGRAM_MIN_EXP) as usize;
+        assert_eq!(a.counts[one], 3);
+        assert_eq!(a.counts[one + 10], 1);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 1024.0);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        r.observe("h", 1.0);
+        r.span_record("pipeline/train", 0.5, 100.0);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), Some(2.5));
+        assert_eq!(r.histogram("h").unwrap().count, 1);
+        assert_eq!(r.span("pipeline/train").unwrap().sim_s, 100.0);
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 7.0);
+        b.observe("h", 2.0);
+        b.span_record("s", 1.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert_eq!(a.span("s").unwrap().count, 1);
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministically_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z.last", 1);
+        r.counter_add("a.first", 1);
+        r.observe("lat", 0.5);
+        let text = serde_json::to_string(&r.to_json()).unwrap();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        assert!(text.contains("\"buckets\""));
+    }
+}

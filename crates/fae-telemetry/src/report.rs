@@ -1,0 +1,376 @@
+//! Journal aggregation and the Fig.-14-style phase-breakdown report.
+//!
+//! [`summarize`] folds a journal's event stream into a [`RunSummary`]
+//! whose per-phase totals are split by where the time was spent — hot
+//! steps, cold steps, synchronisation, other charges — exactly the
+//! decomposition the paper uses to argue FAE's win (hot mini-batches
+//! eliminate the CPU-resident embedding phases). [`render`] prints it as
+//! a fixed-width table; `fae report <journal>` is a thin wrapper.
+
+use fae_sysmodel::Phase;
+
+use crate::journal::{JournalEvent, StepMode};
+
+/// Per-phase simulated seconds split by spend category. Arrays are
+/// indexed in `Phase::ALL` order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Seconds charged by hot (pure-GPU) steps.
+    pub hot: [f64; 8],
+    /// Seconds charged by cold (hybrid) steps.
+    pub cold: [f64; 8],
+    /// Seconds charged by embedding synchronisation events.
+    pub sync: [f64; 8],
+    /// Seconds charged by everything else (reshard, backoff, I/O stalls).
+    pub other: [f64; 8],
+}
+
+impl PhaseBreakdown {
+    /// Total seconds for phase index `i` across all categories.
+    pub fn phase_total(&self, i: usize) -> f64 {
+        self.hot[i] + self.cold[i] + self.sync[i] + self.other[i]
+    }
+
+    /// Grand total across phases and categories.
+    pub fn grand_total(&self) -> f64 {
+        (0..8).map(|i| self.phase_total(i)).sum()
+    }
+}
+
+/// One evaluation row extracted from the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalRow {
+    /// Step count at evaluation.
+    pub step: u64,
+    /// Test BCE loss.
+    pub test_loss: f64,
+    /// Test accuracy.
+    pub test_accuracy: f64,
+    /// Scheduler rate after adaptation, if FAE.
+    pub rate: Option<u32>,
+}
+
+/// Everything `fae report` prints, extracted from one journal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunSummary {
+    /// Workload name from the run header, if present.
+    pub workload: Option<String>,
+    /// Simulated GPU count from the run header.
+    pub num_gpus: Option<usize>,
+    /// Steps seen in the journal.
+    pub steps: u64,
+    /// Hot steps seen.
+    pub hot_steps: u64,
+    /// Cold steps seen.
+    pub cold_steps: u64,
+    /// Sync events seen.
+    pub sync_count: u64,
+    /// Total bytes moved by sync events.
+    pub sync_bytes: u64,
+    /// Fault events seen.
+    pub faults: u64,
+    /// Recovery events seen.
+    pub recoveries: u64,
+    /// Evaluations in journal order.
+    pub evals: Vec<EvalRow>,
+    /// The per-phase/category time split.
+    pub breakdown: PhaseBreakdown,
+    /// `simulated_seconds` from the run trailer, if the run finished.
+    pub reported_simulated_seconds: Option<f64>,
+    /// Final accuracy from the run trailer.
+    pub final_accuracy: Option<f64>,
+    /// Whether the run trailer flagged an interrupted run.
+    pub interrupted: bool,
+}
+
+impl RunSummary {
+    /// Sum of all journalled per-phase seconds. When the run finished
+    /// cleanly this matches `reported_simulated_seconds` to within float
+    /// error — the acceptance invariant of the journal.
+    pub fn journalled_seconds(&self) -> f64 {
+        self.breakdown.grand_total()
+    }
+}
+
+/// Folds a journal into a [`RunSummary`].
+pub fn summarize(events: &[JournalEvent]) -> RunSummary {
+    let mut s = RunSummary::default();
+    for e in events {
+        match e {
+            JournalEvent::RunStart { workload, num_gpus, .. } => {
+                s.workload = Some(workload.clone());
+                s.num_gpus = Some(*num_gpus);
+            }
+            JournalEvent::Step { mode, phases, .. } => {
+                s.steps += 1;
+                let bucket = match mode {
+                    StepMode::Hot => {
+                        s.hot_steps += 1;
+                        &mut s.breakdown.hot
+                    }
+                    StepMode::Cold => {
+                        s.cold_steps += 1;
+                        &mut s.breakdown.cold
+                    }
+                };
+                for (slot, v) in bucket.iter_mut().zip(phases.0) {
+                    *slot += v;
+                }
+            }
+            JournalEvent::Sync { bytes, phases, .. } => {
+                s.sync_count += 1;
+                s.sync_bytes += bytes;
+                for (slot, v) in s.breakdown.sync.iter_mut().zip(phases.0) {
+                    *slot += v;
+                }
+            }
+            JournalEvent::Charge { phases, .. } => {
+                for (slot, v) in s.breakdown.other.iter_mut().zip(phases.0) {
+                    *slot += v;
+                }
+            }
+            JournalEvent::Eval { step, test_loss, test_accuracy, rate, .. } => {
+                s.evals.push(EvalRow {
+                    step: *step,
+                    test_loss: *test_loss,
+                    test_accuracy: *test_accuracy,
+                    rate: *rate,
+                });
+            }
+            JournalEvent::Fault { .. } => s.faults += 1,
+            JournalEvent::Recovery { .. } => s.recoveries += 1,
+            JournalEvent::RunEnd { simulated_seconds, final_accuracy, interrupted, .. } => {
+                s.reported_simulated_seconds = Some(*simulated_seconds);
+                s.final_accuracy = Some(*final_accuracy);
+                s.interrupted = *interrupted;
+            }
+        }
+    }
+    s
+}
+
+fn fmt_rate(rate: Option<u32>) -> String {
+    match rate {
+        Some(r) => format!("R({r})"),
+        None => "-".into(),
+    }
+}
+
+/// Renders the Fig.-14-style phase-breakdown table plus run header and
+/// evaluation history.
+pub fn render(s: &RunSummary) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, line: String| {
+        out.push_str(&line);
+        out.push('\n');
+    };
+
+    push(&mut out, format!("run: {}", s.workload.as_deref().unwrap_or("<unknown>")));
+    push(
+        &mut out,
+        format!(
+            "steps: {} ({} hot / {} cold)   gpus: {}   syncs: {} ({} bytes)   faults: {}   recoveries: {}",
+            s.steps,
+            s.hot_steps,
+            s.cold_steps,
+            s.num_gpus.map(|g| g.to_string()).unwrap_or_else(|| "?".into()),
+            s.sync_count,
+            s.sync_bytes,
+            s.faults,
+            s.recoveries,
+        ),
+    );
+    if s.interrupted {
+        push(&mut out, "note: run was interrupted (journal covers a partial run)".into());
+    }
+    push(&mut out, String::new());
+
+    // Fig.-14-style breakdown: one row per phase, columns split the
+    // simulated seconds by where they were spent.
+    let total = s.breakdown.grand_total();
+    push(
+        &mut out,
+        format!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>11} {:>7}",
+            "phase", "hot (s)", "cold (s)", "sync (s)", "other (s)", "total (s)", "%"
+        ),
+    );
+    push(&mut out, "-".repeat(82));
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        let row_total = s.breakdown.phase_total(i);
+        if row_total == 0.0 {
+            continue;
+        }
+        let pct = if total > 0.0 { 100.0 * row_total / total } else { 0.0 };
+        push(
+            &mut out,
+            format!(
+                "{:<18} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>11.4} {:>6.1}%",
+                phase.to_string(),
+                s.breakdown.hot[i],
+                s.breakdown.cold[i],
+                s.breakdown.sync[i],
+                s.breakdown.other[i],
+                row_total,
+                pct,
+            ),
+        );
+    }
+    push(&mut out, "-".repeat(82));
+    push(
+        &mut out,
+        format!(
+            "{:<18} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>11.4} {:>6.1}%",
+            "total",
+            s.breakdown.hot.iter().sum::<f64>(),
+            s.breakdown.cold.iter().sum::<f64>(),
+            s.breakdown.sync.iter().sum::<f64>(),
+            s.breakdown.other.iter().sum::<f64>(),
+            total,
+            100.0,
+        ),
+    );
+    if let Some(reported) = s.reported_simulated_seconds {
+        push(
+            &mut out,
+            format!(
+                "journalled {:.6}s vs reported {:.6}s (delta {:+.2e}s)",
+                total,
+                reported,
+                total - reported,
+            ),
+        );
+    }
+
+    if !s.evals.is_empty() {
+        push(&mut out, String::new());
+        push(
+            &mut out,
+            format!(
+                "{:<10} {:>12} {:>14} {:>8}",
+                "eval@step", "test loss", "test accuracy", "rate"
+            ),
+        );
+        for e in &s.evals {
+            push(
+                &mut out,
+                format!(
+                    "{:<10} {:>12.5} {:>14.5} {:>8}",
+                    e.step,
+                    e.test_loss,
+                    e.test_accuracy,
+                    fmt_rate(e.rate),
+                ),
+            );
+        }
+    }
+    if let Some(acc) = s.final_accuracy {
+        push(&mut out, format!("final accuracy: {acc:.5}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::PhaseSeconds;
+
+    fn sample() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::RunStart {
+                workload: "w".into(),
+                seed: 1,
+                num_gpus: 2,
+                epochs: 1,
+                minibatch_size: 8,
+                initial_rate: 100,
+            },
+            JournalEvent::Step {
+                step: 1,
+                mode: StepMode::Hot,
+                rate: 100,
+                loss: 0.7,
+                phases: PhaseSeconds([0.1, 0.2, 0.3, 0.05, 0.0, 0.15, 0.0, 0.01]),
+            },
+            JournalEvent::Step {
+                step: 2,
+                mode: StepMode::Cold,
+                rate: 100,
+                loss: 0.6,
+                phases: PhaseSeconds([0.4, 0.2, 0.3, 0.05, 0.2, 0.15, 0.0, 0.01]),
+            },
+            JournalEvent::Sync {
+                step: 2,
+                direction: "write-back".into(),
+                bytes: 2048,
+                phases: PhaseSeconds([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.25, 0.0]),
+            },
+            JournalEvent::Charge {
+                step: 2,
+                label: "reshard".into(),
+                phases: PhaseSeconds([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.125]),
+            },
+            JournalEvent::Eval {
+                step: 2,
+                test_loss: 0.65,
+                test_accuracy: 0.58,
+                rate: Some(50),
+                hot_steps: 1,
+                cold_steps: 1,
+                sim_seconds: 2.495,
+            },
+            JournalEvent::RunEnd {
+                steps: 2,
+                hot_steps: 1,
+                cold_steps: 1,
+                transitions: 1,
+                simulated_seconds: 2.495,
+                final_accuracy: 0.58,
+                final_rate: Some(50),
+                interrupted: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_splits_phases_by_category() {
+        let s = summarize(&sample());
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.hot_steps, 1);
+        assert_eq!(s.cold_steps, 1);
+        assert_eq!(s.sync_count, 1);
+        assert_eq!(s.sync_bytes, 2048);
+        // EmbedForward index 0: hot charged 0.1, cold 0.4.
+        assert!((s.breakdown.hot[0] - 0.1).abs() < 1e-12);
+        assert!((s.breakdown.cold[0] - 0.4).abs() < 1e-12);
+        // EmbedSync index 6 entirely under sync.
+        assert!((s.breakdown.sync[6] - 0.25).abs() < 1e-12);
+        // Framework "other" from the reshard charge.
+        assert!((s.breakdown.other[7] - 0.125).abs() < 1e-12);
+        assert_eq!(s.evals.len(), 1);
+        assert_eq!(s.evals[0].rate, Some(50));
+    }
+
+    #[test]
+    fn journalled_seconds_match_run_end() {
+        let s = summarize(&sample());
+        let reported = s.reported_simulated_seconds.unwrap();
+        assert!(
+            (s.journalled_seconds() - reported).abs() < 1e-9,
+            "{} vs {reported}",
+            s.journalled_seconds()
+        );
+    }
+
+    #[test]
+    fn render_contains_breakdown_and_evals() {
+        let s = summarize(&sample());
+        let text = render(&s);
+        assert!(text.contains("embed-forward"));
+        assert!(text.contains("embed-sync"));
+        assert!(text.contains("R(50)"));
+        assert!(text.contains("total"));
+        assert!(text.contains("final accuracy"));
+        assert!(text.contains("dense-forward"));
+    }
+}

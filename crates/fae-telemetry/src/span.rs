@@ -1,0 +1,92 @@
+//! Hierarchical spans over pipeline stages.
+//!
+//! A span is a named region of work identified by a `/`-separated path
+//! (`pipeline/calibrate/log-accesses`). Opening one with
+//! [`Telemetry::span`](crate::Telemetry::span) returns a guard that
+//! measures real wall-clock seconds from open to drop; simulated seconds
+//! are attributed explicitly via [`SpanGuard::add_sim`] because the
+//! simulated `Timeline` advances only when the cost model charges it.
+//! Completed spans aggregate into the registry's span table
+//! (count / real_s / sim_s per path).
+
+use std::time::Instant;
+
+use crate::Telemetry;
+
+/// An open span. Records itself into the owning [`Telemetry`] registry
+/// when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    path: String,
+    started: Instant,
+    sim_s: f64,
+}
+
+impl SpanGuard {
+    pub(crate) fn open(telemetry: Telemetry, path: &str) -> Self {
+        Self { telemetry, path: path.to_string(), started: Instant::now(), sim_s: 0.0 }
+    }
+
+    /// Attributes `secs` of simulated time to this span.
+    pub fn add_sim(&mut self, secs: f64) {
+        self.sim_s += secs;
+    }
+
+    /// The span's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let real_s = self.started.elapsed().as_secs_f64();
+        self.telemetry.span_record(&self.path, real_s, self.sim_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn disabled_handle_spans_are_noops() {
+        let t = Telemetry::disabled();
+        {
+            let mut g = t.span("a/b");
+            g.add_sim(5.0);
+        }
+        assert!(t.metrics().span("a/b").is_none());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let t = Telemetry::builder().build();
+        {
+            let mut g = t.span("pipeline/train");
+            g.add_sim(2.5);
+        }
+        {
+            let mut g = t.span("pipeline/train");
+            g.add_sim(1.5);
+        }
+        let m = t.metrics();
+        let s = m.span("pipeline/train").expect("span recorded");
+        assert_eq!(s.count, 2);
+        assert!((s.sim_s - 4.0).abs() < 1e-12);
+        assert!(s.real_s >= 0.0);
+    }
+
+    #[test]
+    fn nested_paths_aggregate_separately() {
+        let t = Telemetry::builder().build();
+        t.span("pipeline").add_sim(1.0);
+        t.span("pipeline/calibrate").add_sim(0.5);
+        t.span("pipeline/calibrate").add_sim(0.25);
+        let m = t.metrics();
+        assert_eq!(m.span("pipeline").unwrap().count, 1);
+        assert_eq!(m.span("pipeline/calibrate").unwrap().count, 2);
+        assert!((m.span("pipeline/calibrate").unwrap().sim_s - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Chrome trace-event export (Perfetto / `chrome://tracing` compatible).
+//!
+//! The exporter renders the **simulated** `Timeline` of a recorded run
+//! from its journal: each journal event that charges simulated time
+//! becomes a run of `"X"` (complete) slices laid out along a single
+//! monotonic simulated-time cursor starting at 0 µs. Tracks:
+//!
+//! * `cpu-resident` — CPU-side embedding work (cold-mode embed-forward),
+//! * one `gpu<i>` track per simulated device (data-parallel replicas do
+//!   identical work, so compute slices appear on every device track),
+//! * `communication` — PCIe transfer, all-reduce, embedding sync,
+//! * `framework` — framework overhead, retry backoff and other stalls.
+//!
+//! Because every coordinate comes from simulated seconds (never the host
+//! clock) and pids/tids are fixed constants, two same-seed runs export
+//! byte-identical traces — the determinism golden test relies on this.
+
+use fae_sysmodel::Phase;
+use serde_json::{Map, Value};
+
+use crate::journal::{JournalEvent, StepMode};
+
+/// The fixed pid under which all tracks are emitted.
+pub const TRACE_PID: u64 = 1;
+
+/// Tid of the CPU-resident track. Device tracks occupy
+/// `TID_DEVICE0 .. TID_DEVICE0 + num_gpus`, then communication, then
+/// framework.
+pub const TID_CPU_RESIDENT: u64 = 1;
+
+/// Tid of the first device track.
+pub const TID_DEVICE0: u64 = 2;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Track {
+    CpuResident,
+    Devices,
+    Comm,
+    Framework,
+}
+
+fn track_for(phase: Phase, mode: Option<StepMode>) -> Track {
+    match phase {
+        Phase::Transfer | Phase::AllReduce | Phase::EmbedSync => Track::Comm,
+        Phase::Framework => Track::Framework,
+        // Embedding forward runs CPU-side except in hot (pure-GPU) steps.
+        Phase::EmbedForward => match mode {
+            Some(StepMode::Hot) => Track::Devices,
+            _ => Track::CpuResident,
+        },
+        _ => Track::Devices,
+    }
+}
+
+fn meta_event(tid: u64, name: &str, arg: &str) -> Value {
+    let mut args = Map::new();
+    args.insert("name".into(), Value::String(arg.into()));
+    let mut m = Map::new();
+    m.insert("ph".into(), Value::String("M".into()));
+    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+    m.insert("tid".into(), serde_json::to_value(&tid));
+    m.insert("name".into(), Value::String(name.into()));
+    m.insert("args".into(), Value::Object(args));
+    Value::Object(m)
+}
+
+fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: Map) -> Value {
+    let mut m = Map::new();
+    m.insert("ph".into(), Value::String("X".into()));
+    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+    m.insert("tid".into(), serde_json::to_value(&tid));
+    m.insert("name".into(), Value::String(name.into()));
+    m.insert("cat".into(), Value::String(cat.into()));
+    m.insert("ts".into(), serde_json::to_value(&ts_us));
+    m.insert("dur".into(), serde_json::to_value(&dur_us));
+    m.insert("args".into(), Value::Object(args));
+    Value::Object(m)
+}
+
+/// Renders a journal as a Chrome trace-event JSON document.
+///
+/// The output is a complete `{"traceEvents": [...]}` object; write it to
+/// a file and load it in Perfetto's JSON importer or `chrome://tracing`.
+pub fn chrome_trace(events: &[JournalEvent]) -> String {
+    let num_gpus = events
+        .iter()
+        .find_map(|e| match e {
+            JournalEvent::RunStart { num_gpus, .. } => Some((*num_gpus).max(1)),
+            _ => None,
+        })
+        .unwrap_or(1);
+    let tid_comm = TID_DEVICE0 + num_gpus as u64;
+    let tid_framework = tid_comm + 1;
+
+    let mut out: Vec<Value> = Vec::new();
+    out.push(meta_event(0, "process_name", "fae-simulated-timeline"));
+    out.push(meta_event(TID_CPU_RESIDENT, "thread_name", "cpu-resident"));
+    for g in 0..num_gpus {
+        out.push(meta_event(TID_DEVICE0 + g as u64, "thread_name", &format!("gpu{g}")));
+    }
+    out.push(meta_event(tid_comm, "thread_name", "communication"));
+    out.push(meta_event(tid_framework, "thread_name", "framework"));
+
+    // A single simulated-time cursor: each charging event occupies the
+    // window [cursor, cursor + total), with its phases laid end to end in
+    // Phase::ALL order so slices never overlap within a track.
+    let mut cursor_us = 0.0f64;
+    for event in events {
+        let (phases, mode, cat, extra): (_, Option<StepMode>, &str, Vec<(&str, Value)>) =
+            match event {
+                JournalEvent::Step { step, mode, rate, phases, .. } => (
+                    phases,
+                    Some(*mode),
+                    match mode {
+                        StepMode::Hot => "step-hot",
+                        StepMode::Cold => "step-cold",
+                    },
+                    vec![
+                        ("step", serde_json::to_value(step)),
+                        ("rate", serde_json::to_value(rate)),
+                    ],
+                ),
+                JournalEvent::Sync { step, direction, bytes, phases } => (
+                    phases,
+                    None,
+                    "sync",
+                    vec![
+                        ("step", serde_json::to_value(step)),
+                        ("direction", Value::String(direction.clone())),
+                        ("bytes", serde_json::to_value(bytes)),
+                    ],
+                ),
+                JournalEvent::Charge { step, label, phases } => (
+                    phases,
+                    None,
+                    "charge",
+                    vec![
+                        ("step", serde_json::to_value(step)),
+                        ("label", Value::String(label.clone())),
+                    ],
+                ),
+                JournalEvent::Fault { step, kind } => {
+                    // Zero-duration instant marker on the framework track.
+                    let mut args = Map::new();
+                    args.insert("step".into(), serde_json::to_value(step));
+                    args.insert("kind".into(), Value::String(kind.clone()));
+                    let mut m = Map::new();
+                    m.insert("ph".into(), Value::String("i".into()));
+                    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+                    m.insert("tid".into(), serde_json::to_value(&tid_framework));
+                    m.insert("name".into(), Value::String(format!("fault:{kind}")));
+                    m.insert("cat".into(), Value::String("fault".into()));
+                    m.insert("ts".into(), serde_json::to_value(&cursor_us));
+                    m.insert("s".into(), Value::String("p".into()));
+                    m.insert("args".into(), Value::Object(args));
+                    out.push(Value::Object(m));
+                    continue;
+                }
+                _ => continue,
+            };
+
+        let mut local_us = cursor_us;
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let secs = phases.0[i];
+            if secs <= 0.0 {
+                continue;
+            }
+            let dur_us = secs * 1e6;
+            let name = phase.to_string();
+            let mut args = Map::new();
+            for (k, v) in &extra {
+                args.insert((*k).into(), v.clone());
+            }
+            match track_for(*phase, mode) {
+                Track::CpuResident => {
+                    out.push(slice_event(TID_CPU_RESIDENT, &name, cat, local_us, dur_us, args));
+                }
+                Track::Comm => {
+                    out.push(slice_event(tid_comm, &name, cat, local_us, dur_us, args));
+                }
+                Track::Framework => {
+                    out.push(slice_event(tid_framework, &name, cat, local_us, dur_us, args));
+                }
+                Track::Devices => {
+                    // Data-parallel replicas perform the same work; show
+                    // the slice on every device track.
+                    for g in 0..num_gpus {
+                        out.push(slice_event(
+                            TID_DEVICE0 + g as u64,
+                            &name,
+                            cat,
+                            local_us,
+                            dur_us,
+                            args.clone(),
+                        ));
+                    }
+                }
+            }
+            local_us += dur_us;
+        }
+        cursor_us = local_us;
+    }
+
+    let mut root = Map::new();
+    root.insert("traceEvents".into(), Value::Array(out));
+    root.insert("displayTimeUnit".into(), Value::String("ms".into()));
+    serde_json::to_string(&Value::Object(root)).expect("Value serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::PhaseSeconds;
+
+    fn sample() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::RunStart {
+                workload: "w".into(),
+                seed: 1,
+                num_gpus: 2,
+                epochs: 1,
+                minibatch_size: 8,
+                initial_rate: 100,
+            },
+            JournalEvent::Sync {
+                step: 0,
+                direction: "initial".into(),
+                bytes: 4096,
+                phases: PhaseSeconds([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5, 0.0]),
+            },
+            JournalEvent::Step {
+                step: 1,
+                mode: StepMode::Hot,
+                rate: 100,
+                loss: 0.7,
+                phases: PhaseSeconds([0.1, 0.2, 0.3, 0.05, 0.0, 0.15, 0.0, 0.01]),
+            },
+            JournalEvent::Step {
+                step: 2,
+                mode: StepMode::Cold,
+                rate: 100,
+                loss: 0.6,
+                phases: PhaseSeconds([0.4, 0.2, 0.3, 0.05, 0.2, 0.15, 0.0, 0.01]),
+            },
+            JournalEvent::Fault { step: 2, kind: "device-loss".into() },
+            JournalEvent::RunEnd {
+                steps: 2,
+                hot_steps: 1,
+                cold_steps: 1,
+                transitions: 1,
+                simulated_seconds: 2.62,
+                final_accuracy: 0.5,
+                final_rate: Some(100),
+                interrupted: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_tracks() {
+        let text = chrome_trace(&sample());
+        let v: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .collect();
+        assert!(names.contains(&"cpu-resident"));
+        assert!(names.contains(&"gpu0"));
+        assert!(names.contains(&"gpu1"));
+        assert!(names.contains(&"communication"));
+        assert!(names.contains(&"framework"));
+    }
+
+    #[test]
+    fn hot_embed_forward_runs_on_devices_cold_on_cpu() {
+        let text = chrome_trace(&sample());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let embed: Vec<(&str, u64)> = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some("embed-forward")
+                    && e.get("ph").and_then(Value::as_str) == Some("X")
+            })
+            .map(|e| {
+                (
+                    e.get("cat").and_then(Value::as_str).unwrap(),
+                    e.get("tid").and_then(Value::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        assert!(embed.iter().any(|&(cat, tid)| cat == "step-hot" && tid >= TID_DEVICE0));
+        assert!(embed.iter().any(|&(cat, tid)| cat == "step-cold" && tid == TID_CPU_RESIDENT));
+        assert!(!embed.iter().any(|&(cat, tid)| cat == "step-hot" && tid == TID_CPU_RESIDENT));
+    }
+
+    #[test]
+    fn slice_durations_cover_all_simulated_seconds() {
+        let events = sample();
+        let expected_us: f64 =
+            events.iter().filter_map(JournalEvent::phases).map(|p| p.total() * 1e6).sum();
+        let text = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        // Sum durations once per slice position — device-track replicas of
+        // the same (ts, name) count once.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total_us = 0.0;
+        for e in v.get("traceEvents").and_then(Value::as_array).unwrap() {
+            if e.get("ph").and_then(Value::as_str) != Some("X") {
+                continue;
+            }
+            let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+            let name = e.get("name").and_then(Value::as_str).unwrap();
+            if seen.insert((format!("{ts:.6}"), name.to_string())) {
+                total_us += e.get("dur").and_then(Value::as_f64).unwrap();
+            }
+        }
+        assert!((total_us - expected_us).abs() < 1e-3, "{total_us} vs {expected_us}");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace(&sample());
+        let b = chrome_trace(&sample());
+        assert_eq!(a, b);
+    }
+}

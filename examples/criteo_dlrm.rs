@@ -18,9 +18,13 @@ fn main() {
     spec.num_inputs = 24_000;
     let per_gpu_batch = 256usize;
 
-    println!("workload: {} — {} tables, dim {}, {:.1} MiB of embeddings",
-        spec.name, spec.tables.len(), spec.embedding_dim,
-        spec.embedding_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "workload: {} — {} tables, dim {}, {:.1} MiB of embeddings",
+        spec.name,
+        spec.tables.len(),
+        spec.embedding_dim,
+        spec.embedding_bytes() as f64 / (1 << 20) as f64
+    );
 
     let dataset = generate(&spec, &GenOptions::seeded(2021));
     let (train, test) = dataset.split(0.15);

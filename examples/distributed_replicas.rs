@@ -11,8 +11,8 @@
 //! ```
 
 use fae::core::distributed::{full_batch, DataParallel};
-use fae::models::RecModel;
 use fae::data::{generate, BatchKind, GenOptions, MiniBatch, WorkloadSpec};
+use fae::models::RecModel;
 
 fn main() {
     let spec = WorkloadSpec::tiny_test();

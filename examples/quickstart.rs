@@ -60,10 +60,7 @@ fn main() {
         base.final_test.accuracy * 100.0,
         fae.final_test.accuracy * 100.0
     );
-    println!(
-        "{:<22} {:>11.4} {:>11.4}",
-        "test loss", base.final_test.loss, fae.final_test.loss
-    );
+    println!("{:<22} {:>11.4} {:>11.4}", "test loss", base.final_test.loss, fae.final_test.loss);
     println!(
         "{:<22} {:>11.2}s {:>11.2}s",
         "simulated time", base.simulated_seconds, fae.simulated_seconds

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# End-to-end training throughput benchmark. Prints a baseline-vs-FAE
+# table and writes results/BENCH_train.json (steps/sec, simulated
+# speedup, peak RSS) for cross-checkout comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p fae-bench
+cargo run --release -q -p fae-bench --bin bench_train

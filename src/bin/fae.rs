@@ -6,6 +6,7 @@
 //! fae preprocess --workload <name> --out <file.fae> [...]         # static phase to disk
 //! fae train      --stream <file.fae> --workload <name> [...]      # FAE training from disk
 //! fae compare    --workload <name> [--inputs N] [--gpus G] [...]  # baseline vs FAE
+//! fae report     <journal.jsonl>                                  # phase-breakdown table
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
@@ -18,6 +19,7 @@ use fae::core::{
     ResilienceOptions, RetryPolicy, TrainConfig,
 };
 use fae::data::{generate, GenOptions, WorkloadSpec};
+use fae::telemetry::{self, Telemetry};
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -28,9 +30,7 @@ impl Args {
         let mut flags = Vec::new();
         let mut it = argv.iter();
         while let Some(k) = it.next() {
-            let key = k
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got '{k}'"))?;
+            let key = k.strip_prefix("--").ok_or_else(|| format!("expected --flag, got '{k}'"))?;
             let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             flags.push((key.to_string(), v.clone()));
         }
@@ -63,9 +63,9 @@ fn workload(name: &str) -> Result<WorkloadSpec, String> {
         "kaggle" | "rmc2" => Ok(WorkloadSpec::rmc2_kaggle()),
         "taobao" | "rmc1" => Ok(WorkloadSpec::rmc1_taobao()),
         "terabyte" | "rmc3" => Ok(WorkloadSpec::rmc3_terabyte()),
-        other => Err(format!(
-            "unknown workload '{other}' (expected tiny | kaggle | taobao | terabyte)"
-        )),
+        other => {
+            Err(format!("unknown workload '{other}' (expected tiny | kaggle | taobao | terabyte)"))
+        }
     }
 }
 
@@ -84,7 +84,13 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let spec = workload_from(args)?;
     let inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
     let ds = generate(&spec, &GenOptions::sized(args.num("seed", 1u64)?, inputs));
-    println!("workload {}: {} tables, dim {}, {} dense features", spec.name, spec.tables.len(), spec.embedding_dim, spec.dense_features);
+    println!(
+        "workload {}: {} tables, dim {}, {} dense features",
+        spec.name,
+        spec.tables.len(),
+        spec.embedding_dim,
+        spec.dense_features
+    );
     println!("embedding footprint: {:.1} MiB", spec.embedding_bytes() as f64 / (1 << 20) as f64);
     println!("generated {} inputs, positive rate {:.1}%", ds.len(), ds.positive_rate() * 100.0);
     Ok(())
@@ -146,7 +152,29 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
     })
 }
 
-fn resilience_options(args: &Args) -> Result<ResilienceOptions, String> {
+/// Builds the telemetry handle from `--metrics-out` / `--journal` /
+/// `--trace-out` / `--progress`. Disabled when none of them is given, so
+/// the hot loops keep their zero-overhead path.
+fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
+    let metrics_out = args.get("metrics-out");
+    let journal = args.get("journal");
+    let trace_out = args.get("trace-out");
+    let progress: bool = args.num("progress", false)?;
+    if metrics_out.is_none() && journal.is_none() && trace_out.is_none() && !progress {
+        return Ok(Telemetry::disabled());
+    }
+    let mut b = Telemetry::builder()
+        .progress(progress)
+        .progress_every(args.num("progress-every", 100u64)?)
+        // The Chrome-trace exporter replays the in-memory event stream.
+        .retain_events(trace_out.is_some());
+    if let Some(p) = journal {
+        b = b.journal_path(p);
+    }
+    b.try_build().map_err(|e| format!("--journal: {e}"))
+}
+
+fn resilience_options(args: &Args, telemetry: Telemetry) -> Result<ResilienceOptions, String> {
     let plan = match args.get("fault-plan") {
         Some(spec) => FaultPlan::parse_seeded(spec, args.num("fault-seed", 0u64)?)
             .map_err(|e| format!("--fault-plan: {e}"))?,
@@ -159,13 +187,15 @@ fn resilience_options(args: &Args) -> Result<ResilienceOptions, String> {
         checkpoint_every_rounds: args.num("checkpoint-every", 1usize)?,
         resume: args.num("resume", false)?,
         halt_after_steps: if halt > 0 { Some(halt) } else { None },
+        telemetry,
     })
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     let spec = workload_from(args)?;
     let stream = PathBuf::from(args.get("stream").ok_or("--stream required")?);
-    let opts = resilience_options(args)?;
+    let telem = telemetry_from(args)?;
+    let opts = resilience_options(args, telem.clone())?;
     // The artifact-level faults (corruption, transient I/O at load time)
     // are driven by their own injector; training consumes the plan's
     // remaining events through `train_fae_resilient`.
@@ -174,15 +204,21 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let cal_cfg = calibrator_config(args, &spec)?;
     let batch: usize = args.num("batch", spec.minibatch_size.min(256))?;
     let rebuild_inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
-    let (art, name, load_recoveries) = artifacts::load_or_rebuild(
+    let (art, name, load_recoveries) = artifacts::load_or_rebuild_with(
         &stream,
         &spec.name,
         &mut loader_injector,
         &RetryPolicy::default(),
         || {
             let ds = generate(&spec, &GenOptions::sized(seed, rebuild_inputs));
-            pipeline::prepare(&ds, cal_cfg, &PreprocessConfig { minibatch_size: batch, seed })
+            pipeline::prepare_with(
+                &ds,
+                cal_cfg,
+                &PreprocessConfig { minibatch_size: batch, seed },
+                &telem,
+            )
         },
+        &telem,
     )
     .map_err(|e| e.to_string())?;
     println!("loaded preprocessed stream for '{name}'");
@@ -215,6 +251,28 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     for r in &report.recoveries {
         println!("recovery: {r}");
     }
+    if let Some(p) = args.get("metrics-out") {
+        telem.write_metrics(std::path::Path::new(p)).map_err(|e| format!("--metrics-out: {e}"))?;
+        println!("metrics written to {p}");
+    }
+    if let Some(p) = args.get("trace-out") {
+        let trace = telemetry::chrome_trace(&telem.events());
+        std::fs::write(p, trace).map_err(|e| format!("--trace-out: {e}"))?;
+        println!("chrome trace written to {p} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(p) = args.get("journal") {
+        println!("journal written to {p} (summarize with `fae report {p}`)");
+    }
+    Ok(())
+}
+
+fn cmd_report(path: &str) -> Result<(), String> {
+    let events = telemetry::read_journal(std::path::Path::new(path))?;
+    if events.is_empty() {
+        return Err(format!("{path}: journal contains no events"));
+    }
+    let summary = telemetry::summarize(&events);
+    print!("{}", telemetry::render(&summary));
     Ok(())
 }
 
@@ -247,7 +305,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare> [--flag value]...
+const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare|report> [--flag value]...
   common flags: --workload tiny|kaggle|taobao|terabyte | --spec-file FILE.json
                 --inputs N  --seed S
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
@@ -258,6 +316,9 @@ const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare> [--flag
                           artifact-corruption transient-io)
                 --checkpoint-dir DIR  --checkpoint-every ROUNDS
                 --resume true|false   --halt-after STEPS
+                --metrics-out FILE.json  --journal FILE.jsonl
+                --trace-out FILE.json    --progress true  --progress-every N
+  report:       fae report JOURNAL.jsonl   (phase-breakdown table)
   compare:      --batch B  --epochs E  --gpus G";
 
 fn main() -> ExitCode {
@@ -267,6 +328,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let run = || -> Result<(), String> {
+        // `report` takes a positional journal path, unlike the --flag
+        // pairs every other subcommand parses.
+        if cmd == "report" {
+            return match rest {
+                [path] => cmd_report(path),
+                _ => Err(format!("usage: fae report JOURNAL.jsonl\n{USAGE}")),
+            };
+        }
         let args = Args::parse(rest)?;
         match cmd.as_str() {
             "gen" => cmd_gen(&args),

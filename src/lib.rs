@@ -16,6 +16,7 @@
 //! | [`sysmodel`] | `fae-sysmodel` | CPU+GPU performance & power model |
 //! | [`models`] | `fae-models` | DLRM and TBSM |
 //! | [`core`] | `fae-core` | calibrator, classifier, input processor, scheduler, trainer |
+//! | [`telemetry`] | `fae-telemetry` | metrics registry, spans, step journal, Chrome-trace export |
 //!
 //! ## Quickstart
 //!
@@ -48,3 +49,4 @@ pub use fae_embed as embed;
 pub use fae_models as models;
 pub use fae_nn as nn;
 pub use fae_sysmodel as sysmodel;
+pub use fae_telemetry as telemetry;

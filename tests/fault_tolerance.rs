@@ -35,12 +35,7 @@ fn setup() -> (WorkloadSpec, Preprocessed, Dataset, TrainConfig) {
         forced_partial_calibrator(),
         &PreprocessConfig { minibatch_size: 64, seed: 3 },
     );
-    let cfg = TrainConfig {
-        epochs: 2,
-        minibatch_size: 64,
-        initial_rate: 25,
-        ..Default::default()
-    };
+    let cfg = TrainConfig { epochs: 2, minibatch_size: 64, initial_rate: 25, ..Default::default() };
     (spec, artifacts.preprocessed, test, cfg)
 }
 
@@ -111,14 +106,8 @@ fn resume_reproduces_uninterrupted_run_exactly() {
         reference.final_test.loss.to_bits(),
         "final test loss must be bit-identical after resume"
     );
-    assert_eq!(
-        resumed.final_test.accuracy.to_bits(),
-        reference.final_test.accuracy.to_bits()
-    );
-    assert_eq!(
-        resumed.final_train.loss.to_bits(),
-        reference.final_train.loss.to_bits()
-    );
+    assert_eq!(resumed.final_test.accuracy.to_bits(), reference.final_test.accuracy.to_bits());
+    assert_eq!(resumed.final_train.loss.to_bits(), reference.final_train.loss.to_bits());
     assert_eq!(
         resumed.simulated_seconds.to_bits(),
         reference.simulated_seconds.to_bits(),
@@ -151,17 +140,15 @@ fn device_loss_and_replication_failure_degrade_gracefully() {
 
     assert_eq!(faulted.faults.len(), 2, "both planned faults must fire");
     assert!(
-        faulted.recoveries.iter().any(
-            |r| matches!(r, RecoveryAction::ShrankReplicas { from: 4, to: 3, .. })
-        ),
+        faulted
+            .recoveries
+            .iter()
+            .any(|r| matches!(r, RecoveryAction::ShrankReplicas { from: 4, to: 3, .. })),
         "device loss must shrink the replica group 4 -> 3: {:?}",
         faulted.recoveries
     );
     assert!(
-        faulted
-            .recoveries
-            .iter()
-            .any(|r| matches!(r, RecoveryAction::ColdFallback { .. })),
+        faulted.recoveries.iter().any(|r| matches!(r, RecoveryAction::ColdFallback { .. })),
         "replication failure must fall back to cold-only execution"
     );
 
@@ -214,9 +201,7 @@ fn sync_failure_is_retried_as_pure_cost() {
         .recoveries
         .iter()
         .find_map(|r| match r {
-            RecoveryAction::SyncRetried { attempts, waited_s, .. } => {
-                Some((*attempts, *waited_s))
-            }
+            RecoveryAction::SyncRetried { attempts, waited_s, .. } => Some((*attempts, *waited_s)),
             _ => None,
         })
         .expect("sync failure must be recovered by retrying");
@@ -285,10 +270,7 @@ fn corrupted_checkpoint_falls_back_to_a_fresh_start() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
     fs::write(&path, &bytes).unwrap();
-    assert!(
-        TrainCheckpoint::load(&path).is_err(),
-        "the CRC trailer must reject the flipped byte"
-    );
+    assert!(TrainCheckpoint::load(&path).is_err(), "the CRC trailer must reject the flipped byte");
 
     // Resume cannot trust the corrupt file; it must restart from
     // scratch and still converge to the reference bits.

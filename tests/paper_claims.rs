@@ -196,10 +196,7 @@ fn taobao_gains_least_from_more_gpus() {
         simulate_fae(&profile, &cfg).total()
     };
     let (t1, t4) = (time(1), time(4));
-    assert!(
-        t4 > 0.8 * t1,
-        "Taobao FAE should gain little from 4 GPUs: {t4:.0}s vs {t1:.0}s"
-    );
+    assert!(t4 > 0.8 * t1, "Taobao FAE should gain little from 4 GPUs: {t4:.0}s vs {t1:.0}s");
 }
 
 #[test]
@@ -225,8 +222,8 @@ fn uniform_control_defeats_fae_as_it_should() {
     let counters = log_accesses(&ds, &samples);
     let cal = calibrator.converge(&ds, &counters, &mut rng);
     let parts = classify_tables(&spec, &counters, &cal);
-    let hot_frac = classify_inputs(&ds, &parts).iter().filter(|&&h| h).count() as f64
-        / ds.len() as f64;
+    let hot_frac =
+        classify_inputs(&ds, &parts).iter().filter(|&&h| h).count() as f64 / ds.len() as f64;
     assert!(hot_frac < 0.05, "uniform workload should have ~no hot inputs: {hot_frac}");
 
     // And the simulated speedup collapses towards 1x.

@@ -292,8 +292,7 @@ fn preprocess_partitions_inputs_exactly_once_under_any_batch_size() {
 }
 
 #[test]
-fn timeline_never_goes_negative(
-) {
+fn timeline_never_goes_negative() {
     // Deterministic sanity on the cost model over a parameter sweep.
     use fae::core::scheduler::Rate as R;
     use fae::core::simsched::{simulate_baseline, simulate_fae, SimConfig};

@@ -248,9 +248,8 @@ mod tests {
     #[test]
     fn map_and_flat_map_compose() {
         let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(7);
-        let s = (1usize..4).prop_flat_map(|n| {
-            collection::vec(0u32..10, n..=n).prop_map(move |v| (n, v))
-        });
+        let s = (1usize..4)
+            .prop_flat_map(|n| collection::vec(0u32..10, n..=n).prop_map(move |v| (n, v)));
         for _ in 0..50 {
             let (n, v) = s.sample(&mut rng);
             assert_eq!(v.len(), n);

@@ -178,9 +178,7 @@ impl<F: Float> Distribution<F> for Zipf<F> {
             let u = self.h_inf + unit_open_f64(rng) * (self.h_sup - self.h_inf);
             let x = Self::h_inv(self.s, u);
             let k = (x + 0.5).floor().clamp(1.0, self.n);
-            if k - x <= self.shortcut
-                || u >= Self::h(self.s, k + 0.5) - (-self.s * k.ln()).exp()
-            {
+            if k - x <= self.shortcut || u >= Self::h(self.s, k + 0.5) - (-self.s * k.ln()).exp() {
                 return F::from_f64(k);
             }
         }

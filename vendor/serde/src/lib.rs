@@ -64,8 +64,7 @@ pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
 /// deserialization. Public for the derive macro's generated code.
 pub fn field<T: Deserialize>(m: &Map, key: &str, ty: &'static str) -> Result<T, Error> {
     match m.get(key) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{key}: {e}"))),
         None => T::missing(key).map_err(|e| Error::msg(format!("{ty}: {e}"))),
     }
 }
@@ -123,9 +122,7 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_number()
-            .map(|n| n.as_f64())
-            .ok_or_else(|| type_err(v, "a number"))
+        v.as_number().map(|n| n.as_f64()).ok_or_else(|| type_err(v, "a number"))
     }
 }
 
@@ -245,8 +242,7 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
             )));
         }
         let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
-        vec.try_into()
-            .map_err(|_| Error::msg("array length changed during conversion"))
+        vec.try_into().map_err(|_| Error::msg("array length changed during conversion"))
     }
 }
 
@@ -275,12 +271,7 @@ macro_rules! ser_de_tuple {
     )*};
 }
 
-ser_de_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3)
-);
+ser_de_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
@@ -305,10 +296,7 @@ mod tests {
         assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
         assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
         assert!(bool::from_value(&true.to_value()).unwrap());
-        assert_eq!(
-            String::from_value(&"hi".to_value()).unwrap(),
-            "hi".to_string()
-        );
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi".to_string());
     }
 
     #[test]

@@ -279,9 +279,9 @@ fn gen_deserialize(item: &Item) -> String {
             s.push_str("})");
             s
         }
-        Shape::Newtype => format!(
-            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Shape::Newtype => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Shape::Enum { variants } => {
             let mut unit_arms = String::new();
             let mut obj_arms = String::new();
@@ -298,9 +298,7 @@ fn gen_deserialize(item: &Item) -> String {
                         obj_arms.push_str(&format!(
                             "let im = inner.as_object_for(\"{name}::{vn}\")?;\n"
                         ));
-                        obj_arms.push_str(&format!(
-                            "::core::result::Result::Ok({name}::{vn} {{\n"
-                        ));
+                        obj_arms.push_str(&format!("::core::result::Result::Ok({name}::{vn} {{\n"));
                         for f in fields {
                             obj_arms.push_str(&format!(
                                 "{f}: ::serde::field(im, \"{f}\", \"{name}::{vn}\")?,\n"

@@ -203,13 +203,13 @@ mod tests {
         });
         assert_eq!(v.get("workload").and_then(Value::as_str), Some("w"));
         assert_eq!(
-            v.get("inner").and_then(|i| i.get("y")).and_then(|y| y.get("deep")).and_then(Value::as_u64),
+            v.get("inner")
+                .and_then(|i| i.get("y"))
+                .and_then(|y| y.get("deep"))
+                .and_then(Value::as_u64),
             Some(2)
         );
-        assert_eq!(
-            v.get("hist").and_then(Value::as_array).map(Vec::len),
-            Some(1)
-        );
+        assert_eq!(v.get("hist").and_then(Value::as_array).map(Vec::len), Some(1));
         assert_eq!(json!(null), Value::Null);
         assert_eq!(json!(3u32), Value::Number(Number::from_u64(3)));
     }

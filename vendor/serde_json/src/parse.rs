@@ -12,10 +12,7 @@ pub fn from_value_str(s: &str) -> Result<Value, Error> {
     let v = p.value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(v)
 }
@@ -41,10 +38,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::msg(format!(
-                "expected `{}` at byte {}",
-                b as char, self.pos
-            )))
+            Err(Error::msg(format!("expected `{}` at byte {}", b as char, self.pos)))
         }
     }
 
@@ -53,10 +47,7 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(())
         } else {
-            Err(Error::msg(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -98,12 +89,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => {
-                    return Err(Error::msg(format!(
-                        "expected `,` or `]` at byte {}",
-                        self.pos
-                    )))
-                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
             }
         }
     }
@@ -131,12 +117,7 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(m));
                 }
-                _ => {
-                    return Err(Error::msg(format!(
-                        "expected `,` or `}}` at byte {}",
-                        self.pos
-                    )))
-                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
             }
         }
     }
@@ -145,16 +126,12 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            let c = self
-                .peek()
-                .ok_or_else(|| Error::msg("unterminated string"))?;
+            let c = self.peek().ok_or_else(|| Error::msg("unterminated string"))?;
             self.pos += 1;
             match c {
                 b'"' => return Ok(out),
                 b'\\' => {
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    let esc = self.peek().ok_or_else(|| Error::msg("unterminated escape"))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -184,10 +161,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::msg(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::msg(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }
@@ -268,27 +242,15 @@ mod tests {
     fn parses_scalars() {
         assert_eq!(from_value_str("null").unwrap(), Value::Null);
         assert_eq!(from_value_str("true").unwrap(), Value::Bool(true));
-        assert_eq!(
-            from_value_str("-12").unwrap(),
-            Value::Number(Number::from_i64(-12))
-        );
-        assert_eq!(
-            from_value_str("3.5e2").unwrap(),
-            Value::Number(Number::from_f64(350.0))
-        );
-        assert_eq!(
-            from_value_str(r#""a\nbé😀""#).unwrap(),
-            Value::String("a\nbé😀".to_string())
-        );
+        assert_eq!(from_value_str("-12").unwrap(), Value::Number(Number::from_i64(-12)));
+        assert_eq!(from_value_str("3.5e2").unwrap(), Value::Number(Number::from_f64(350.0)));
+        assert_eq!(from_value_str(r#""a\nbé😀""#).unwrap(), Value::String("a\nbé😀".to_string()));
     }
 
     #[test]
     fn parses_nested() {
         let v = from_value_str(r#" {"a": [1, {"b": "x"}], "c": {} } "#).unwrap();
-        assert_eq!(
-            v.get("a").and_then(|a| a.as_array()).map(Vec::len),
-            Some(2)
-        );
+        assert_eq!(v.get("a").and_then(|a| a.as_array()).map(Vec::len), Some(2));
         assert!(v.get("c").and_then(Value::as_object).unwrap().is_empty());
     }
 
