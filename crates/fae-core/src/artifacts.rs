@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use fae_data::format::{FaeFile, FormatError};
+use fae_data::format::FormatError;
 use fae_data::BatchKind;
 use fae_embed::HotColdPartition;
 use fae_telemetry::{JournalEvent, Telemetry};
@@ -21,7 +21,7 @@ use fae_telemetry::{JournalEvent, Telemetry};
 use crate::calibrator::CalibrationResult;
 use crate::faults::{retry_with_backoff, FaultInjector, FaultKind, RecoveryAction, RetryPolicy};
 use crate::input_processor::Preprocessed;
-use crate::pipeline::StaticArtifacts;
+use crate::pipeline::{prefetch_fae_blocks, StaticArtifacts};
 
 /// JSON sidecar: everything except the (large, binary) batch stream.
 #[derive(Serialize, Deserialize)]
@@ -110,11 +110,23 @@ pub fn save(artifacts: &StaticArtifacts, workload: &str, path: &Path) -> Result<
 
 /// Loads artifacts saved by [`save`], returning them plus the workload
 /// name recorded in the container.
+///
+/// The batch stream decodes on a background thread (see
+/// [`Prefetcher`](crate::pipeline::Prefetcher)): while the decoder runs
+/// ahead, this thread parses the JSON sidecar and sorts arriving batches
+/// into the hot and cold streams.
 pub fn load(path: &Path) -> Result<(StaticArtifacts, String), ArtifactError> {
-    let file = FaeFile::read_file(path)?;
+    let (workload, blocks) = prefetch_fae_blocks(fs::read(path)?)?;
     let sidecar: Sidecar = serde_json::from_slice(&fs::read(sidecar_path(path))?)?;
-    let (hot, cold): (Vec<_>, Vec<_>) =
-        file.batches.into_iter().partition(|b| b.kind == BatchKind::Hot);
+    let (mut hot, mut cold) = (Vec::new(), Vec::new());
+    for block in blocks {
+        let b = block?;
+        if b.kind == BatchKind::Hot {
+            hot.push(b)
+        } else {
+            cold.push(b)
+        }
+    }
     Ok((
         StaticArtifacts {
             calibration: sidecar.calibration,
@@ -125,7 +137,7 @@ pub fn load(path: &Path) -> Result<(StaticArtifacts, String), ArtifactError> {
                 partitions: sidecar.partitions,
             },
         },
-        file.workload,
+        workload,
     ))
 }
 

@@ -163,6 +163,15 @@ impl TrainCheckpoint {
         MasterEmbeddings::from_tables(tables)
     }
 
+    /// CRC-32 over the encoded container: a compact fingerprint of the
+    /// *entire* training state (dense parameters, master tables,
+    /// scheduler, timeline, history). Two runs whose digests match at
+    /// the same step are bit-identical — the workers-determinism suite
+    /// compares these across worker counts and resume boundaries.
+    pub fn digest(&self) -> u32 {
+        crc32(&self.encode())
+    }
+
     /// Serialises to the binary container (payload + CRC-32 trailer).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(4096);

@@ -14,13 +14,16 @@
 //!   persisted in the FAE format,
 //! * [`replicator`] — the hot-embedding source replicated per GPU, with
 //!   CPU↔GPU synchronisation at schedule transitions,
+//! * [`exec`] — the parallel execution engine: per-device worker threads
+//!   over contiguous batch shards with deterministic gradient reduction,
 //! * [`scheduler`] — the **Shuffle Scheduler**'s adaptive hot/cold
 //!   interleaving rate (Eq. 7),
 //! * [`trainer`] — baseline and FAE training loops combining real
 //!   numerics (loss/accuracy, Fig 12) with the `fae-sysmodel` cost model
 //!   (latency/power, Figs 13–15, Tables IV–VI),
 //! * [`pipeline`] — one-call convenience wrappers used by the examples
-//!   and the experiment harness,
+//!   and the experiment harness, plus the double-buffered mini-batch
+//!   prefetcher that decodes FAE-format blocks on a background thread,
 //! * [`faults`] — deterministic, seed-driven fault injection (device
 //!   loss, replication OOM, sync failure, artifact corruption, transient
 //!   I/O) with bounded-backoff retry plumbing,
@@ -35,6 +38,7 @@ pub mod classifier;
 pub mod convergence;
 pub mod distributed;
 pub mod drift;
+pub mod exec;
 pub mod faults;
 pub mod input_processor;
 pub mod pipeline;
@@ -49,12 +53,14 @@ pub use checkpoint::{latest_in, CheckpointError, TableSnapshot, TrainCheckpoint}
 pub use classifier::classify_tables;
 pub use distributed::DataParallel;
 pub use drift::{hot_access_share, DriftMonitor, DriftVerdict};
+pub use exec::ParallelEngine;
 pub use fae_telemetry::Telemetry;
 pub use faults::{
     retry_with_backoff, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanError,
     InjectedFault, RecoveryAction, RetryPolicy,
 };
 pub use input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
+pub use pipeline::{prefetch_fae_blocks, Prefetcher};
 pub use replicator::HotEmbeddings;
 pub use scheduler::{Rate, SchedulerState, ShuffleScheduler};
 pub use trainer::{

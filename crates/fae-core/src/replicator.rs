@@ -8,16 +8,31 @@
 //! replicas in sync is charged by `fae-sysmodel`. Lookups translate global
 //! row ids to hot-local ids through the partitions; touching a cold row
 //! through this source is a bug in the input processor and panics.
+//!
+//! Since the parallel execution engine landed, the one logical copy is a
+//! [`ShardedEmbeddingTable`] per table: hot-bag lookups from concurrent
+//! worker threads take per-shard read locks instead of serialising, and
+//! the merged sparse gradient is applied shard-parallel
+//! ([`HotEmbeddings::apply_shared`]) — disjoint row ranges, so the result
+//! is bit-identical to a serial application.
 
 use fae_nn::Tensor;
 
-use fae_embed::{HotColdPartition, HotEmbeddingBag, SparseGrad};
+use fae_embed::{HotColdPartition, HotEmbeddingBag, ShardedEmbeddingTable, SparseGrad};
 use fae_models::{EmbeddingSource, MasterEmbeddings};
 use fae_telemetry::Telemetry;
 
+/// Row-range shards per hot table — enough to keep a handful of worker
+/// threads from colliding, few enough that lock overhead stays invisible
+/// next to the lookup work.
+const HOT_SHARDS: usize = 8;
+
 /// Hot-embedding bags for every table, with global→local id translation.
 pub struct HotEmbeddings {
-    bags: Vec<HotEmbeddingBag>,
+    /// Compact hot tables (hot-local row ids), sharded for concurrency.
+    tables: Vec<ShardedEmbeddingTable>,
+    /// Per table: hot-local id -> global row id, sorted ascending.
+    global_ids: Vec<Vec<u32>>,
     partitions: Vec<HotColdPartition>,
     dim: usize,
     telemetry: Telemetry,
@@ -27,13 +42,14 @@ impl HotEmbeddings {
     /// Extracts the hot rows of every master table per the partitions.
     pub fn build(master: &MasterEmbeddings, partitions: Vec<HotColdPartition>) -> Self {
         assert_eq!(partitions.len(), master.num_tables(), "one partition per table");
-        let bags = master
-            .tables()
-            .iter()
-            .zip(&partitions)
-            .map(|(t, p)| HotEmbeddingBag::extract(t, p.hot_ids().to_vec()))
-            .collect();
-        Self { bags, partitions, dim: master.dim(), telemetry: Telemetry::disabled() }
+        let mut tables = Vec::with_capacity(partitions.len());
+        let mut global_ids = Vec::with_capacity(partitions.len());
+        for (t, p) in master.tables().iter().zip(&partitions) {
+            let bag = HotEmbeddingBag::extract(t, p.hot_ids().to_vec());
+            tables.push(ShardedEmbeddingTable::from_table(bag.table(), HOT_SHARDS));
+            global_ids.push(p.hot_ids().to_vec());
+        }
+        Self { tables, global_ids, partitions, dim: master.dim(), telemetry: Telemetry::disabled() }
     }
 
     /// Attaches a telemetry handle: refreshes and write-backs are counted
@@ -46,14 +62,14 @@ impl HotEmbeddings {
 
     /// Total bytes of the hot bags (per GPU replica).
     pub fn hot_bytes(&self) -> usize {
-        self.bags.iter().map(|b| b.size_bytes()).sum()
+        self.global_ids.iter().map(|ids| ids.len() * self.dim * std::mem::size_of::<f32>()).sum()
     }
 
     /// Bytes that cross PCIe per CPU↔GPU synchronisation (per replica):
     /// the full hot bags, since a transition refresh/write-back moves
     /// every hot row.
     pub fn sync_bytes(&self) -> usize {
-        self.bags.iter().map(|b| b.sync_bytes()).sum()
+        self.hot_bytes()
     }
 
     /// The partitions backing this source.
@@ -64,8 +80,13 @@ impl HotEmbeddings {
     /// Hot→cold transition: pushes trained hot rows back into the master
     /// tables so cold batches (and evaluation) see them.
     pub fn write_back(&self, master: &mut MasterEmbeddings) {
-        for (bag, table) in self.bags.iter().zip(master.tables_mut()) {
-            bag.write_back(table);
+        for ((sharded, ids), table) in
+            self.tables.iter().zip(&self.global_ids).zip(master.tables_mut())
+        {
+            let snapshot = sharded.to_table();
+            for (local, &g) in ids.iter().enumerate() {
+                table.set_row(g, snapshot.row(local as u32));
+            }
         }
         self.telemetry.counter_add("replicator.write_backs", 1);
         self.telemetry.counter_add("replicator.moved_bytes", self.sync_bytes() as u64);
@@ -74,8 +95,11 @@ impl HotEmbeddings {
     /// Cold→hot transition: pulls rows updated by cold batches back into
     /// the bags.
     pub fn refresh_from(&mut self, master: &MasterEmbeddings) {
-        for (bag, table) in self.bags.iter_mut().zip(master.tables()) {
-            bag.refresh_from(table);
+        for ((sharded, ids), table) in self.tables.iter().zip(&self.global_ids).zip(master.tables())
+        {
+            for (local, &g) in ids.iter().enumerate() {
+                sharded.set_row(local as u32, table.row(g));
+            }
         }
         self.telemetry.counter_add("replicator.refreshes", 1);
         self.telemetry.counter_add("replicator.moved_bytes", self.sync_bytes() as u64);
@@ -92,23 +116,32 @@ impl HotEmbeddings {
             })
             .collect()
     }
+
+    /// Applies per-table sparse gradients through `&self`: remaps global
+    /// row ids to hot-local, then updates each table shard-parallel. This
+    /// is the path the execution engine uses after reducing worker
+    /// gradients — shards are disjoint row ranges, so the parallel
+    /// application is bit-identical to [`EmbeddingSource`]'s serial one.
+    pub fn apply_shared(&self, grads: &[SparseGrad], lr: f32) {
+        assert_eq!(grads.len(), self.tables.len(), "one gradient per table");
+        for ((sharded, p), g) in self.tables.iter().zip(&self.partitions).zip(grads) {
+            let local = g.clone().remap(|global| {
+                p.hot_local(global)
+                    .unwrap_or_else(|| panic!("cold row {global} updated through the hot source"))
+            });
+            sharded.sgd_step_sparse_parallel(&local, lr);
+        }
+    }
 }
 
 impl EmbeddingSource for HotEmbeddings {
     fn lookup(&self, t: usize, indices: &[u32], offsets: &[usize]) -> Tensor {
         let local = self.translate(t, indices);
-        self.bags[t].table().lookup_bag(&local, offsets)
+        self.tables[t].lookup_bag(&local, offsets)
     }
 
     fn apply_sparse_grads(&mut self, grads: &[SparseGrad], lr: f32) {
-        assert_eq!(grads.len(), self.bags.len(), "one gradient per table");
-        for ((bag, p), g) in self.bags.iter_mut().zip(&self.partitions).zip(grads) {
-            let local = g.clone().remap(|global| {
-                p.hot_local(global)
-                    .unwrap_or_else(|| panic!("cold row {global} updated through the hot source"))
-            });
-            bag.table_mut().sgd_step_sparse(&local, lr);
-        }
+        self.apply_shared(grads, lr);
     }
 
     fn dim(&self) -> usize {
@@ -116,7 +149,7 @@ impl EmbeddingSource for HotEmbeddings {
     }
 
     fn num_tables(&self) -> usize {
-        self.bags.len()
+        self.tables.len()
     }
 }
 
@@ -181,6 +214,25 @@ mod tests {
     }
 
     #[test]
+    fn apply_shared_matches_apply_sparse_grads() {
+        let (_, hot_a) = setup();
+        let (_, mut hot_b) = setup();
+        let mut grads: Vec<SparseGrad> =
+            (0..hot_a.num_tables()).map(|_| SparseGrad::new(hot_a.dim())).collect();
+        for row in [0u32, 3, 6, 9] {
+            grads[0].accumulate(row, &vec![1.5; hot_a.dim()]);
+        }
+        hot_a.apply_shared(&grads, 0.5);
+        hot_b.apply_sparse_grads(&grads, 0.5);
+        for row in [0u32, 3, 6, 9] {
+            assert_eq!(
+                hot_a.lookup(0, &[row], &[0, 1]).as_slice(),
+                hot_b.lookup(0, &[row], &[0, 1]).as_slice()
+            );
+        }
+    }
+
+    #[test]
     fn refresh_pulls_cold_phase_updates() {
         let (mut master, mut hot) = setup();
         // Cold phase trains hot row 3 on the CPU master copy.
@@ -202,5 +254,11 @@ mod tests {
         assert!(hot.hot_bytes() > 0);
         // A transition moves the whole bag, so the two byte counts agree.
         assert_eq!(hot.sync_bytes(), hot.hot_bytes());
+    }
+
+    #[test]
+    fn hot_source_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<HotEmbeddings>();
     }
 }

@@ -48,8 +48,7 @@ use serde::{Deserialize, Serialize};
 use fae_data::{BatchKind, Dataset, MiniBatch, WorkloadKind, WorkloadSpec};
 use fae_embed::SparseGrad;
 use fae_models::{
-    bridge, evaluate, train_step, Dlrm, EmbeddingSource, EvalReport, MasterEmbeddings, RecModel,
-    Tbsm,
+    bridge, evaluate, Dlrm, EmbeddingSource, EvalReport, MasterEmbeddings, RecModel, Tbsm,
 };
 use fae_nn::Tensor;
 use fae_sysmodel::power::average_gpu_power;
@@ -57,6 +56,7 @@ use fae_sysmodel::{reshard_cost, step_cost, sync_cost, ExecMode, Phase, SystemCo
 use fae_telemetry::{JournalEvent, PhaseSeconds, StepMode, Telemetry};
 
 use crate::checkpoint::{latest_in, TrainCheckpoint};
+use crate::exec::ParallelEngine;
 use crate::faults::{
     retry_with_backoff, FaultInjector, FaultKind, FaultPlan, InjectedFault, RecoveryAction,
     RetryPolicy,
@@ -85,6 +85,10 @@ pub struct TrainConfig {
     pub eval_interval: usize,
     /// Seed for model init and batch-order shuffles.
     pub seed: u64,
+    /// Execution-engine worker threads (one model replica each). `1`
+    /// runs the serial fast path, bit-identical to the pre-engine
+    /// trainer; any fixed value is bit-identical run to run.
+    pub workers: usize,
 }
 
 impl Default for TrainConfig {
@@ -98,6 +102,7 @@ impl Default for TrainConfig {
             eval_batches: 4,
             eval_interval: 50,
             seed: 0xF00D,
+            workers: 1,
         }
     }
 }
@@ -241,6 +246,20 @@ impl RecModel for AnyModel {
             AnyModel::Tbsm(m) => m.read_params(src),
         }
     }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        match self {
+            AnyModel::Dlrm(m) => m.write_grads(out),
+            AnyModel::Tbsm(m) => m.write_grads(out),
+        }
+    }
+
+    fn read_grads(&mut self, src: &[f32]) -> usize {
+        match self {
+            AnyModel::Dlrm(m) => m.read_grads(src),
+            AnyModel::Tbsm(m) => m.read_grads(src),
+        }
+    }
 }
 
 /// Splits the head of a test dataset into evaluation mini-batches.
@@ -355,8 +374,9 @@ pub fn train_baseline(
     cfg: &TrainConfig,
 ) -> TrainReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut model = AnyModel::from_spec(spec, &mut rng);
+    let model = AnyModel::from_spec(spec, &mut rng);
     let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
+    let mut engine = ParallelEngine::from_model(model, spec, cfg.seed, cfg.workers);
     let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
     let profile = bridge::profile_for(spec, 0.0);
     let sys = SystemConfig::paper_server(cfg.num_gpus);
@@ -370,11 +390,12 @@ pub fn train_baseline(
         order.shuffle(&mut rng);
         for chunk in order.chunks(cfg.minibatch_size) {
             let mb = MiniBatch::gather(train, chunk, BatchKind::Unclassified);
-            train_step(&mut model, &mut master, &mb, cfg.lr);
+            let (_loss, grads) = engine.step(&master, &mb, cfg.lr);
+            master.apply_sparse_grads(&grads, cfg.lr);
             costs.charge(&mut timeline, mb.len());
             steps += 1;
             if steps.is_multiple_of(cfg.eval_interval) {
-                let e = evaluate(&mut model, &master, &test_batches);
+                let e = evaluate(engine.primary(), &master, &test_batches);
                 history.push(EvalPoint {
                     iteration: steps,
                     test_loss: e.loss,
@@ -387,9 +408,9 @@ pub fn train_baseline(
             }
         }
     }
-    let final_test = evaluate(&mut model, &master, &test_batches);
+    let final_test = evaluate(engine.primary(), &master, &test_batches);
     let train_batches = make_test_batches(train, cfg.minibatch_size, cfg.eval_batches);
-    let final_train = evaluate(&mut model, &master, &train_batches);
+    let final_train = evaluate(engine.primary(), &master, &train_batches);
     history.push(EvalPoint {
         iteration: steps,
         test_loss: final_test.loss,
@@ -507,18 +528,26 @@ pub fn train_fae_resilient(
     scheduler.set_telemetry(telem.clone());
     injector.set_telemetry(telem.clone());
 
+    // The execution engine owns the model replicas from here on. A
+    // checkpoint restore above only touched replica 0, so re-broadcast
+    // its parameters before the first step.
+    let mut engine = ParallelEngine::from_model(model, spec, cfg.seed, cfg.workers);
+    engine.broadcast_params();
+    engine.set_telemetry(telem.clone());
+
     let mut hot = HotEmbeddings::build(&master, pre.partitions.to_vec());
     hot.set_telemetry(telem.clone());
     let hot_bytes = hot.hot_bytes() as f64;
     let test_batches = make_test_batches(test, cfg.minibatch_size, cfg.eval_batches);
     let profile = bridge::profile_for(spec, hot_bytes);
     let mut costs = FaeCostModel::new(profile, gpus_active, hot.sync_bytes() as f64);
-    let dense_bytes = model.dense_param_count() as f64 * 4.0;
+    let dense_bytes = engine.primary_ref().dense_param_count() as f64 * 4.0;
 
     telem.emit(&JournalEvent::RunStart {
         workload: spec.name.clone(),
         seed: cfg.seed,
         num_gpus: gpus_active,
+        workers: engine.workers(),
         epochs: cfg.epochs,
         minibatch_size: cfg.minibatch_size,
         initial_rate: cfg.initial_rate,
@@ -626,7 +655,8 @@ pub fn train_fae_resilient(
                 let k = rate.block_len(n_cold).min(n_cold - cp);
                 for &b in &cold_order[cp..cp + k] {
                     let mb = &pre.cold_batches[b];
-                    let loss = train_step(&mut model, &mut master, mb, cfg.lr);
+                    let (loss, grads) = engine.step(&master, mb, cfg.lr);
+                    master.apply_sparse_grads(&grads, cfg.lr);
                     costs.charge_cold(&mut timeline, mb.len());
                     cold_steps += 1;
                     steps += 1;
@@ -679,7 +709,8 @@ pub fn train_fae_resilient(
                     // master tables at hybrid cost, with no sync traffic.
                     for &b in &hot_order[hp..hp + k] {
                         let mb = &pre.hot_batches[b];
-                        let loss = train_step(&mut model, &mut master, mb, cfg.lr);
+                        let (loss, grads) = engine.step(&master, mb, cfg.lr);
+                        master.apply_sparse_grads(&grads, cfg.lr);
                         costs.charge_cold(&mut timeline, mb.len());
                         cold_steps += 1;
                         steps += 1;
@@ -750,7 +781,10 @@ pub fn train_fae_resilient(
                     }
                     for &b in &hot_order[hp..hp + k] {
                         let mb = &pre.hot_batches[b];
-                        let loss = train_step(&mut model, &mut hot, mb, cfg.lr);
+                        // Hot steps apply the merged sparse gradient
+                        // shard-parallel — disjoint row ranges, exact.
+                        let (loss, grads) = engine.step(&hot, mb, cfg.lr);
+                        hot.apply_shared(&grads, cfg.lr);
                         costs.charge_hot(&mut timeline, mb.len());
                         hot_steps += 1;
                         steps += 1;
@@ -786,7 +820,7 @@ pub fn train_fae_resilient(
                 }
             }
             // Evaluate on the (synchronised) master copy and adapt.
-            let e = evaluate(&mut model, &master, &test_batches);
+            let e = evaluate(engine.primary(), &master, &test_batches);
             let new_rate = scheduler.observe_test_loss(e.loss);
             history.push(EvalPoint {
                 iteration: steps,
@@ -816,7 +850,7 @@ pub fn train_fae_resilient(
                     && rounds_done.is_multiple_of(opts.checkpoint_every_rounds)
                 {
                     let mut dense_params = Vec::new();
-                    model.write_params(&mut dense_params);
+                    engine.primary_ref().write_params(&mut dense_params);
                     let ck = TrainCheckpoint {
                         config_seed: cfg.seed,
                         epoch: epoch as u32,
@@ -886,7 +920,7 @@ pub fn train_fae_resilient(
         }
     }
 
-    let final_test = evaluate(&mut model, &master, &test_batches);
+    let final_test = evaluate(engine.primary(), &master, &test_batches);
     let train_sample: Vec<MiniBatch> = pre
         .hot_batches
         .iter()
@@ -894,7 +928,7 @@ pub fn train_fae_resilient(
         .chain(pre.cold_batches.iter().take(cfg.eval_batches / 2 + 1))
         .cloned()
         .collect();
-    let final_train = evaluate(&mut model, &master, &train_sample);
+    let final_train = evaluate(engine.primary(), &master, &train_sample);
     telem.emit(&JournalEvent::RunEnd {
         steps: steps as u64,
         hot_steps: hot_steps as u64,

@@ -75,6 +75,47 @@ impl MiniBatch {
     pub fn dense_bytes(&self) -> usize {
         self.dense.len() * std::mem::size_of::<f32>()
     }
+
+    /// Re-assembles the sub-batch holding the listed sample positions (in
+    /// the given order), preserving the purity tag.
+    pub fn select(&self, ids: &[usize]) -> MiniBatch {
+        let w = self.dense_width;
+        let mut dense = Vec::with_capacity(ids.len() * w);
+        let mut labels = Vec::with_capacity(ids.len());
+        for &i in ids {
+            dense.extend_from_slice(&self.dense[i * w..(i + 1) * w]);
+            labels.push(self.labels[i]);
+        }
+        MiniBatch {
+            kind: self.kind,
+            dense,
+            dense_width: w,
+            sparse: self.sparse.iter().map(|csr| csr.gather(ids)).collect(),
+            labels,
+        }
+    }
+
+    /// Splits the batch into `k` contiguous shards whose sizes differ by
+    /// at most one sample (the data-parallel sharding of §II-B: shard `d`
+    /// gets samples `[d·⌈n/k⌉ …]`, earlier shards take the remainder).
+    /// Shards past the sample count come back empty. The split is a pure
+    /// function of `(len, k)`, which is what makes worker-sharded
+    /// execution replayable.
+    pub fn shards(&self, k: usize) -> Vec<MiniBatch> {
+        assert!(k >= 1, "need at least one shard");
+        let n = self.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for d in 0..k {
+            let len = base + usize::from(d < extra);
+            let ids: Vec<usize> = (start..start + len).collect();
+            start += len;
+            out.push(self.select(&ids));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -14,11 +14,17 @@
 //!   fits in GPU memory, plus write-back to the master table,
 //! * [`ReplicatedHotEmbedding`] — N device replicas of a hot bag with
 //!   gradient all-reduce, modelling the paper's *embedding replicator*,
+//! * [`ShardedEmbeddingTable`] — row-range shards behind per-shard locks
+//!   for Hogwild-style concurrent lookups and sparse SGD from the parallel
+//!   execution engine's worker threads,
 //! * [`sparse::SparseGrad`] — coalesced sparse gradients.
+
+#![warn(missing_docs)]
 
 pub mod half;
 pub mod partition;
 pub mod replica;
+pub mod sharded;
 pub mod sparse;
 pub mod stats;
 pub mod table;
@@ -26,6 +32,7 @@ pub mod table;
 pub use half::Bf16EmbeddingTable;
 pub use partition::{HotColdPartition, RowClass};
 pub use replica::ReplicatedHotEmbedding;
+pub use sharded::ShardedEmbeddingTable;
 pub use sparse::{RowwiseAdagrad, SparseGrad};
 pub use stats::AccessCounter;
 pub use table::{EmbeddingTable, HotEmbeddingBag};

@@ -166,6 +166,16 @@ impl RecModel for Tbsm {
         let n = self.bottom.read_params(src);
         n + self.top.read_params(&src[n..])
     }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        self.bottom.write_grads(out);
+        self.top.write_grads(out);
+    }
+
+    fn read_grads(&mut self, src: &[f32]) -> usize {
+        let n = self.bottom.read_grads(src);
+        n + self.top.read_grads(&src[n..])
+    }
 }
 
 #[cfg(test)]

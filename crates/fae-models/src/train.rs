@@ -37,6 +37,18 @@ pub trait RecModel {
 
     /// Loads dense parameters from `src`, returning the number consumed.
     fn read_params(&mut self, src: &[f32]) -> usize;
+
+    /// Flattens the accumulated dense gradients into `out`, in
+    /// [`write_params`](RecModel::write_params) order. The parallel
+    /// execution engine reduces these across workers in worker-index
+    /// order, which is what makes fixed-worker-count runs bit-identical.
+    fn write_grads(&self, out: &mut Vec<f32>);
+
+    /// Overwrites the accumulated dense gradients from `src` (layout of
+    /// [`write_grads`](RecModel::write_grads)), returning the number of
+    /// scalars consumed. A following [`sgd_step`](RecModel::sgd_step)
+    /// applies exactly the loaded gradient.
+    fn read_grads(&mut self, src: &[f32]) -> usize;
 }
 
 /// Runs one training step; returns the mini-batch BCE loss.
@@ -56,6 +68,36 @@ pub fn train_step(
     model.sgd_step(lr);
     emb.apply_sparse_grads(&emb_grads, lr);
     loss
+}
+
+/// The forward + backward half of [`train_step`], without any parameter
+/// update: returns the (unweighted) mini-batch BCE loss and the per-table
+/// sparse embedding gradients, leaving the dense gradients accumulated
+/// inside the model for the caller to extract via
+/// [`RecModel::write_grads`].
+///
+/// `grad_scale` multiplies the loss gradient before backpropagation — the
+/// parallel engine passes each worker's sample fraction `n_w / N` so that
+/// summing worker gradients reproduces the full-batch mean-loss gradient.
+/// A scale of exactly `1.0` skips the multiply, keeping the single-worker
+/// path bit-identical to [`train_step`]'s arithmetic.
+pub fn forward_backward(
+    model: &mut dyn RecModel,
+    emb: &dyn EmbeddingSource,
+    batch: &MiniBatch,
+    grad_scale: f32,
+) -> (f32, Vec<SparseGrad>) {
+    assert!(!batch.is_empty(), "cannot train on an empty mini-batch");
+    model.zero_grad();
+    let pred = model.forward(batch, emb);
+    let target = Tensor::from_vec(batch.len(), 1, batch.labels.clone());
+    let loss = bce_loss(&pred, &target);
+    let mut grad = bce_loss_backward(&pred, &target);
+    if grad_scale != 1.0 {
+        grad = grad.map(|v| v * grad_scale);
+    }
+    let emb_grads = model.backward(&grad);
+    (loss, emb_grads)
 }
 
 /// Evaluation metrics over a batch stream.

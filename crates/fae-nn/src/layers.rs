@@ -34,6 +34,22 @@ pub trait Layer: Send {
 
     /// Loads parameters from `src`, returning the number consumed.
     fn read_params(&mut self, src: &[f32]) -> usize;
+
+    /// Flattens the accumulated parameter *gradients* into `out`, in the
+    /// same order as [`write_params`](Layer::write_params). Parameter-free
+    /// layers write nothing. Used by the parallel execution engine to
+    /// reduce dense gradients across workers in a deterministic order.
+    fn write_grads(&self, _out: &mut Vec<f32>) {}
+
+    /// Overwrites the accumulated parameter gradients from `src` (same
+    /// layout as [`write_grads`](Layer::write_grads)), returning the
+    /// number of scalars consumed. A subsequent
+    /// [`sgd_step`](Layer::sgd_step) then applies exactly the loaded
+    /// gradient, which is how every replica applies the identical reduced
+    /// gradient bit-for-bit.
+    fn read_grads(&mut self, _src: &[f32]) -> usize {
+        0
+    }
 }
 
 /// Fully-connected layer: `y = x · W + b` with `W: in × out`.
@@ -122,6 +138,19 @@ impl Layer for Linear {
         let bn = self.b.len();
         self.w.as_mut_slice().copy_from_slice(&src[..wn]);
         self.b.copy_from_slice(&src[wn..wn + bn]);
+        wn + bn
+    }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.grad_w.as_slice());
+        out.extend_from_slice(&self.grad_b);
+    }
+
+    fn read_grads(&mut self, src: &[f32]) -> usize {
+        let wn = self.grad_w.len();
+        let bn = self.grad_b.len();
+        self.grad_w.as_mut_slice().copy_from_slice(&src[..wn]);
+        self.grad_b.copy_from_slice(&src[wn..wn + bn]);
         wn + bn
     }
 }

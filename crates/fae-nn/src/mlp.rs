@@ -119,6 +119,20 @@ impl Layer for Mlp {
         }
         off
     }
+
+    fn write_grads(&self, out: &mut Vec<f32>) {
+        for l in &self.layers {
+            l.write_grads(out);
+        }
+    }
+
+    fn read_grads(&mut self, src: &[f32]) -> usize {
+        let mut off = 0;
+        for l in &mut self.layers {
+            off += l.read_grads(&src[off..]);
+        }
+        off
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +186,33 @@ mod tests {
         let mut buf2 = Vec::new();
         b.write_params(&mut buf2);
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn grad_round_trip_reproduces_sgd_step() {
+        // Loading written-out gradients into a twin and stepping must give
+        // bit-identical parameters — the engine's reduction relies on it.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut a = Mlp::new(&[3, 4, 1], Activation::Sigmoid, &mut rng);
+        let mut b = Mlp::new(&[3, 4, 1], Activation::Sigmoid, &mut rng);
+        let mut params = Vec::new();
+        a.write_params(&mut params);
+        b.read_params(&params);
+        let x = Tensor::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        a.zero_grad();
+        let y = a.forward(&x);
+        a.backward(&y);
+        let mut grads = Vec::new();
+        a.write_grads(&mut grads);
+        assert_eq!(grads.len(), a.param_count());
+        b.zero_grad();
+        assert_eq!(b.read_grads(&grads), grads.len());
+        a.sgd_step(0.1);
+        b.sgd_step(0.1);
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        a.write_params(&mut pa);
+        b.write_params(&mut pb);
+        assert_eq!(pa, pb);
     }
 
     #[test]

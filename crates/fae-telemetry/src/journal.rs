@@ -110,6 +110,9 @@ pub enum JournalEvent {
         minibatch_size: usize,
         /// Initial shuffle-scheduler rate (percent).
         initial_rate: u32,
+        /// Worker threads in the parallel execution engine (1 = serial;
+        /// absent in pre-engine journals, parsed as 1).
+        workers: usize,
     },
     /// One training step.
     Step {
@@ -237,6 +240,7 @@ impl JournalEvent {
                 epochs,
                 minibatch_size,
                 initial_rate,
+                workers,
             } => {
                 m.insert("workload".into(), Value::String(workload.clone()));
                 m.insert("seed".into(), serde_json::to_value(seed));
@@ -244,6 +248,7 @@ impl JournalEvent {
                 m.insert("epochs".into(), serde_json::to_value(epochs));
                 m.insert("minibatch_size".into(), serde_json::to_value(minibatch_size));
                 m.insert("initial_rate".into(), serde_json::to_value(initial_rate));
+                m.insert("workers".into(), serde_json::to_value(workers));
             }
             JournalEvent::Step { step, mode, rate, loss, phases } => {
                 m.insert("step".into(), serde_json::to_value(step));
@@ -351,6 +356,8 @@ impl JournalEvent {
                 epochs: get_u64("epochs")? as usize,
                 minibatch_size: get_u64("minibatch_size")? as usize,
                 initial_rate: get_u64("initial_rate")? as u32,
+                // Pre-engine journals have no workers field: serial run.
+                workers: v.get("workers").and_then(Value::as_u64).unwrap_or(1) as usize,
             },
             "step" => JournalEvent::Step {
                 step: get_u64("step")?,
@@ -491,6 +498,7 @@ mod tests {
                 epochs: 1,
                 minibatch_size: 64,
                 initial_rate: 50,
+                workers: 2,
             },
             JournalEvent::Step {
                 step: 1,
@@ -597,6 +605,17 @@ mod tests {
         assert_eq!(d.get(Phase::Transfer), 0.25);
         assert_eq!(d.get(Phase::Backward), 0.0);
         assert!((d.total() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pre_engine_run_start_parses_as_one_worker() {
+        let line = "{\"type\":\"run_start\",\"workload\":\"w\",\"seed\":1,\"num_gpus\":2,\
+                    \"epochs\":1,\"minibatch_size\":64,\"initial_rate\":50}";
+        let v: Value = serde_json::from_str(line).unwrap();
+        match JournalEvent::from_json(&v).unwrap() {
+            JournalEvent::RunStart { workers, .. } => assert_eq!(workers, 1),
+            other => panic!("parsed as {other:?}"),
+        }
     }
 
     #[test]

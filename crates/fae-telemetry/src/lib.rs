@@ -18,6 +18,7 @@
 //! [`Telemetry::disabled`] handle (also `Default`) makes every call a
 //! no-op, so instrumented code paths cost nothing when observability is
 //! off and call sites never need `if let Some(telemetry)` guards.
+#![warn(missing_docs)]
 
 pub mod journal;
 pub mod metrics;

@@ -281,6 +281,7 @@ mod tests {
                 workload: "w".into(),
                 seed: 1,
                 num_gpus: 2,
+                workers: 1,
                 epochs: 1,
                 minibatch_size: 8,
                 initial_rate: 100,

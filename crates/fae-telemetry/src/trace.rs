@@ -82,15 +82,20 @@ fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: M
 /// The output is a complete `{"traceEvents": [...]}` object; write it to
 /// a file and load it in Perfetto's JSON importer or `chrome://tracing`.
 pub fn chrome_trace(events: &[JournalEvent]) -> String {
-    let num_gpus = events
+    let (num_gpus, workers) = events
         .iter()
         .find_map(|e| match e {
-            JournalEvent::RunStart { num_gpus, .. } => Some((*num_gpus).max(1)),
+            JournalEvent::RunStart { num_gpus, workers, .. } => {
+                Some(((*num_gpus).max(1), (*workers).max(1)))
+            }
             _ => None,
         })
-        .unwrap_or(1);
+        .unwrap_or((1, 1));
     let tid_comm = TID_DEVICE0 + num_gpus as u64;
     let tid_framework = tid_comm + 1;
+    // Worker lanes sit past the framework track; only emitted when the
+    // run used the parallel engine with more than one worker.
+    let tid_worker0 = tid_framework + 1;
 
     let mut out: Vec<Value> = Vec::new();
     out.push(meta_event(0, "process_name", "fae-simulated-timeline"));
@@ -100,6 +105,11 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
     }
     out.push(meta_event(tid_comm, "thread_name", "communication"));
     out.push(meta_event(tid_framework, "thread_name", "framework"));
+    if workers > 1 {
+        for w in 0..workers {
+            out.push(meta_event(tid_worker0 + w as u64, "thread_name", &format!("worker{w}")));
+        }
+    }
 
     // A single simulated-time cursor: each charging event occupies the
     // window [cursor, cursor + total), with its phases laid end to end in
@@ -194,6 +204,21 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
                             args.clone(),
                         ));
                     }
+                    // The execution engine's worker threads each process a
+                    // contiguous shard of the same step concurrently, so the
+                    // step's compute slices repeat on every worker lane.
+                    if workers > 1 && mode.is_some() {
+                        for w in 0..workers {
+                            out.push(slice_event(
+                                tid_worker0 + w as u64,
+                                &name,
+                                cat,
+                                local_us,
+                                dur_us,
+                                args.clone(),
+                            ));
+                        }
+                    }
                 }
             }
             local_us += dur_us;
@@ -218,6 +243,7 @@ mod tests {
                 workload: "w".into(),
                 seed: 1,
                 num_gpus: 2,
+                workers: 2,
                 epochs: 1,
                 minibatch_size: 8,
                 initial_rate: 100,
@@ -318,6 +344,26 @@ mod tests {
             }
         }
         assert!((total_us - expected_us).abs() < 1e-3, "{total_us} vs {expected_us}");
+    }
+
+    #[test]
+    fn worker_lanes_present_when_parallel() {
+        let text = chrome_trace(&sample());
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .collect();
+        assert!(names.contains(&"worker0"));
+        assert!(names.contains(&"worker1"));
+        // Step compute slices repeat on the worker lanes.
+        let worker_tid_min = TID_DEVICE0 + 2 + 2; // gpus + comm + framework
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("X")
+                && e.get("tid").and_then(Value::as_u64).unwrap_or(0) >= worker_tid_min
+        }));
     }
 
     #[test]

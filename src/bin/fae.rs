@@ -147,6 +147,7 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
         epochs: args.num("epochs", 1usize)?,
         minibatch_size: args.num("batch", spec.minibatch_size.min(256))?,
         num_gpus: args.num("gpus", 1usize)?,
+        workers: args.num("workers", 1usize)?,
         lr: args.num("lr", 0.05f32)?,
         ..Default::default()
     })
@@ -311,6 +312,7 @@ const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare|report> 
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
   preprocess:   --out FILE  --batch B
   train:        --stream FILE  --epochs E  --gpus G  --lr LR
+                --workers W   (execution-engine worker threads; 1 = serial)
                 --fault-plan 'kind@step,...'  --fault-seed S
                   (kinds: device-loss replication-oom sync-failure
                           artifact-corruption transient-io)
@@ -319,7 +321,7 @@ const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare|report> 
                 --metrics-out FILE.json  --journal FILE.jsonl
                 --trace-out FILE.json    --progress true  --progress-every N
   report:       fae report JOURNAL.jsonl   (phase-breakdown table)
-  compare:      --batch B  --epochs E  --gpus G";
+  compare:      --batch B  --epochs E  --gpus G  --workers W";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
