@@ -1,0 +1,76 @@
+//! `BENCH_serve` — inference-serving saturation benchmark.
+//!
+//! Builds a serving engine on the tiny workload (calibrated partitions,
+//! freshly initialised model — serving cost and cache behaviour do not
+//! depend on trained weights), then runs the standard saturation sweep:
+//! a closed-loop baseline plus open-loop Poisson points from 25% of
+//! nominal capacity to past saturation. Records offered vs achieved
+//! throughput, tail latencies, rejection counts and the hot-cache hit
+//! rate in `results/BENCH_serve.json` so successive checkouts can be
+//! compared. Also measures pass-1 (simulation) wall-clock so scheduler
+//! regressions show up even though latencies are simulated.
+
+use fae_bench::{print_table, save_json, timed};
+use fae_core::CalibratorConfig;
+use fae_data::{generate, GenOptions, WorkloadSpec};
+use fae_serve::{calibrate_partitions, saturation_sweep, sweep_json, ServeConfig, ServeEngine};
+
+fn main() {
+    let spec = WorkloadSpec::tiny_test();
+    let inputs = 8_000;
+    let ds = generate(&spec, &GenOptions::sized(1, inputs));
+    let partitions = calibrate_partitions(
+        &ds,
+        CalibratorConfig {
+            gpu_budget_bytes: spec.embedding_bytes() / 8,
+            small_table_bytes: 8 << 10,
+            ..Default::default()
+        },
+    );
+    let cfg = ServeConfig::default();
+    let engine = ServeEngine::untrained(spec.clone(), partitions, cfg);
+    let requests_per_point = 2_000;
+
+    let (sweep, wall_secs) = timed(|| saturation_sweep(&engine, &ds, requests_per_point));
+
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.clone(),
+                format!("{:.1}", p.offered_rps),
+                p.completed.to_string(),
+                p.rejected.to_string(),
+                format!("{:.3}", p.p50_ms),
+                format!("{:.3}", p.p95_ms),
+                format!("{:.3}", p.p99_ms),
+                format!("{:.1}", p.throughput_rps),
+                format!("{:.4}", p.hit_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "BENCH_serve: saturation sweep (tiny workload, {} workers, capacity {:.0} req/s)",
+            cfg.workers, sweep.capacity_rps
+        ),
+        &["mode", "offered", "done", "rej", "p50 ms", "p95 ms", "p99 ms", "tput", "hit rate"],
+        &rows,
+    );
+    println!(
+        "\nsweep wall-clock {wall_secs:.2}s ({} requests/point across {} points)",
+        requests_per_point,
+        sweep.points.len()
+    );
+
+    let record = serde_json::json!({
+        "inputs": inputs,
+        "requests_per_point": requests_per_point,
+        "serve_workers": cfg.workers,
+        "max_batch": cfg.max_batch,
+        "sweep_wall_seconds": wall_secs,
+        "sweep": sweep_json(&sweep),
+    });
+    save_json("BENCH_serve", &record);
+}

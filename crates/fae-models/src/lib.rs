@@ -30,4 +30,4 @@ pub mod train;
 pub use dlrm::Dlrm;
 pub use source::{EmbeddingSource, MasterEmbeddings};
 pub use tbsm::Tbsm;
-pub use train::{evaluate, forward_backward, train_step, EvalReport, RecModel};
+pub use train::{evaluate, forward_backward, predict, train_step, EvalReport, RecModel};

@@ -135,3 +135,12 @@ pub fn evaluate(
     }
     EvalReport { loss: loss_sum / n as f64, accuracy: acc_sum / n as f64, samples: n }
 }
+
+/// Inference-only forward pass: click probabilities (`batch × 1`) with no
+/// gradient accumulation and no parameter update. This is the serving
+/// entry point (`fae-serve`): the model's cached activations are
+/// overwritten but its parameters and the embedding source are untouched.
+pub fn predict(model: &mut dyn RecModel, emb: &dyn EmbeddingSource, batch: &MiniBatch) -> Tensor {
+    assert!(!batch.is_empty(), "cannot predict on an empty mini-batch");
+    model.forward(batch, emb)
+}

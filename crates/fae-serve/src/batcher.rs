@@ -1,0 +1,163 @@
+//! The deadline-aware dynamic micro-batcher (DESIGN.md §10.1).
+//!
+//! Requests accumulate into an open batch that closes on whichever comes
+//! first: the batch reaching `max_batch` members, or `max_delay` seconds
+//! elapsing since its first member arrived. The first rule bounds work
+//! per dispatch; the second bounds the queueing delay a lone request can
+//! suffer under light load — the classic dynamic-batching trade-off
+//! (throughput wants big batches, tail latency wants prompt ones).
+//!
+//! The batcher is a pure state machine on the simulated clock: it holds
+//! request indices and timestamps, never threads or timers, which is
+//! what keeps the serving simulation deterministic and replayable.
+
+/// Micro-batcher knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Close the open batch when it reaches this many requests.
+    pub max_batch: usize,
+    /// Close the open batch this many simulated seconds after its first
+    /// request arrived, even if it is not full.
+    pub max_delay_s: f64,
+    /// Reject new arrivals while this many requests are queued or
+    /// in flight (the bounded queue).
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { max_batch: 32, max_delay_s: 2e-3, queue_cap: 1024 }
+    }
+}
+
+/// Why a batch closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Reached `max_batch` members.
+    Full,
+    /// `max_delay` expired with the batch part-filled.
+    Deadline,
+    /// End of workload: the last part-filled batch was flushed.
+    Drain,
+}
+
+/// A batch handed to the worker pool, with the simulated instant it
+/// closed at.
+#[derive(Clone, Debug)]
+pub struct ClosedBatch {
+    /// Simulated close time, seconds.
+    pub close_s: f64,
+    /// Request indices (into the workload's request list), arrival order.
+    pub members: Vec<usize>,
+    /// What closed it.
+    pub reason: CloseReason,
+}
+
+/// The deadline-aware micro-batcher: one open batch at a time.
+#[derive(Clone, Debug)]
+pub struct MicroBatcher {
+    cfg: BatcherConfig,
+    open: Vec<usize>,
+    opened_at: f64,
+}
+
+impl MicroBatcher {
+    /// Creates an empty batcher.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.max_delay_s >= 0.0, "max_delay must be non-negative");
+        Self { cfg, open: Vec::new(), opened_at: 0.0 }
+    }
+
+    /// Requests currently in the open batch.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Simulated instant the open batch must close by, if one is open.
+    pub fn deadline(&self) -> Option<f64> {
+        if self.open.is_empty() {
+            None
+        } else {
+            Some(self.opened_at + self.cfg.max_delay_s)
+        }
+    }
+
+    /// Adds request `idx` arriving at simulated time `now`; returns the
+    /// batch if this arrival filled it.
+    pub fn push(&mut self, idx: usize, now: f64) -> Option<ClosedBatch> {
+        if self.open.is_empty() {
+            self.opened_at = now;
+        }
+        self.open.push(idx);
+        if self.open.len() >= self.cfg.max_batch {
+            return Some(ClosedBatch {
+                close_s: now,
+                members: std::mem::take(&mut self.open),
+                reason: CloseReason::Full,
+            });
+        }
+        None
+    }
+
+    /// Closes the part-filled open batch at `now` (deadline expiry or
+    /// end-of-workload drain). Returns `None` when nothing is open.
+    pub fn flush(&mut self, now: f64, reason: CloseReason) -> Option<ClosedBatch> {
+        if self.open.is_empty() {
+            return None;
+        }
+        Some(ClosedBatch { close_s: now, members: std::mem::take(&mut self.open), reason })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize, max_delay_s: f64) -> BatcherConfig {
+        BatcherConfig { max_batch, max_delay_s, queue_cap: 64 }
+    }
+
+    #[test]
+    fn closes_at_max_batch() {
+        let mut b = MicroBatcher::new(cfg(3, 1.0));
+        assert!(b.push(0, 0.0).is_none());
+        assert!(b.push(1, 0.1).is_none());
+        let batch = b.push(2, 0.2).expect("third push fills the batch");
+        assert_eq!(batch.members, vec![0, 1, 2]);
+        assert_eq!(batch.reason, CloseReason::Full);
+        assert_eq!(batch.close_s, 0.2);
+        assert_eq!(b.open_len(), 0);
+        assert!(b.deadline().is_none());
+    }
+
+    #[test]
+    fn deadline_tracks_first_member() {
+        let mut b = MicroBatcher::new(cfg(8, 0.5));
+        assert!(b.deadline().is_none());
+        b.push(0, 1.0);
+        b.push(1, 1.3);
+        // Deadline is first arrival + max_delay, not refreshed by later pushes.
+        assert_eq!(b.deadline(), Some(1.5));
+        let batch = b.flush(1.5, CloseReason::Deadline).unwrap();
+        assert_eq!(batch.members, vec![0, 1]);
+        assert_eq!(batch.reason, CloseReason::Deadline);
+        // Next batch opens fresh.
+        b.push(2, 9.0);
+        assert_eq!(b.deadline(), Some(9.5));
+    }
+
+    #[test]
+    fn flush_of_empty_batcher_is_none() {
+        let mut b = MicroBatcher::new(cfg(4, 0.5));
+        assert!(b.flush(1.0, CloseReason::Drain).is_none());
+    }
+
+    #[test]
+    fn max_batch_one_closes_immediately() {
+        let mut b = MicroBatcher::new(cfg(1, 0.5));
+        let batch = b.push(7, 0.25).expect("singleton batch closes at once");
+        assert_eq!(batch.members, vec![7]);
+        assert_eq!(batch.reason, CloseReason::Full);
+    }
+}

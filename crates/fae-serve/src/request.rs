@@ -1,0 +1,239 @@
+//! Inference requests and recorded request traces.
+//!
+//! A request references a *dataset input index* rather than carrying raw
+//! sparse features: the generator's rank→id permutation is a pure
+//! function of the data seed, so requests only line up with the
+//! calibrator's hot partition when trace, serving dataset and training
+//! dataset all share that seed. The trace header records the seed and
+//! workload so a replay against the wrong dataset fails fast instead of
+//! silently measuring a cold cache.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde_json::{json, Value};
+
+/// One inference request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InferRequest {
+    /// Request id, unique within a workload.
+    pub id: u64,
+    /// Simulated arrival time, seconds from workload start.
+    pub arrival_s: f64,
+    /// Dataset input index supplying the request's features.
+    pub input: usize,
+}
+
+/// The request stream a serve run executes: either generated fresh by the
+/// load generator or replayed from a recorded [`RequestTrace`].
+#[derive(Clone, Debug)]
+pub enum ServeLoad {
+    /// Open loop: arrivals at the recorded times regardless of progress.
+    Open(Vec<InferRequest>),
+    /// Closed loop: `clients` logical clients each issue `per_client`
+    /// requests back to back, a client's next request arriving the
+    /// instant its previous one completes.
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Requests each client issues.
+        per_client: usize,
+    },
+}
+
+impl ServeLoad {
+    /// Total requests the load will issue.
+    pub fn total_requests(&self) -> usize {
+        match self {
+            ServeLoad::Open(reqs) => reqs.len(),
+            ServeLoad::Closed { clients, per_client } => clients * per_client,
+        }
+    }
+}
+
+/// A recorded request stream, persisted as JSONL with a header line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestTrace {
+    /// Workload name the trace was recorded against.
+    pub workload: String,
+    /// Data seed of the dataset the input indices refer to.
+    pub data_seed: u64,
+    /// The requests, ascending by arrival time.
+    pub requests: Vec<InferRequest>,
+}
+
+/// Errors loading or validating a request trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structurally invalid trace file.
+    Malformed(String),
+    /// Trace recorded against a different workload or data seed.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace io error: {e}"),
+            TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
+            TraceError::Mismatch(m) => write!(f, "trace mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl RequestTrace {
+    /// Writes the trace: one header line, then one line per request.
+    pub fn save(&self, path: &Path) -> Result<(), TraceError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        let header = json!({
+            "type": "serve_trace",
+            "workload": self.workload,
+            "data_seed": self.data_seed,
+            "count": self.requests.len(),
+        });
+        writeln!(w, "{}", serde_json::to_string(&header).expect("Value serialization"))?;
+        for r in &self.requests {
+            let line = json!({"id": r.id, "arrival_s": r.arrival_s, "input": r.input});
+            writeln!(w, "{}", serde_json::to_string(&line).expect("Value serialization"))?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a trace back, checking the header's shape.
+    pub fn load(path: &Path) -> Result<Self, TraceError> {
+        let mut lines = BufReader::new(File::open(path)?).lines();
+        let header: Value = match lines.next() {
+            Some(line) => serde_json::from_str(&line?)
+                .map_err(|e| TraceError::Malformed(format!("header: {e}")))?,
+            None => return Err(TraceError::Malformed("empty file".into())),
+        };
+        if header.get("type").and_then(Value::as_str) != Some("serve_trace") {
+            return Err(TraceError::Malformed("missing serve_trace header".into()));
+        }
+        let workload = header
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or_else(|| TraceError::Malformed("header missing workload".into()))?
+            .to_string();
+        let data_seed = header
+            .get("data_seed")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| TraceError::Malformed("header missing data_seed".into()))?;
+        let mut requests = Vec::new();
+        for (n, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(&line)
+                .map_err(|e| TraceError::Malformed(format!("line {}: {e}", n + 2)))?;
+            let field = |k: &str| {
+                v.get(k)
+                    .cloned()
+                    .ok_or_else(|| TraceError::Malformed(format!("line {} missing {k}", n + 2)))
+            };
+            requests.push(InferRequest {
+                id: field("id")?.as_u64().unwrap_or(0),
+                arrival_s: field("arrival_s")?.as_f64().unwrap_or(0.0),
+                input: field("input")?.as_u64().unwrap_or(0) as usize,
+            });
+        }
+        Ok(Self { workload, data_seed, requests })
+    }
+
+    /// Fails unless the trace was recorded against the same workload and
+    /// data seed as the serving dataset, and its input indices are in
+    /// range — the preconditions for the pinned tier to line up.
+    pub fn validate(
+        &self,
+        workload: &str,
+        data_seed: u64,
+        inputs: usize,
+    ) -> Result<(), TraceError> {
+        if self.workload != workload {
+            return Err(TraceError::Mismatch(format!(
+                "trace recorded on workload '{}', serving '{workload}'",
+                self.workload
+            )));
+        }
+        if self.data_seed != data_seed {
+            return Err(TraceError::Mismatch(format!(
+                "trace recorded with data seed {}, serving with {data_seed}",
+                self.data_seed
+            )));
+        }
+        if let Some(r) = self.requests.iter().find(|r| r.input >= inputs) {
+            return Err(TraceError::Mismatch(format!(
+                "request {} references input {} but the dataset has {inputs}",
+                r.id, r.input
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RequestTrace {
+        RequestTrace {
+            workload: "tiny".into(),
+            data_seed: 1,
+            requests: vec![
+                InferRequest { id: 0, arrival_s: 0.0, input: 5 },
+                InferRequest { id: 1, arrival_s: 0.0025, input: 17 },
+                InferRequest { id: 2, arrival_s: 0.01, input: 5 },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("fae-serve-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let t = trace();
+        t.save(&path).unwrap();
+        let back = RequestTrace::load(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_seed_and_out_of_range() {
+        let t = trace();
+        assert!(t.validate("tiny", 1, 100).is_ok());
+        assert!(matches!(t.validate("tiny", 2, 100), Err(TraceError::Mismatch(_))));
+        assert!(matches!(t.validate("kaggle", 1, 100), Err(TraceError::Mismatch(_))));
+        assert!(matches!(t.validate("tiny", 1, 10), Err(TraceError::Mismatch(_))));
+    }
+
+    #[test]
+    fn load_rejects_missing_header() {
+        let dir = std::env::temp_dir().join(format!("fae-serve-badtrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"id\":0,\"arrival_s\":0.0,\"input\":1}\n").unwrap();
+        assert!(matches!(RequestTrace::load(&path), Err(TraceError::Malformed(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn closed_load_counts_requests() {
+        let load = ServeLoad::Closed { clients: 4, per_client: 25 };
+        assert_eq!(load.total_requests(), 100);
+    }
+}

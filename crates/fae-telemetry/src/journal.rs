@@ -201,6 +201,57 @@ pub enum JournalEvent {
         /// Whether the run was interrupted (`halt_after_steps`).
         interrupted: bool,
     },
+    /// Serve-run header (`fae serve`): emitted once, first.
+    ServeStart {
+        /// Workload name.
+        workload: String,
+        /// Serving seed (model init fallback + closed-loop input draws).
+        seed: u64,
+        /// Serving worker pool size.
+        workers: usize,
+        /// Micro-batcher close threshold (requests).
+        max_batch: usize,
+        /// Micro-batcher deadline, microseconds.
+        max_delay_us: u64,
+        /// Bounded-queue admission cap (requests queued or in flight).
+        queue_cap: usize,
+    },
+    /// One dispatched inference micro-batch.
+    ServeBatch {
+        /// Batch index (dispatch order, 1-based).
+        batch: u64,
+        /// Worker that executed it.
+        worker: usize,
+        /// Requests in the batch.
+        size: usize,
+        /// Simulated dispatch instant, seconds from serve start.
+        start_s: f64,
+        /// Embedding lookups served GPU-side (pinned + dynamic hits).
+        hits: u64,
+        /// Embedding lookups fetched from the CPU master copy.
+        misses: u64,
+        /// Simulated seconds charged by this batch, per phase.
+        phases: PhaseSeconds,
+    },
+    /// Serve-run trailer: totals, emitted once, last.
+    ServeEnd {
+        /// Requests completed.
+        completed: u64,
+        /// Requests rejected at the bounded queue.
+        rejected: u64,
+        /// Median request latency, milliseconds.
+        p50_ms: f64,
+        /// 95th-percentile request latency, milliseconds.
+        p95_ms: f64,
+        /// 99th-percentile request latency, milliseconds.
+        p99_ms: f64,
+        /// Completed requests per simulated second.
+        throughput_rps: f64,
+        /// Fraction of embedding lookups served GPU-side.
+        hit_rate: f64,
+        /// Simulated makespan of the serve run, seconds.
+        simulated_seconds: f64,
+    },
 }
 
 impl JournalEvent {
@@ -215,6 +266,9 @@ impl JournalEvent {
             JournalEvent::Fault { .. } => "fault",
             JournalEvent::Recovery { .. } => "recovery",
             JournalEvent::RunEnd { .. } => "run_end",
+            JournalEvent::ServeStart { .. } => "serve_start",
+            JournalEvent::ServeBatch { .. } => "serve_batch",
+            JournalEvent::ServeEnd { .. } => "serve_end",
         }
     }
 
@@ -223,7 +277,8 @@ impl JournalEvent {
         match self {
             JournalEvent::Step { phases, .. }
             | JournalEvent::Sync { phases, .. }
-            | JournalEvent::Charge { phases, .. } => Some(phases),
+            | JournalEvent::Charge { phases, .. }
+            | JournalEvent::ServeBatch { phases, .. } => Some(phases),
             _ => None,
         }
     }
@@ -312,6 +367,49 @@ impl JournalEvent {
                 m.insert("final_accuracy".into(), serde_json::to_value(final_accuracy));
                 m.insert("final_rate".into(), serde_json::to_value(final_rate));
                 m.insert("interrupted".into(), serde_json::to_value(interrupted));
+            }
+            JournalEvent::ServeStart {
+                workload,
+                seed,
+                workers,
+                max_batch,
+                max_delay_us,
+                queue_cap,
+            } => {
+                m.insert("workload".into(), Value::String(workload.clone()));
+                m.insert("seed".into(), serde_json::to_value(seed));
+                m.insert("workers".into(), serde_json::to_value(workers));
+                m.insert("max_batch".into(), serde_json::to_value(max_batch));
+                m.insert("max_delay_us".into(), serde_json::to_value(max_delay_us));
+                m.insert("queue_cap".into(), serde_json::to_value(queue_cap));
+            }
+            JournalEvent::ServeBatch { batch, worker, size, start_s, hits, misses, phases } => {
+                m.insert("batch".into(), serde_json::to_value(batch));
+                m.insert("worker".into(), serde_json::to_value(worker));
+                m.insert("size".into(), serde_json::to_value(size));
+                m.insert("start_s".into(), serde_json::to_value(start_s));
+                m.insert("hits".into(), serde_json::to_value(hits));
+                m.insert("misses".into(), serde_json::to_value(misses));
+                m.insert("phases".into(), phases.to_json());
+            }
+            JournalEvent::ServeEnd {
+                completed,
+                rejected,
+                p50_ms,
+                p95_ms,
+                p99_ms,
+                throughput_rps,
+                hit_rate,
+                simulated_seconds,
+            } => {
+                m.insert("completed".into(), serde_json::to_value(completed));
+                m.insert("rejected".into(), serde_json::to_value(rejected));
+                m.insert("p50_ms".into(), serde_json::to_value(p50_ms));
+                m.insert("p95_ms".into(), serde_json::to_value(p95_ms));
+                m.insert("p99_ms".into(), serde_json::to_value(p99_ms));
+                m.insert("throughput_rps".into(), serde_json::to_value(throughput_rps));
+                m.insert("hit_rate".into(), serde_json::to_value(hit_rate));
+                m.insert("simulated_seconds".into(), serde_json::to_value(simulated_seconds));
             }
         }
         Value::Object(m)
@@ -407,6 +505,33 @@ impl JournalEvent {
                         _ => None,
                     })
                     .ok_or("run_end: missing \"interrupted\"")?,
+            },
+            "serve_start" => JournalEvent::ServeStart {
+                workload: get_str("workload")?,
+                seed: get_u64("seed")?,
+                workers: get_u64("workers")? as usize,
+                max_batch: get_u64("max_batch")? as usize,
+                max_delay_us: get_u64("max_delay_us")?,
+                queue_cap: get_u64("queue_cap")? as usize,
+            },
+            "serve_batch" => JournalEvent::ServeBatch {
+                batch: get_u64("batch")?,
+                worker: get_u64("worker")? as usize,
+                size: get_u64("size")? as usize,
+                start_s: get_f64("start_s")?,
+                hits: get_u64("hits")?,
+                misses: get_u64("misses")?,
+                phases: get_phases()?,
+            },
+            "serve_end" => JournalEvent::ServeEnd {
+                completed: get_u64("completed")?,
+                rejected: get_u64("rejected")?,
+                p50_ms: get_f64("p50_ms")?,
+                p95_ms: get_f64("p95_ms")?,
+                p99_ms: get_f64("p99_ms")?,
+                throughput_rps: get_f64("throughput_rps")?,
+                hit_rate: get_f64("hit_rate")?,
+                simulated_seconds: get_f64("simulated_seconds")?,
             },
             other => return Err(format!("unknown journal event type '{other}'")),
         })
@@ -546,6 +671,33 @@ mod tests {
                 final_accuracy: 0.55,
                 final_rate: Some(25),
                 interrupted: false,
+            },
+            JournalEvent::ServeStart {
+                workload: "tiny-test".into(),
+                seed: 7,
+                workers: 2,
+                max_batch: 32,
+                max_delay_us: 2000,
+                queue_cap: 1024,
+            },
+            JournalEvent::ServeBatch {
+                batch: 1,
+                worker: 0,
+                size: 32,
+                start_s: 0.002,
+                hits: 120,
+                misses: 8,
+                phases: PhaseSeconds([1e-4, 2e-4, 0.0, 0.0, 5e-5, 0.0, 0.0, 5e-5]),
+            },
+            JournalEvent::ServeEnd {
+                completed: 32,
+                rejected: 0,
+                p50_ms: 1.5,
+                p95_ms: 2.75,
+                p99_ms: 3.0,
+                throughput_rps: 8000.0,
+                hit_rate: 0.9375,
+                simulated_seconds: 0.004,
             },
         ]
     }

@@ -34,7 +34,7 @@ pub use journal::{
     parse_journal, read_journal, JournalEvent, JournalWriter, PhaseSeconds, StepMode,
 };
 pub use metrics::{Histogram, MetricsRegistry, SpanStat};
-pub use report::{render, summarize, PhaseBreakdown, RunSummary};
+pub use report::{render, summarize, PhaseBreakdown, RunSummary, ServeSummary};
 pub use span::SpanGuard;
 pub use trace::chrome_trace;
 

@@ -95,6 +95,33 @@ impl Histogram {
         }
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) of the observed values:
+    /// walks the buckets to the one holding the ⌈q·count⌉-th observation
+    /// and interpolates linearly inside it, clamped to the observed
+    /// `[min, max]` so the log₂ bucket bounds never widen the estimate
+    /// past real data. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let within = (rank - seen) as f64 / c as f64;
+                let est = lo + (hi - lo) * within;
+                return est.clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Merges another histogram into this one, bucket by bucket.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "bucket layouts must match");
@@ -258,6 +285,36 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_clamped_to_observations() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 * 1e-3); // 1ms .. 1s
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+        assert!(p50 >= h.min && p99 <= h.max, "quantiles clamped to [min, max]");
+        // The log₂ buckets bound the error to one octave.
+        assert!((0.25..=1.0).contains(&p50), "p50 of U(0,1] ≈ 0.5, got {p50}");
+        assert!(p99 > 0.5, "p99 of U(0,1] must exceed the median, got {p99}");
+    }
+
+    #[test]
+    fn quantile_of_singleton_is_the_value() {
+        let mut h = Histogram::new();
+        h.observe(0.125);
+        assert_eq!(h.quantile(0.0), 0.125);
+        assert_eq!(h.quantile(0.5), 0.125);
+        assert_eq!(h.quantile(1.0), 0.125);
+    }
 
     #[test]
     fn bucket_boundaries_are_exact_powers_of_two() {

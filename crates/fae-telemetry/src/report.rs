@@ -50,6 +50,40 @@ pub struct EvalRow {
     pub rate: Option<u32>,
 }
 
+/// Aggregated serving metrics extracted from a serve journal
+/// (`serve_start` / `serve_batch` / `serve_end` events).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeSummary {
+    /// Serving worker pool size from the serve header.
+    pub workers: usize,
+    /// Micro-batches dispatched.
+    pub batches: u64,
+    /// Requests completed (from the serve trailer).
+    pub completed: u64,
+    /// Requests rejected at the bounded queue.
+    pub rejected: u64,
+    /// Embedding lookups served GPU-side across all batches.
+    pub hits: u64,
+    /// Embedding lookups fetched from the CPU master copy.
+    pub misses: u64,
+    /// GPU-side share of lookups (from the serve trailer).
+    pub hit_rate: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Simulated makespan of the serve run, seconds.
+    pub simulated_seconds: f64,
+    /// Per-phase busy seconds summed across workers (`Phase::ALL` order).
+    /// Exceeding `simulated_seconds` just means more than one worker was
+    /// busy at once — this is busy time, not makespan.
+    pub phase_seconds: [f64; 8],
+}
+
 /// Everything `fae report` prints, extracted from one journal.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunSummary {
@@ -81,6 +115,8 @@ pub struct RunSummary {
     pub final_accuracy: Option<f64>,
     /// Whether the run trailer flagged an interrupted run.
     pub interrupted: bool,
+    /// Serving metrics, present when the journal carries serve events.
+    pub serve: Option<ServeSummary>,
 }
 
 impl RunSummary {
@@ -143,6 +179,41 @@ pub fn summarize(events: &[JournalEvent]) -> RunSummary {
                 s.reported_simulated_seconds = Some(*simulated_seconds);
                 s.final_accuracy = Some(*final_accuracy);
                 s.interrupted = *interrupted;
+            }
+            JournalEvent::ServeStart { workload, workers, .. } => {
+                if s.workload.is_none() {
+                    s.workload = Some(workload.clone());
+                }
+                s.serve.get_or_insert_with(ServeSummary::default).workers = *workers;
+            }
+            JournalEvent::ServeBatch { hits, misses, phases, .. } => {
+                let serve = s.serve.get_or_insert_with(ServeSummary::default);
+                serve.batches += 1;
+                serve.hits += hits;
+                serve.misses += misses;
+                for (slot, v) in serve.phase_seconds.iter_mut().zip(phases.0) {
+                    *slot += v;
+                }
+            }
+            JournalEvent::ServeEnd {
+                completed,
+                rejected,
+                p50_ms,
+                p95_ms,
+                p99_ms,
+                throughput_rps,
+                hit_rate,
+                simulated_seconds,
+            } => {
+                let serve = s.serve.get_or_insert_with(ServeSummary::default);
+                serve.completed = *completed;
+                serve.rejected = *rejected;
+                serve.p50_ms = *p50_ms;
+                serve.p95_ms = *p95_ms;
+                serve.p99_ms = *p99_ms;
+                serve.throughput_rps = *throughput_rps;
+                serve.hit_rate = *hit_rate;
+                serve.simulated_seconds = *simulated_seconds;
             }
         }
     }
@@ -267,6 +338,39 @@ pub fn render(s: &RunSummary) -> String {
     if let Some(acc) = s.final_accuracy {
         push(&mut out, format!("final accuracy: {acc:.5}"));
     }
+
+    if let Some(serve) = &s.serve {
+        push(&mut out, String::new());
+        push(&mut out, "serving".into());
+        push(
+            &mut out,
+            format!(
+                "workers: {}   batches: {}   completed: {}   rejected: {}",
+                serve.workers, serve.batches, serve.completed, serve.rejected,
+            ),
+        );
+        let lookups = serve.hits + serve.misses;
+        push(
+            &mut out,
+            format!(
+                "cache: {} gpu / {} cpu of {} lookups (hit rate {:.4})",
+                serve.hits, serve.misses, lookups, serve.hit_rate,
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "latency: p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms   throughput: {:.1} req/s   makespan: {:.6} s",
+                serve.p50_ms, serve.p95_ms, serve.p99_ms, serve.throughput_rps,
+                serve.simulated_seconds,
+            ),
+        );
+        for (phase, secs) in Phase::ALL.iter().zip(serve.phase_seconds) {
+            if secs != 0.0 {
+                push(&mut out, format!("  {:<18} {:>12.6} s busy", phase.to_string(), secs));
+            }
+        }
+    }
     out
 }
 
@@ -361,6 +465,73 @@ mod tests {
             "{} vs {reported}",
             s.journalled_seconds()
         );
+    }
+
+    fn serve_sample() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::ServeStart {
+                workload: "w".into(),
+                seed: 1,
+                workers: 2,
+                max_batch: 16,
+                max_delay_us: 2000,
+                queue_cap: 64,
+            },
+            JournalEvent::ServeBatch {
+                batch: 1,
+                worker: 0,
+                size: 16,
+                start_s: 0.001,
+                hits: 60,
+                misses: 4,
+                phases: PhaseSeconds([1e-4, 2e-4, 0.0, 0.0, 5e-5, 0.0, 0.0, 5e-5]),
+            },
+            JournalEvent::ServeBatch {
+                batch: 2,
+                worker: 1,
+                size: 10,
+                start_s: 0.003,
+                hits: 38,
+                misses: 2,
+                phases: PhaseSeconds([1e-4, 1e-4, 0.0, 0.0, 0.0, 0.0, 0.0, 5e-5]),
+            },
+            JournalEvent::ServeEnd {
+                completed: 26,
+                rejected: 1,
+                p50_ms: 1.2,
+                p95_ms: 2.4,
+                p99_ms: 2.9,
+                throughput_rps: 6500.0,
+                hit_rate: 0.9423,
+                simulated_seconds: 0.004,
+            },
+        ]
+    }
+
+    #[test]
+    fn summary_aggregates_serve_events() {
+        let s = summarize(&serve_sample());
+        let serve = s.serve.as_ref().expect("serve section present");
+        assert_eq!(serve.workers, 2);
+        assert_eq!(serve.batches, 2);
+        assert_eq!(serve.completed, 26);
+        assert_eq!(serve.rejected, 1);
+        assert_eq!(serve.hits, 98);
+        assert_eq!(serve.misses, 6);
+        assert!((serve.phase_seconds[0] - 2e-4).abs() < 1e-15);
+        assert_eq!(s.workload.as_deref(), Some("w"));
+        // A pure-train journal has no serve section.
+        assert!(summarize(&sample()).serve.is_none());
+    }
+
+    #[test]
+    fn render_contains_serve_section() {
+        let s = summarize(&serve_sample());
+        let text = render(&s);
+        assert!(text.contains("serving"));
+        assert!(text.contains("hit rate 0.9423"));
+        assert!(text.contains("p50 1.200 ms"));
+        assert!(text.contains("embed-forward"));
     }
 
     #[test]

@@ -96,6 +96,16 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
     // Worker lanes sit past the framework track; only emitted when the
     // run used the parallel engine with more than one worker.
     let tid_worker0 = tid_framework + 1;
+    // Serving worker lanes sit past the training worker lanes; only
+    // emitted when the journal carries serve events.
+    let serve_workers = events
+        .iter()
+        .find_map(|e| match e {
+            JournalEvent::ServeStart { workers, .. } => Some((*workers).max(1)),
+            _ => None,
+        })
+        .unwrap_or(0);
+    let tid_serve0 = tid_worker0 + if workers > 1 { workers as u64 } else { 0 };
 
     let mut out: Vec<Value> = Vec::new();
     out.push(meta_event(0, "process_name", "fae-simulated-timeline"));
@@ -109,6 +119,9 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
         for w in 0..workers {
             out.push(meta_event(tid_worker0 + w as u64, "thread_name", &format!("worker{w}")));
         }
+    }
+    for w in 0..serve_workers {
+        out.push(meta_event(tid_serve0 + w as u64, "thread_name", &format!("serve-worker{w}")));
     }
 
     // A single simulated-time cursor: each charging event occupies the
@@ -164,6 +177,35 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
                     m.insert("s".into(), Value::String("p".into()));
                     m.insert("args".into(), Value::Object(args));
                     out.push(Value::Object(m));
+                    continue;
+                }
+                JournalEvent::ServeBatch { batch, worker, size, start_s, hits, misses, phases } => {
+                    // Serve batches carry their own simulated dispatch
+                    // instant and run concurrently across worker lanes, so
+                    // they are laid out from start_s on their worker's lane
+                    // and never advance the shared cursor.
+                    let mut local_us = start_s * 1e6;
+                    for (i, phase) in Phase::ALL.iter().enumerate() {
+                        let secs = phases.0[i];
+                        if secs <= 0.0 {
+                            continue;
+                        }
+                        let dur_us = secs * 1e6;
+                        let mut args = Map::new();
+                        args.insert("batch".into(), serde_json::to_value(batch));
+                        args.insert("size".into(), serde_json::to_value(size));
+                        args.insert("hits".into(), serde_json::to_value(hits));
+                        args.insert("misses".into(), serde_json::to_value(misses));
+                        out.push(slice_event(
+                            tid_serve0 + *worker as u64,
+                            &phase.to_string(),
+                            "serve-batch",
+                            local_us,
+                            dur_us,
+                            args,
+                        ));
+                        local_us += dur_us;
+                    }
                     continue;
                 }
                 _ => continue,
@@ -371,5 +413,68 @@ mod tests {
         let a = chrome_trace(&sample());
         let b = chrome_trace(&sample());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_batches_land_on_serve_worker_lanes_at_their_own_start() {
+        let events = vec![
+            JournalEvent::ServeStart {
+                workload: "w".into(),
+                seed: 1,
+                workers: 2,
+                max_batch: 16,
+                max_delay_us: 2000,
+                queue_cap: 64,
+            },
+            JournalEvent::ServeBatch {
+                batch: 1,
+                worker: 1,
+                size: 16,
+                start_s: 0.25,
+                hits: 60,
+                misses: 4,
+                phases: PhaseSeconds([0.001, 0.002, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0005]),
+            },
+            JournalEvent::ServeEnd {
+                completed: 16,
+                rejected: 0,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+                throughput_rps: 100.0,
+                hit_rate: 0.9375,
+                simulated_seconds: 0.26,
+            },
+        ];
+        let text = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let trace = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let lane_names: Vec<&str> = trace
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .collect();
+        assert!(lane_names.contains(&"serve-worker0"));
+        assert!(lane_names.contains(&"serve-worker1"));
+        // No train run header → train worker lanes absent, serve lanes
+        // start right after the framework track (tids 1..=4 are taken).
+        let tid_serve1 = TID_DEVICE0 + 1 + 2 + 1; // 1 gpu + comm + framework + worker 1
+        let slices: Vec<&Value> =
+            trace.iter().filter(|e| e.get("ph").and_then(Value::as_str) == Some("X")).collect();
+        assert!(!slices.is_empty());
+        for s in &slices {
+            assert_eq!(s.get("tid").and_then(Value::as_u64), Some(tid_serve1));
+            assert_eq!(s.get("cat").and_then(Value::as_str), Some("serve-batch"));
+        }
+        // First slice starts at the batch's own dispatch instant.
+        let first_ts = slices[0].get("ts").and_then(Value::as_f64).unwrap();
+        assert!((first_ts - 0.25e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_journal_trace_is_unchanged_by_serve_support() {
+        // A journal with no serve events must not grow serve lanes.
+        let text = chrome_trace(&sample());
+        assert!(!text.contains("serve-worker"));
     }
 }

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# End-to-end training throughput benchmark. Prints a baseline-vs-FAE
-# table and writes results/BENCH_train.json (steps/sec, simulated
-# speedup, peak RSS) for cross-checkout comparison.
+# Parameterized benchmark runner: builds and runs one fae-bench binary
+# in a single cargo dispatch. Defaults to the end-to-end training
+# benchmark; pass a binary name for others, e.g.:
+#
+#   scripts/bench.sh               # bench_train -> results/BENCH_train.json
+#   scripts/bench.sh bench_serve   # serving sweep -> results/BENCH_serve.json
+#
+# Extra arguments after the binary name are forwarded to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p fae-bench
-cargo run --release -q -p fae-bench --bin bench_train
+BIN="${1:-bench_train}"
+if [ "$#" -gt 0 ]; then shift; fi
+cargo run --release --locked -q -p fae-bench --bin "$BIN" -- "$@"

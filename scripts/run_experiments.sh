@@ -13,11 +13,11 @@ BINS=(
   abl_sensitivity abl_overlap ext_multinode
 )
 
-cargo build --release -p fae-bench
+cargo build --release --locked -p fae-bench
 for b in "${BINS[@]}"; do
   echo "================================================================"
   echo ">> $b"
-  cargo run --release -q -p fae-bench --bin "$b"
+  cargo run --release --locked -q -p fae-bench --bin "$b"
 done
 echo "================================================================"
 echo "all experiments complete; JSON in results/"

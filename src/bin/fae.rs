@@ -6,19 +6,25 @@
 //! fae preprocess --workload <name> --out <file.fae> [...]         # static phase to disk
 //! fae train      --stream <file.fae> --workload <name> [...]      # FAE training from disk
 //! fae compare    --workload <name> [--inputs N] [--gpus G] [...]  # baseline vs FAE
+//! fae serve      --workload <name> [--checkpoint-dir D] [...]      # inference serving
+//! fae bench-serve [--workload <name>] [--requests N]               # saturation sweep
 //! fae report     <journal.jsonl>                                  # phase-breakdown table
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fae::core::{
-    artifacts, pipeline, CalibratorConfig, FaultInjector, FaultPlan, PreprocessConfig,
-    ResilienceOptions, RetryPolicy, TrainConfig,
+    artifacts, latest_in, pipeline, CalibratorConfig, FaultInjector, FaultPlan, PreprocessConfig,
+    ResilienceOptions, RetryPolicy, TrainCheckpoint, TrainConfig,
 };
-use fae::data::{generate, GenOptions, WorkloadSpec};
+use fae::data::{generate, Dataset, GenOptions, WorkloadSpec};
+use fae::serve::{
+    calibrate_partitions, open_loop_requests, saturation_sweep, sweep_json, RequestTrace,
+    ServeConfig, ServeEngine, ServeLoad,
+};
 use fae::telemetry::{self, Telemetry};
 
 struct Args {
@@ -306,7 +312,229 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare|report> [--flag value]...
+fn serve_config(args: &Args) -> Result<ServeConfig, String> {
+    Ok(ServeConfig {
+        max_batch: args.num("max-batch", 32usize)?,
+        max_delay_s: args.num("max-delay-us", 2000u64)? as f64 * 1e-6,
+        queue_cap: args.num("queue-cap", 1024usize)?,
+        workers: args.num("serve-workers", 2usize)?,
+        cold_cache_rows: args.num("cache-rows", 4096usize)?,
+        freq_window: args.num("cache-window", 4096usize)?,
+        seed: args.num("seed", 1u64)?,
+    })
+}
+
+/// Builds a serving engine: partitions from the preprocessed sidecar
+/// (`--stream`) or an in-process calibration, model from the newest
+/// checkpoint in `--checkpoint-dir` (or an explicit `--checkpoint`
+/// file), falling back to a freshly initialised model.
+fn serve_engine(args: &Args, spec: &WorkloadSpec, ds: &Dataset) -> Result<ServeEngine, String> {
+    let partitions = match args.get("stream") {
+        Some(p) => {
+            let (art, name) = artifacts::load(Path::new(p)).map_err(|e| e.to_string())?;
+            if name != spec.name {
+                return Err(format!(
+                    "--stream: preprocessed for workload '{name}', serving '{}'",
+                    spec.name
+                ));
+            }
+            art.preprocessed.partitions
+        }
+        None => calibrate_partitions(ds, calibrator_config(args, spec)?),
+    };
+    let cfg = serve_config(args)?;
+    let ck_path = match args.get("checkpoint") {
+        Some(p) => Some(PathBuf::from(p)),
+        None => match args.get("checkpoint-dir") {
+            Some(dir) => latest_in(Path::new(dir)).map_err(|e| format!("--checkpoint-dir: {e}"))?,
+            None => None,
+        },
+    };
+    match ck_path {
+        Some(p) => {
+            let ck = TrainCheckpoint::load(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            if ck.tables.len() != spec.tables.len() {
+                return Err(format!(
+                    "checkpoint has {} embedding tables, workload '{}' has {}",
+                    ck.tables.len(),
+                    spec.name,
+                    spec.tables.len()
+                ));
+            }
+            println!("serving checkpoint {} (step {})", p.display(), ck.steps);
+            Ok(ServeEngine::from_checkpoint(spec.clone(), &ck, partitions, cfg))
+        }
+        None => {
+            println!(
+                "no checkpoint found; serving an untrained model \
+                 (latency and cache behaviour are representative, scores are not)"
+            );
+            Ok(ServeEngine::untrained(spec.clone(), partitions, cfg))
+        }
+    }
+}
+
+fn serve_load(
+    args: &Args,
+    engine: &ServeEngine,
+    spec: &WorkloadSpec,
+    ds: &Dataset,
+    seed: u64,
+) -> Result<ServeLoad, String> {
+    if let Some(p) = args.get("replay") {
+        let trace = RequestTrace::load(Path::new(p)).map_err(|e| format!("--replay: {e}"))?;
+        trace.validate(&spec.name, seed, ds.len()).map_err(|e| format!("--replay: {e}"))?;
+        println!("replaying {} recorded requests from {p}", trace.requests.len());
+        return Ok(ServeLoad::Open(trace.requests));
+    }
+    let total: usize = args.num("requests", 1024usize)?;
+    let clients: usize = args.num("closed-clients", 0usize)?;
+    if clients > 0 {
+        return Ok(ServeLoad::Closed { clients, per_client: (total / clients).max(1) });
+    }
+    let rate: f64 = match args.get("arrival-rate") {
+        Some(v) => v.parse().map_err(|_| format!("--arrival-rate: cannot parse '{v}'"))?,
+        None => {
+            // Default to 70% of nominal capacity: loaded but unsaturated.
+            let cfg = engine.config();
+            0.7 * cfg.workers as f64 * cfg.max_batch as f64
+                / engine.estimated_batch_seconds().max(1e-9)
+        }
+    };
+    Ok(ServeLoad::Open(open_loop_requests(total, rate, ds.len(), seed)))
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let spec = workload_from(args)?;
+    let seed: u64 = args.num("seed", 1u64)?;
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(50_000))?;
+    let ds = generate(&spec, &GenOptions::sized(seed, inputs));
+    let mut engine = serve_engine(args, &spec, &ds)?;
+    let telem = telemetry_from(args)?;
+    engine.set_telemetry(telem.clone());
+    let load = serve_load(args, &engine, &spec, &ds, seed)?;
+
+    let report = engine.serve(&ds, &load);
+    println!(
+        "completed {} / rejected {} in {} batches (mean size {:.1}) over {:.4} simulated s",
+        report.completed,
+        report.rejected,
+        report.batches,
+        report.mean_batch_size,
+        report.simulated_seconds
+    );
+    println!(
+        "latency: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  max {:.3} ms | throughput {:.1} req/s",
+        report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms, report.throughput_rps
+    );
+    println!(
+        "cache: hit rate {:.4} ({} pinned + {} dynamic hits, {} misses) | mean score {:.4}",
+        report.hit_rate,
+        report.cache.pinned_hits,
+        report.cache.hits,
+        report.cache.misses,
+        report.mean_score
+    );
+
+    if let Some(p) = args.get("record") {
+        let trace = RequestTrace {
+            workload: spec.name.clone(),
+            data_seed: seed,
+            requests: report.requests.clone(),
+        };
+        trace.save(Path::new(p)).map_err(|e| format!("--record: {e}"))?;
+        println!("recorded {} requests to {p} (replay with --replay {p})", trace.requests.len());
+    }
+    if let Some(p) = args.get("metrics-out") {
+        telem.write_metrics(Path::new(p)).map_err(|e| format!("--metrics-out: {e}"))?;
+        println!("metrics written to {p}");
+    }
+    if let Some(p) = args.get("trace-out") {
+        let trace = telemetry::chrome_trace(&telem.events());
+        std::fs::write(p, trace).map_err(|e| format!("--trace-out: {e}"))?;
+        println!("chrome trace written to {p}");
+    }
+    if let Some(p) = args.get("journal") {
+        println!("journal written to {p} (summarize with `fae report {p}`)");
+    }
+
+    // CI gates: fail loudly (nonzero exit) when the serve run degrades.
+    let min_completed: u64 = args.num("min-completed", 0u64)?;
+    if report.completed < min_completed {
+        return Err(format!(
+            "gate: completed {} < --min-completed {min_completed}",
+            report.completed
+        ));
+    }
+    let min_hit_rate: f64 = args.num("min-hit-rate", 0.0f64)?;
+    if report.hit_rate < min_hit_rate {
+        return Err(format!(
+            "gate: cache hit rate {:.4} < --min-hit-rate {min_hit_rate}",
+            report.hit_rate
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<(), String> {
+    let spec = if args.get("workload").is_some() || args.get("spec-file").is_some() {
+        workload_from(args)?
+    } else {
+        WorkloadSpec::tiny_test()
+    };
+    let seed: u64 = args.num("seed", 1u64)?;
+    let inputs: usize = args.num("inputs", spec.num_inputs.min(20_000))?;
+    let ds = generate(&spec, &GenOptions::sized(seed, inputs));
+    let engine = serve_engine(args, &spec, &ds)?;
+    let sweep = saturation_sweep(&engine, &ds, args.num("requests", 400usize)?);
+
+    println!(
+        "\n== bench-serve: saturation sweep ({}, capacity {:.0} req/s) ==",
+        sweep.workload, sweep.capacity_rps
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>9} {:>10} {:>10} {:>10} {:>12} {:>9}",
+        "mode",
+        "offered",
+        "completed",
+        "rejected",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "tput req/s",
+        "hit rate"
+    );
+    for p in &sweep.points {
+        println!(
+            "{:>8} {:>12.1} {:>10} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>12.1} {:>9.4}",
+            p.mode,
+            p.offered_rps,
+            p.completed,
+            p.rejected,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.throughput_rps,
+            p.hit_rate
+        );
+    }
+
+    let out = args.get("out").unwrap_or("results/BENCH_serve.json");
+    let path = Path::new(out);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{out}: {e}"))?;
+        }
+    }
+    let json =
+        serde_json::to_string_pretty(&sweep_json(&sweep)).expect("Value serialization cannot fail");
+    std::fs::write(path, json).map_err(|e| format!("{out}: {e}"))?;
+    println!("\n[saved {out}]");
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: fae <gen|calibrate|preprocess|train|compare|serve|bench-serve|report> [--flag value]...
   common flags: --workload tiny|kaggle|taobao|terabyte | --spec-file FILE.json
                 --inputs N  --seed S
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
@@ -320,6 +548,15 @@ const USAGE: &str = "usage: fae <gen|calibrate|preprocess|train|compare|report> 
                 --resume true|false   --halt-after STEPS
                 --metrics-out FILE.json  --journal FILE.jsonl
                 --trace-out FILE.json    --progress true  --progress-every N
+  serve:        --stream FILE | (in-process calibration)
+                --checkpoint-dir DIR | --checkpoint FILE  (else untrained)
+                --max-batch B  --max-delay-us U  --queue-cap Q
+                --serve-workers W  --cache-rows R  --cache-window N
+                --requests N  --arrival-rate RPS | --closed-clients C
+                --record FILE | --replay FILE
+                --min-completed N  --min-hit-rate F   (CI gates)
+                --metrics-out FILE.json  --journal FILE.jsonl  --trace-out FILE.json
+  bench-serve:  [--workload W] --requests N  --out FILE.json   (saturation sweep)
   report:       fae report JOURNAL.jsonl   (phase-breakdown table)
   compare:      --batch B  --epochs E  --gpus G  --workers W";
 
@@ -345,6 +582,8 @@ fn main() -> ExitCode {
             "preprocess" => cmd_preprocess(&args),
             "train" => cmd_train(&args),
             "compare" => cmd_compare(&args),
+            "serve" => cmd_serve(&args),
+            "bench-serve" => cmd_bench_serve(&args),
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
         }
     };

@@ -17,6 +17,7 @@
 //! | [`models`] | `fae-models` | DLRM and TBSM |
 //! | [`core`] | `fae-core` | calibrator, classifier, input processor, scheduler, trainer |
 //! | [`telemetry`] | `fae-telemetry` | metrics registry, spans, step journal, Chrome-trace export |
+//! | [`serve`] | `fae-serve` | inference: micro-batcher, frequency-aware cache, load generator |
 //!
 //! ## Quickstart
 //!
@@ -48,5 +49,6 @@ pub use fae_data as data;
 pub use fae_embed as embed;
 pub use fae_models as models;
 pub use fae_nn as nn;
+pub use fae_serve as serve;
 pub use fae_sysmodel as sysmodel;
 pub use fae_telemetry as telemetry;
