@@ -11,6 +11,7 @@
 //! machinery lives here: the three benchmark workloads with their
 //! measured hot fractions, text-table rendering, and JSON output.
 
+#![forbid(unsafe_code)]
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;

@@ -439,18 +439,19 @@ pub fn retry_with_backoff<T, E>(
 ) -> Result<Retried<T>, (E, u32, f64)> {
     assert!(policy.max_attempts >= 1, "retry policy needs at least one attempt");
     let mut waited_s = 0.0;
-    for attempt in 1..=policy.max_attempts {
+    let mut attempt = 1;
+    loop {
         match op(attempt) {
             Ok(value) => return Ok(Retried { value, attempts: attempt, waited_s }),
             Err(e) => {
-                if attempt == policy.max_attempts {
+                if attempt >= policy.max_attempts {
                     return Err((e, attempt, waited_s));
                 }
                 waited_s += policy.backoff_delay(attempt);
+                attempt += 1;
             }
         }
     }
-    unreachable!("loop returns on the final attempt")
 }
 
 #[cfg(test)]

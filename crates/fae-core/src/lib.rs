@@ -30,6 +30,7 @@
 //! * [`checkpoint`] — binary training checkpoints (atomic write, CRC-32
 //!   verified) that make an interrupted run resume bit-identically.
 
+#![forbid(unsafe_code)]
 pub mod adaptive;
 pub mod artifacts;
 pub mod calibrator;

@@ -43,17 +43,16 @@ impl<T: Send + 'static> Prefetcher<T> {
     /// Spawns `produce` on a background thread. The closure sends items
     /// through the bounded channel (blocking while the consumer is
     /// [`PREFETCH_DEPTH`] items behind) and returns when done — or when a
-    /// send fails, which means the consumer hung up.
-    pub fn spawn<F>(produce: F) -> Self
+    /// send fails, which means the consumer hung up. Errs if the OS
+    /// refuses to spawn the thread.
+    pub fn spawn<F>(produce: F) -> std::io::Result<Self>
     where
         F: FnOnce(&mpsc::SyncSender<T>) + Send + 'static,
     {
         let (tx, rx) = mpsc::sync_channel(PREFETCH_DEPTH);
-        let join = thread::Builder::new()
-            .name("fae-prefetch".into())
-            .spawn(move || produce(&tx))
-            .expect("spawning the prefetch thread");
-        Self { rx: Some(rx), join: Some(join) }
+        let join =
+            thread::Builder::new().name("fae-prefetch".into()).spawn(move || produce(&tx))?;
+        Ok(Self { rx: Some(rx), join: Some(join) })
     }
 }
 
@@ -87,7 +86,7 @@ pub fn prefetch_fae_blocks(
     bytes: Vec<u8>,
 ) -> Result<(String, Prefetcher<Result<MiniBatch, FormatError>>), FormatError> {
     let workload = FaeStreamReader::open(&bytes)?.workload().to_string();
-    let pf = Prefetcher::spawn(move |tx| {
+    let spawn = Prefetcher::spawn(move |tx| {
         let mut reader = match FaeStreamReader::open(&bytes) {
             Ok(r) => r,
             Err(e) => {
@@ -110,6 +109,7 @@ pub fn prefetch_fae_blocks(
             }
         }
     });
+    let pf = spawn.map_err(FormatError::Io)?;
     Ok((workload, pf))
 }
 
@@ -202,7 +202,8 @@ mod tests {
                     return;
                 }
             }
-        });
+        })
+        .expect("spawn");
         let got: Vec<u32> = pf.by_ref().collect();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
         assert!(pf.next().is_none(), "exhausted stream stays exhausted");
@@ -216,7 +217,8 @@ mod tests {
             while tx.send(i).is_ok() {
                 i += 1;
             }
-        });
+        })
+        .expect("spawn");
         assert_eq!(pf.next(), Some(0));
         drop(pf); // must disconnect + join without deadlocking
     }

@@ -111,6 +111,7 @@ impl HotEmbeddings {
             .iter()
             .map(|&g| {
                 p.hot_local(g).unwrap_or_else(|| {
+                    // fae-lint: allow(no-panic, reason = "classifier routing corruption: continuing would train on garbage rows, so fail fast")
                     panic!("cold row {g} of table {t} looked up through the hot source")
                 })
             })
@@ -127,6 +128,7 @@ impl HotEmbeddings {
         for ((sharded, p), g) in self.tables.iter().zip(&self.partitions).zip(grads) {
             let local = g.clone().remap(|global| {
                 p.hot_local(global)
+                    // fae-lint: allow(no-panic, reason = "classifier routing corruption: continuing would train on garbage rows, so fail fast")
                     .unwrap_or_else(|| panic!("cold row {global} updated through the hot source"))
             });
             sharded.sgd_step_sparse_parallel(&local, lr);

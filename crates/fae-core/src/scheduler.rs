@@ -288,7 +288,7 @@ mod tests {
 
     #[test]
     fn telemetry_counts_adaptations_and_tracks_rate() {
-        let t = Telemetry::builder().build();
+        let t = Telemetry::builder().try_build().expect("telemetry");
         let mut s = ShuffleScheduler::paper_default();
         s.set_telemetry(t.clone());
         s.observe_test_loss(1.0); // held (first observation)

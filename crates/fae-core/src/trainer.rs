@@ -36,7 +36,7 @@
 //!   stream, so a resumed run replays the exact batch order — resumption
 //!   is bit-identical to never having stopped.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 
@@ -279,12 +279,12 @@ struct CostCache<'a> {
     profile: &'a fae_sysmodel::ModelProfile,
     sys: &'a SystemConfig,
     mode: ExecMode,
-    cache: HashMap<usize, Timeline>,
+    cache: BTreeMap<usize, Timeline>,
 }
 
 impl<'a> CostCache<'a> {
     fn new(profile: &'a fae_sysmodel::ModelProfile, sys: &'a SystemConfig, mode: ExecMode) -> Self {
-        Self { profile, sys, mode, cache: HashMap::new() }
+        Self { profile, sys, mode, cache: BTreeMap::new() }
     }
 
     fn charge(&mut self, timeline: &mut Timeline, batch: usize) {
@@ -304,8 +304,8 @@ struct FaeCostModel {
     profile: fae_sysmodel::ModelProfile,
     sys: SystemConfig,
     sync_bytes: f64,
-    cold: HashMap<usize, Timeline>,
-    hot: HashMap<usize, Timeline>,
+    cold: BTreeMap<usize, Timeline>,
+    hot: BTreeMap<usize, Timeline>,
     sync: Timeline,
 }
 
@@ -313,7 +313,7 @@ impl FaeCostModel {
     fn new(profile: fae_sysmodel::ModelProfile, num_gpus: usize, sync_bytes: f64) -> Self {
         let sys = SystemConfig::paper_server(num_gpus);
         let sync = sync_cost(&sys, sync_bytes);
-        Self { profile, sys, sync_bytes, cold: HashMap::new(), hot: HashMap::new(), sync }
+        Self { profile, sys, sync_bytes, cold: BTreeMap::new(), hot: BTreeMap::new(), sync }
     }
 
     /// Re-shapes the machine to `num_gpus` survivors: every cached cost

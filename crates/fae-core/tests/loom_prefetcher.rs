@@ -1,0 +1,78 @@
+//! Loom model tests for the `Prefetcher`'s drop/hangup path.
+//!
+//! PR 3 claimed (but only incidentally exercised) the hangup contract:
+//! dropping a `Prefetcher` whose producer is *blocked on a full bounded
+//! channel* must disconnect first and join second, waking the producer
+//! with a send error instead of deadlocking the consumer's drop against
+//! a producer that will never finish. These models pin that ordering
+//! under scheduling pressure; the loom shim's watchdog turns a
+//! drop-order regression (join-before-disconnect) into a test failure
+//! rather than a hung CI job.
+
+use fae_core::pipeline::{Prefetcher, PREFETCH_DEPTH};
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::Arc;
+
+#[test]
+fn drop_while_sender_blocked_wakes_producer_and_joins() {
+    loom::model(|| {
+        let finished = Arc::new(AtomicBool::new(false));
+        let flag = finished.clone();
+        let mut pf = Prefetcher::spawn(move |tx| {
+            // Unbounded intent: far more sends than the channel depth, so
+            // the producer is blocked mid-send when the consumer drops.
+            for i in 0..10_000u32 {
+                if tx.send(i).is_err() {
+                    break; // consumer hung up — the contract under test
+                }
+            }
+            flag.store(true, Ordering::SeqCst);
+        })
+        .expect("spawn prefetcher");
+
+        // Consume strictly fewer items than the producer wants to send,
+        // guaranteeing it is (or will be) parked on a full channel.
+        assert_eq!(pf.next(), Some(0));
+        assert_eq!(pf.next(), Some(1));
+        drop(pf); // must disconnect, wake the producer, then join
+
+        // Drop joins the producer thread, so by now it must have
+        // observed the hangup and run to completion.
+        assert!(finished.load(Ordering::SeqCst), "producer still running after drop");
+    });
+}
+
+#[test]
+fn drop_without_consuming_anything_still_joins() {
+    loom::model(|| {
+        let pf = Prefetcher::spawn(|tx| {
+            let mut i = 0u64;
+            while tx.send(i).is_ok() {
+                i += 1;
+            }
+        })
+        .expect("spawn prefetcher");
+        // The producer fills the channel (depth PREFETCH_DEPTH) and
+        // blocks; dropping before any recv must still not deadlock.
+        drop(pf);
+    });
+}
+
+#[test]
+fn exhausted_stream_drops_cleanly_after_producer_exit() {
+    loom::model(|| {
+        let mut pf = Prefetcher::spawn(|tx| {
+            for i in 0..(PREFETCH_DEPTH as u32 + 2) {
+                if tx.send(i).is_err() {
+                    return;
+                }
+            }
+            // Producer returns on its own; drop must join a thread that
+            // is already gone without hanging or panicking.
+        })
+        .expect("spawn prefetcher");
+        let got: Vec<u32> = pf.by_ref().collect();
+        assert_eq!(got, (0..PREFETCH_DEPTH as u32 + 2).collect::<Vec<_>>());
+        drop(pf);
+    });
+}

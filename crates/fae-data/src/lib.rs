@@ -18,6 +18,7 @@
 //!   preprocessed hot/cold mini-batch stream, written once per dataset and
 //!   reloaded on subsequent training runs (§III-B).
 
+#![forbid(unsafe_code)]
 pub mod dataset;
 pub mod format;
 pub mod gen;

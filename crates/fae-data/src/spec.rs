@@ -230,8 +230,9 @@ impl WorkloadSpec {
     }
 
     /// Serialises the spec to pretty JSON (for `--spec-file` workflows).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialises")
+    /// Errs only if the in-memory spec fails to serialize.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a spec from JSON.

@@ -19,6 +19,7 @@
 //!   execution engine's worker threads,
 //! * [`sparse::SparseGrad`] — coalesced sparse gradients.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod half;

@@ -117,16 +117,21 @@ impl ShardedEmbeddingTable {
     }
 
     /// Copies one row out (crossing the shard lock).
+    ///
+    /// Lock poisoning is recovered everywhere in this type rather than
+    /// propagated: shard data is plain `f32`s with no invariant a
+    /// panicked writer could half-establish, so the poisoned guard's
+    /// contents are still valid weights.
     pub fn row(&self, idx: u32) -> Vec<f32> {
         let s = self.shard_of(idx as usize);
-        let guard = self.shards[s].read().expect("shard lock poisoned");
+        let guard = self.shards[s].read().unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.row(idx as usize - self.starts[s]).to_vec()
     }
 
     /// Overwrites one row.
     pub fn set_row(&self, idx: u32, values: &[f32]) {
         let s = self.shard_of(idx as usize);
-        let mut guard = self.shards[s].write().expect("shard lock poisoned");
+        let mut guard = self.shards[s].write().unwrap_or_else(std::sync::PoisonError::into_inner);
         guard.row_mut(idx as usize - self.starts[s]).copy_from_slice(values);
     }
 
@@ -136,9 +141,16 @@ impl ShardedEmbeddingTable {
     /// and a concurrent writer cannot tear a single lookup.
     pub fn lookup_bag(&self, indices: &[u32], offsets: &[usize]) -> Tensor {
         assert!(!offsets.is_empty(), "offsets must contain batch+1 entries");
-        assert_eq!(*offsets.last().unwrap(), indices.len(), "offsets must end at indices.len()");
-        let guards: Vec<_> =
-            self.shards.iter().map(|s| s.read().expect("shard lock poisoned")).collect();
+        assert_eq!(
+            offsets.last().copied(),
+            Some(indices.len()),
+            "offsets must end at indices.len()"
+        );
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+            .collect();
         let batch = offsets.len() - 1;
         let mut out = Tensor::zeros(batch, self.dim);
         for b in 0..batch {
@@ -202,7 +214,7 @@ impl ShardedEmbeddingTable {
     }
 
     fn apply_to_shard(&self, s: usize, rows: &[(u32, &[f32])], lr: f32) {
-        let mut guard = self.shards[s].write().expect("shard lock poisoned");
+        let mut guard = self.shards[s].write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let start = self.starts[s];
         for &(idx, g) in rows {
             let row = guard.row_mut(idx as usize - start);
@@ -217,7 +229,7 @@ impl ShardedEmbeddingTable {
     pub fn to_table(&self) -> EmbeddingTable {
         let mut weights = Tensor::zeros(self.rows.max(1), self.dim);
         for (s, shard) in self.shards.iter().enumerate() {
-            let guard = shard.read().expect("shard lock poisoned");
+            let guard = shard.read().unwrap_or_else(std::sync::PoisonError::into_inner);
             let start = self.starts[s];
             for local in 0..(self.starts[s + 1] - start) {
                 weights.row_mut(start + local).copy_from_slice(guard.row(local));
@@ -232,7 +244,7 @@ impl ShardedEmbeddingTable {
         assert_eq!(table.rows(), self.rows, "row count mismatch");
         assert_eq!(table.dim(), self.dim, "dim mismatch");
         for (s, shard) in self.shards.iter().enumerate() {
-            let mut guard = shard.write().expect("shard lock poisoned");
+            let mut guard = shard.write().unwrap_or_else(std::sync::PoisonError::into_inner);
             let start = self.starts[s];
             for local in 0..(self.starts[s + 1] - start) {
                 guard.row_mut(local).copy_from_slice(table.row((start + local) as u32));

@@ -82,7 +82,11 @@ impl EmbeddingTable {
     /// each sample's slice of `indices`.
     pub fn lookup_bag(&self, indices: &[u32], offsets: &[usize]) -> Tensor {
         assert!(!offsets.is_empty(), "offsets must contain batch+1 entries");
-        assert_eq!(*offsets.last().unwrap(), indices.len(), "offsets must end at indices.len()");
+        assert_eq!(
+            offsets.last().copied(),
+            Some(indices.len()),
+            "offsets must end at indices.len()"
+        );
         let batch = offsets.len() - 1;
         let mut out = Tensor::zeros(batch, self.dim);
         for b in 0..batch {

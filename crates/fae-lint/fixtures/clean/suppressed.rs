@@ -1,0 +1,40 @@
+//! Everything in this file is either pragma-suppressed, test-exempt or
+//! simply allowed — fae-lint must report it clean under the strictest
+//! classification (deterministic library code).
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn first(v: &[u32]) -> u32 {
+    // fae-lint: allow(no-panic, reason = "caller asserts v is non-empty")
+    *v.first().unwrap()
+}
+
+pub fn charge(timeline: &mut Timeline, secs: f64) {
+    timeline.add(Phase::Transfer, secs);
+}
+
+pub fn safe_first(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, t);
+        assert!(m.get(&1).unwrap().elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded determinism violations. Every marked line below must produce a
+//! diagnostic; `tests/fixture.rs` pins the exact rule and line numbers,
+//! and CI runs fae-lint over this tree expecting a non-zero exit.
+
+use std::collections::HashMap; // hash-container
+use std::time::Instant; // wall-clock
+
+pub fn stamp() -> Instant {
+    // wall-clock
+    Instant::now()
+}
+
+pub fn entropy() -> u64 {
+    // ambient-rng
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+   
+    let mut m = HashMap::new(); // hash-container
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn charge(timeline: &mut Timeline, secs: f64) {
+    // timeline-phase — the charge names no Phase constant.
+    timeline.add(secs, 1.0);
+}

@@ -1,0 +1,26 @@
+//! Seeded no-panic violations.
+
+pub fn first(v: &[u32]) -> u32 {
+    // no-panic (.unwrap())
+    *v.first().unwrap()
+}
+
+pub fn must(path: &str) -> String {
+    // no-panic (.expect(...))
+    std::fs::read_to_string(path).expect("readable")
+}
+
+pub fn boom() {
+    // no-panic (panic!)
+    panic!("seeded violation");
+}
+
+pub fn later() {
+    // no-panic (todo!)
+    todo!()
+}
+
+pub fn pick(m: &Map) -> u64 {
+    // no-panic (string-key indexing)
+    m["key"]
+}

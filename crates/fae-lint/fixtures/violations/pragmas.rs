@@ -1,0 +1,17 @@
+//! Seeded pragma violations: stale and malformed annotations are
+//! themselves errors so suppressions cannot rot.
+
+pub fn stale() -> u32 {
+    // fae-lint: allow(no-panic, reason = "unused-pragma — suppresses nothing")
+    1 + 1
+}
+
+pub fn unknown_rule(v: &[u32]) -> u32 {
+    // fae-lint: allow(no-such-rule, reason = "bad-pragma — unknown rule id")
+    v.len() as u32
+}
+
+pub fn missing_reason(v: &[u32]) -> u32 {
+    // fae-lint: allow(no-panic)
+    *v.first().unwrap()
+}

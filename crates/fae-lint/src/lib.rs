@@ -1,0 +1,343 @@
+//! `fae-lint` — the workspace invariant checker.
+//!
+//! Walks every first-party crate's `src/` tree and reports violations of
+//! the project contracts that keep same-seed runs byte-identical and
+//! library code panic-free:
+//!
+//! * **determinism** (`wall-clock`, `ambient-rng`, `hash-container`,
+//!   `timeline-phase`) in the five determinism-critical crates
+//!   (`fae-core`, `fae-embed`, `fae-models`, `fae-serve`, `fae-sysmodel`);
+//! * **no-panic** (`no-panic`) in library code of every first-party
+//!   crate (binary targets are exempt).
+//!
+//! Violations are suppressed site-by-site with an explicit pragma:
+//!
+//! ```text
+//! // fae-lint: allow(no-panic, reason = "mutex poisoning is unreachable: no panics under lock")
+//! ```
+//!
+//! A pragma covers its own line and the next line. Pragmas that do not
+//! parse (`bad-pragma`) or suppress nothing (`unused-pragma`) are
+//! themselves violations, so stale annotations cannot accumulate.
+//!
+//! `#[cfg(test)]` items and `#[test]` functions are exempt from every
+//! rule — tests may time things, hash things and unwrap freely.
+//!
+//! Run it with `cargo run -p fae-lint` from the workspace root; see
+//! DESIGN.md §11 for the rule table and the documented lexical gaps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod regions;
+pub mod rules;
+pub mod scrub;
+
+pub use rules::{RuleInfo, Scope, RULES};
+
+/// The determinism-critical crates: rules in [`Scope::Deterministic`]
+/// apply only here.
+pub const DET_CRATES: &[&str] =
+    &["fae-core", "fae-embed", "fae-models", "fae-serve", "fae-sysmodel"];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path as walked (workspace-relative when walking a workspace).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of [`RULES`], or `bad-pragma`/`unused-pragma`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// I/O failure while walking or reading source files.
+#[derive(Debug)]
+pub struct WalkError {
+    /// The path that failed.
+    pub path: PathBuf,
+    /// The underlying error.
+    pub source: io::Error,
+}
+
+impl fmt::Display for WalkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for WalkError {}
+
+/// How a single file should be linted.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass {
+    /// Apply the [`Scope::Deterministic`] rules.
+    pub deterministic: bool,
+    /// The file belongs to a binary target (`src/bin/`, `src/main.rs`):
+    /// the no-panic rule does not apply.
+    pub binary: bool,
+}
+
+/// Lints one file's source text. `label` is used in diagnostics.
+pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnostic> {
+    let scrubbed = scrub::scrub(source);
+    let regions = regions::test_regions(&scrubbed.text);
+    let mut diags = Vec::new();
+
+    for e in &scrubbed.errors {
+        diags.push(Diagnostic {
+            file: label.to_path_buf(),
+            line: e.line,
+            rule: "bad-pragma".to_string(),
+            message: e.message.clone(),
+        });
+    }
+    for p in &scrubbed.pragmas {
+        for r in &p.rules {
+            if !rules::is_known_rule(r) {
+                diags.push(Diagnostic {
+                    file: label.to_path_buf(),
+                    line: p.line,
+                    rule: "bad-pragma".to_string(),
+                    message: format!("unknown rule `{r}` in pragma"),
+                });
+            }
+        }
+    }
+
+    let mut used_pragmas: BTreeSet<usize> = BTreeSet::new();
+    let mut offset = 0usize;
+    for (idx, line) in scrubbed.text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut matches = Vec::new();
+        if class.deterministic {
+            rules::deterministic_matches(line, &mut matches);
+        }
+        if !class.binary {
+            rules::no_panic_matches(line, &mut matches);
+        }
+        for m in matches {
+            if regions.contains(offset + m.col) {
+                continue;
+            }
+            // A pragma on this line or the line above suppresses the rule.
+            let allowed = scrubbed.pragmas.iter().enumerate().find(|(_, p)| {
+                (p.line == line_no || p.line + 1 == line_no) && p.rules.iter().any(|r| r == m.rule)
+            });
+            if let Some((pi, _)) = allowed {
+                used_pragmas.insert(pi);
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: label.to_path_buf(),
+                line: line_no,
+                rule: m.rule.to_string(),
+                message: m.message,
+            });
+        }
+        offset += line.len() + 1;
+    }
+
+    for (pi, p) in scrubbed.pragmas.iter().enumerate() {
+        let well_formed = p.rules.iter().all(|r| rules::is_known_rule(r));
+        if well_formed
+            && !used_pragmas.contains(&pi)
+            && !regions.contains(line_offset(source, p.line))
+        {
+            diags.push(Diagnostic {
+                file: label.to_path_buf(),
+                line: p.line,
+                rule: "unused-pragma".to_string(),
+                message: format!(
+                    "pragma allows [{}] but suppresses nothing; remove it",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    diags.sort();
+    diags
+}
+
+/// Byte offset of the start of 1-based `line` in `source`.
+fn line_offset(source: &str, line: usize) -> usize {
+    let mut off = 0usize;
+    for (idx, l) in source.lines().enumerate() {
+        if idx + 1 == line {
+            return off;
+        }
+        off += l.len() + 1;
+    }
+    off
+}
+
+/// Classifies a workspace-relative `.rs` path, or `None` when the file
+/// is outside the linted set (tests/, benches/, examples/, vendor/,
+/// the fixture tree, generated code under target/).
+pub fn classify(rel: &Path) -> Option<FileClass> {
+    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned());
+    let first = comps.next()?;
+    let crate_name = if first == "src" {
+        "fae".to_string()
+    } else if first == "crates" {
+        let name = comps.next()?;
+        let src = comps.next()?;
+        if src != "src" {
+            return None;
+        }
+        name
+    } else {
+        return None;
+    };
+    if crate_name == "fae-lint" && rel.components().any(|c| c.as_os_str() == "fixtures") {
+        return None;
+    }
+    let binary = rel.components().any(|c| c.as_os_str() == "bin")
+        || rel.file_name().is_some_and(|f| f == "main.rs");
+    Some(FileClass { deterministic: DET_CRATES.contains(&crate_name.as_str()), binary })
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted, so diagnostics
+/// come out in a stable order on every platform.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|source| WalkError { path: dir.to_path_buf(), source })?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|source| WalkError { path: dir.to_path_buf(), source })?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints a whole workspace rooted at `root`: the root package's `src/`
+/// plus every `crates/*/src/`. Returns sorted diagnostics.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|source| WalkError { path: crates.clone(), source })?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()
+            .map_err(|source| WalkError { path: crates.clone(), source })?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let Some(class) = classify(rel) else { continue };
+        let source =
+            fs::read_to_string(&file).map_err(|source| WalkError { path: file.clone(), source })?;
+        diags.extend(lint_source(rel, &source, class));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+/// Lints every `.rs` file under `dir` with a fixed [`FileClass`] —
+/// used for the seeded-violation fixture tree, where the files are not
+/// workspace members.
+pub fn lint_tree(dir: &Path, class: FileClass) -> Result<Vec<Diagnostic>, WalkError> {
+    let mut files = Vec::new();
+    walk(dir, &mut files)?;
+    let mut diags = Vec::new();
+    for file in files {
+        let source =
+            fs::read_to_string(&file).map_err(|source| WalkError { path: file.clone(), source })?;
+        diags.extend(lint_source(&file, &source, class));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileClass = FileClass { deterministic: true, binary: false };
+
+    #[test]
+    fn clean_source_is_clean() {
+        let d =
+            lint_source(Path::new("x.rs"), "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }", LIB);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pragma_suppresses_and_is_used() {
+        let src = "// fae-lint: allow(no-panic, reason = \"len checked above\")\nlet x = v.first().unwrap();\n";
+        let d = lint_source(Path::new("x.rs"), src, LIB);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_pragma_fires() {
+        let src = "// fae-lint: allow(no-panic, reason = \"nothing here\")\nlet x = 1;\n";
+        let d = lint_source(Path::new("x.rs"), src, LIB);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unused-pragma");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n use std::time::Instant;\n fn t() { x.unwrap(); }\n}\n";
+        let d = lint_source(Path::new("x.rs"), src, LIB);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn binary_skips_no_panic_keeps_determinism() {
+        let bin = FileClass { deterministic: true, binary: true };
+        let src = "fn main() { args.next().unwrap(); let t = Instant::now(); }\n";
+        let d = lint_source(Path::new("bin.rs"), src, bin);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert!(classify(Path::new("crates/fae-core/src/trainer.rs"))
+            .is_some_and(|c| c.deterministic && !c.binary));
+        assert!(classify(Path::new("crates/fae-telemetry/src/lib.rs"))
+            .is_some_and(|c| !c.deterministic && !c.binary));
+        assert!(classify(Path::new("src/bin/fae.rs")).is_some_and(|c| c.binary));
+        assert!(classify(Path::new("src/main.rs")).is_some_and(|c| c.binary));
+        assert!(classify(Path::new("crates/fae-core/tests/t.rs")).is_none());
+        assert!(classify(Path::new("crates/fae-lint/fixtures/violations/src/lib.rs")).is_none());
+        assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
+    }
+}

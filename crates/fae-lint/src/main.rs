@@ -1,0 +1,113 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! fae-lint                      lint the workspace (root auto-detected)
+//! fae-lint --root DIR           lint the workspace rooted at DIR
+//! fae-lint --tree DIR [--det] [--lib]
+//!                               lint a bare directory of .rs files with a
+//!                               fixed classification (fixture testing)
+//! fae-lint --list-rules         print the rule table
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fae_lint::{lint_tree, lint_workspace, FileClass, DET_CRATES, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fae-lint [--root DIR] [--tree DIR [--det] [--lib]] [--list-rules]\n\
+         see DESIGN.md §11 for the rule table and pragma syntax"
+    );
+    ExitCode::from(2)
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` holding a
+/// `Cargo.toml` with a `crates/` directory beside it.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut tree: Option<PathBuf> = None;
+    let mut det = false;
+    let mut lib = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" | "--tree" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                if args[i] == "--root" {
+                    root = Some(PathBuf::from(value));
+                } else {
+                    tree = Some(PathBuf::from(value));
+                }
+                i += 2;
+            }
+            "--det" => {
+                det = true;
+                i += 1;
+            }
+            "--lib" => {
+                lib = true;
+                i += 1;
+            }
+            "--list-rules" => {
+                println!("determinism-critical crates: {}", DET_CRATES.join(", "));
+                for r in RULES {
+                    println!("{:16} {:?}: {}", r.id, r.scope, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let result = if let Some(dir) = tree {
+        lint_tree(&dir, FileClass { deterministic: det, binary: !lib })
+    } else {
+        let root = match root {
+            Some(r) => r,
+            None => {
+                let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+                match find_root(&cwd) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!("fae-lint: no workspace root found above {}", cwd.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+        lint_workspace(&root)
+    };
+
+    match result {
+        Ok(diags) if diags.is_empty() => {
+            println!("fae-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("fae-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fae-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

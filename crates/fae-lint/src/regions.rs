@@ -1,0 +1,156 @@
+//! Test-region detection: byte ranges of the scrubbed source that are
+//! compiled only under `cfg(test)` (or are `#[test]` functions), and are
+//! therefore exempt from every lint rule.
+//!
+//! Works on scrubbed text (see [`crate::scrub`]) so braces and brackets
+//! inside strings and comments cannot confuse the matcher.
+
+/// Half-open byte ranges `[start, end)` of test-only code.
+#[derive(Debug, Default)]
+pub struct TestRegions {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl TestRegions {
+    /// True when byte offset `pos` lies inside a test-only region.
+    pub fn contains(&self, pos: usize) -> bool {
+        self.ranges.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `attr` (the text between `#[` and `]`) gates on `cfg(test)`.
+fn is_test_gate(attr: &str) -> bool {
+    let attr = attr.trim();
+    if attr == "test" {
+        return true;
+    }
+    if !attr.starts_with("cfg") {
+        return false;
+    }
+    // Any cfg predicate that mentions the `test` configuration option:
+    // cfg(test), cfg(all(test, ...)), cfg(any(test, ...)), ...
+    let bytes = attr.as_bytes();
+    let mut i = 0;
+    while let Some(off) = attr[i..].find("test") {
+        let at = i + off;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after = bytes.get(at + 4).copied().unwrap_or(b' ');
+        if before_ok && !is_ident(after) {
+            return true;
+        }
+        i = at + 4;
+    }
+    false
+}
+
+/// Finds the byte ranges of test-only items in scrubbed source text.
+pub fn test_regions(scrubbed: &str) -> TestRegions {
+    let src = scrubbed.as_bytes();
+    let mut regions = TestRegions::default();
+    let mut i = 0usize;
+    while i + 1 < src.len() {
+        if !(src[i] == b'#' && src[i + 1] == b'[') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = matching(src, i + 1, b'[', b']') else { break };
+        let attr = &scrubbed[i + 2..attr_end];
+        i = attr_end + 1;
+        if !is_test_gate(attr) {
+            continue;
+        }
+        // Skip trailing attributes, then find the item's body: either a
+        // brace block (fn/mod/impl) or a `;` (e.g. `mod tests;`).
+        let mut j = i;
+        loop {
+            while j < src.len() && src[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j + 1 < src.len() && src[j] == b'#' && src[j + 1] == b'[' {
+                match matching(src, j + 1, b'[', b']') {
+                    Some(e) => j = e + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let mut end = None;
+        while j < src.len() {
+            match src[j] {
+                b'{' => {
+                    end = matching(src, j, b'{', b'}');
+                    break;
+                }
+                b';' => {
+                    end = Some(j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        if let Some(e) = end {
+            regions.ranges.push((attr_start, e + 1));
+            i = e + 1;
+        }
+    }
+    regions
+}
+
+/// Byte offset of the delimiter matching the opener at `open_at`.
+fn matching(src: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in src.iter().enumerate().skip(open_at) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap() }\n}\nfn c() {}";
+        let r = test_regions(src);
+        let unwrap_at = src.find("unwrap").unwrap_or(0);
+        assert!(r.contains(unwrap_at));
+        assert!(!r.contains(0));
+        let c_at = src.rfind("fn c").unwrap_or(0);
+        assert!(!r.contains(c_at));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn t() { boom() }\nfn live() {}";
+        let r = test_regions(src);
+        assert!(r.contains(src.find("boom").unwrap_or(0)));
+        assert!(!r.contains(src.find("live").unwrap_or(0)));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, unix))]\nmod m { bad() }";
+        assert!(test_regions(src).contains(src.find("bad").unwrap_or(0)));
+    }
+
+    #[test]
+    fn cfg_testing_feature_does_not_count() {
+        // `testing` contains `test` as a substring but is a different option.
+        let src = "#[cfg(feature = x)]\nmod m { fine() }";
+        assert!(!test_regions(src).contains(src.find("fine").unwrap_or(0)));
+    }
+}

@@ -1,0 +1,274 @@
+//! The lint rules: what is forbidden where, and the lexical matchers
+//! that find violations in scrubbed source text.
+//!
+//! These are lexical approximations, not type-checked analyses — the
+//! trade-off is zero dependencies and sub-second whole-workspace runs.
+//! Known gaps are documented per rule and in DESIGN.md §11.
+
+/// Where a rule applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Only the determinism-critical crates (fae-core, fae-embed,
+    /// fae-models, fae-serve, fae-sysmodel).
+    Deterministic,
+    /// Library code of every first-party crate (binary targets exempt:
+    /// a panic there aborts one CLI invocation, not a library contract).
+    AllLibs,
+}
+
+/// Static description of one rule.
+pub struct RuleInfo {
+    /// Stable kebab-case id, used in pragmas and diagnostics.
+    pub id: &'static str,
+    /// Where it applies.
+    pub scope: Scope,
+    /// One-line description for `--list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// Every enforced rule, in documentation order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        scope: Scope::Deterministic,
+        summary: "std::time::{Instant,SystemTime} forbidden on simulated-clock paths",
+    },
+    RuleInfo {
+        id: "ambient-rng",
+        scope: Scope::Deterministic,
+        summary: "thread_rng/from_entropy/OsRng/rand::random forbidden; thread the seeded RNG",
+    },
+    RuleInfo {
+        id: "hash-container",
+        scope: Scope::Deterministic,
+        summary: "HashMap/HashSet iteration order is unstable; use BTreeMap/BTreeSet or a Vec",
+    },
+    RuleInfo {
+        id: "no-panic",
+        scope: Scope::AllLibs,
+        summary: "unwrap/expect/panic!/string-key indexing forbidden in library code",
+    },
+    RuleInfo {
+        id: "timeline-phase",
+        scope: Scope::Deterministic,
+        summary: "Timeline charges must name a Phase constant (or a `phase` binding)",
+    },
+];
+
+/// True if `id` names a suppressible rule (pragma target).
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// One rule match inside a single line.
+pub struct Match {
+    /// Byte column (0-based) within the line.
+    pub col: usize,
+    /// Rule id that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte positions of `needle` in `hay` with identifier boundaries on
+/// both sides (so `Instant` does not match `InstantLike`).
+fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = hay[from..].find(needle) {
+        let at = from + off;
+        // A needle starting/ending in a non-ident byte (`.`, `(`, `!`…)
+        // has that boundary built in.
+        let needle_start_ident = needle.as_bytes().first().is_some_and(|&b| is_ident(b));
+        let needle_end_ident = needle.as_bytes().last().is_some_and(|&b| is_ident(b));
+        let before_ok = !needle_start_ident || at == 0 || !is_ident(hb[at - 1]);
+        let after = hb.get(at + needle.len()).copied().unwrap_or(b' ');
+        if before_ok && (!needle_end_ident || !is_ident(after)) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Runs the determinism rules over one scrubbed line.
+pub fn deterministic_matches(line: &str, out: &mut Vec<Match>) {
+    for tok in ["Instant", "SystemTime"] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "wall-clock",
+                message: format!(
+                    "`{tok}` reads the host clock; simulated-clock paths must stay \
+                     reproducible — charge the Timeline instead"
+                ),
+            });
+        }
+    }
+    for tok in ["thread_rng", "from_entropy", "OsRng", "rand::random"] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "ambient-rng",
+                message: format!(
+                    "`{tok}` draws ambient randomness; thread the run's seeded RNG instead"
+                ),
+            });
+        }
+    }
+    for tok in ["HashMap", "HashSet"] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "hash-container",
+                message: format!(
+                    "`{tok}` iteration order varies between runs; use BTreeMap/BTreeSet \
+                     or an index-keyed Vec so output stays byte-identical"
+                ),
+            });
+        }
+    }
+    timeline_matches(line, out);
+}
+
+/// Runs the no-panic rule over one scrubbed line.
+pub fn no_panic_matches(line: &str, out: &mut Vec<Match>) {
+    for (tok, what) in [
+        (".unwrap()", "`.unwrap()` panics on the error path"),
+        (".expect(", "`.expect(...)` panics on the error path"),
+        ("panic!", "`panic!` in library code"),
+        ("unreachable!", "`unreachable!` in library code"),
+        ("todo!", "`todo!` in library code"),
+        ("unimplemented!", "`unimplemented!` in library code"),
+    ] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "no-panic",
+                message: format!("{what}; return a typed error (or pragma with a proof)"),
+            });
+        }
+    }
+    // Indexing a map with a string-literal key: `m["k"]` panics on a
+    // missing entry. After scrubbing, literal bodies are blank but the
+    // quotes survive, so the `["` shape is still visible.
+    let lb = line.as_bytes();
+    for col in token_positions(line, "[\"") {
+        let prev = if col == 0 { b' ' } else { lb[col - 1] };
+        if is_ident(prev) || prev == b']' || prev == b')' {
+            out.push(Match {
+                col,
+                rule: "no-panic",
+                message: "string-key indexing panics on a missing entry; use `.get(...)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// The accounting rule: a charge on a receiver that is lexically a
+/// timeline (its last path segment contains "timeline") must name its
+/// phase — either a `Phase::X` constant or a binding whose name contains
+/// `phase`. Charges through receivers with other names are only checked
+/// when they already use `Phase::` (and then trivially pass); this is
+/// the documented lexical gap.
+fn timeline_matches(line: &str, out: &mut Vec<Match>) {
+    let lb = line.as_bytes();
+    for col in token_positions(line, ".add(") {
+        // Receiver: walk left over a path/field expression.
+        let mut s = col;
+        while s > 0 {
+            let b = lb[s - 1];
+            if is_ident(b) || b == b'.' || b == b':' || b == b'*' || b == b'&' {
+                s -= 1;
+            } else {
+                break;
+            }
+        }
+        let receiver = &line[s..col];
+        let last_segment = receiver.rsplit('.').next().unwrap_or(receiver);
+        if !last_segment.to_ascii_lowercase().contains("timeline") {
+            continue;
+        }
+        // First argument: up to the first depth-0 comma (or close paren).
+        let args_at = col + ".add(".len();
+        let mut depth = 0usize;
+        let mut end = args_at;
+        while end < lb.len() {
+            match lb[end] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' if depth == 0 => break,
+                b')' | b']' => depth -= 1,
+                b',' if depth == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let first_arg = line[args_at..end].trim();
+        let named =
+            first_arg.contains("Phase::") || first_arg.to_ascii_lowercase().contains("phase");
+        if !named {
+            out.push(Match {
+                col,
+                rule: "timeline-phase",
+                message: format!(
+                    "Timeline charge `{receiver}.add({first_arg}, ...)` does not name its \
+                     phase; pass a `Phase::...` constant (or a `phase`-named binding) so \
+                     the journal's phase-sum invariant stays auditable"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(line: &str) -> Vec<&'static str> {
+        let mut m = Vec::new();
+        deterministic_matches(line, &mut m);
+        m.into_iter().map(|x| x.rule).collect()
+    }
+
+    fn nopanic(line: &str) -> usize {
+        let mut m = Vec::new();
+        no_panic_matches(line, &mut m);
+        m.len()
+    }
+
+    #[test]
+    fn wall_clock_and_rng_and_hash() {
+        assert_eq!(det("let t = Instant::now();"), vec!["wall-clock"]);
+        assert_eq!(det("use std::time::SystemTime;"), vec!["wall-clock"]);
+        assert_eq!(det("let mut r = thread_rng();"), vec!["ambient-rng"]);
+        assert_eq!(det("let m: HashMap<u32, f32> = HashMap::new();").len(), 2);
+        assert!(det("let x = instant_rate;").is_empty());
+    }
+
+    #[test]
+    fn no_panic_hits_and_misses() {
+        assert_eq!(nopanic("x.unwrap()"), 1);
+        assert_eq!(nopanic("x.expect(\"m\")"), 1);
+        assert_eq!(nopanic("panic!(\"boom\")"), 1);
+        assert_eq!(nopanic("x.unwrap_or(0)"), 0);
+        assert_eq!(nopanic("x.unwrap_or_else(f)"), 0);
+        assert_eq!(nopanic("let v = arr[i];"), 0);
+        assert_eq!(nopanic("let v = m[\"key\"];"), 1);
+    }
+
+    #[test]
+    fn timeline_rule() {
+        let fire = |l: &str| det(l).contains(&"timeline-phase");
+        assert!(fire("self.timeline.add(p, secs);"));
+        assert!(!fire("self.timeline.add(Phase::Transfer, secs);"));
+        assert!(!fire("timeline.add(*phase, d.phases.0[i]);"));
+        assert!(!fire("hist.add(v);"));
+        assert!(!fire("t.add(Phase::Framework, 1.0);"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Source scrubbing: a byte-for-byte copy of a Rust source file with
+//! comments and literal bodies blanked out, so the rule matchers never
+//! fire on text inside a string, a char literal or a comment.
+//!
+//! The scrubber also extracts `// fae-lint: allow(...)` pragmas from
+//! line comments (the only place they are recognised) before blanking
+//! them. Newlines are preserved everywhere, so byte offsets and line
+//! numbers in the scrubbed text match the original exactly.
+
+/// A parsed `fae-lint: allow(<rules>, reason = "...")` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// Rule ids the pragma suppresses.
+    pub rules: Vec<String>,
+    /// The mandatory human-readable justification.
+    pub reason: String,
+}
+
+/// A pragma that contained `fae-lint:` but did not parse.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// 1-based line of the malformed pragma.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// Scrubber output: blanked text plus the pragmas found along the way.
+pub struct Scrubbed {
+    /// Same byte length as the input; comments and literal bodies are
+    /// spaces, newlines are kept.
+    pub text: String,
+    /// Well-formed pragmas, in file order.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas (reported as `bad-pragma` diagnostics).
+    pub errors: Vec<PragmaError>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks comments and literal bodies out of `source`.
+pub fn scrub(source: &str) -> Scrubbed {
+    let src = source.as_bytes();
+    let mut out = vec![0u8; src.len()];
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Copies src[i] to out[i] and advances, tracking line numbers.
+    macro_rules! copy {
+        () => {{
+            out[i] = src[i];
+            if src[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+    // Blanks src[i] (newlines survive so offsets stay aligned).
+    macro_rules! blank {
+        () => {{
+            out[i] = if src[i] == b'\n' { b'\n' } else { b' ' };
+            if src[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < src.len() {
+        let b = src[i];
+        let prev_ident = i > 0 && is_ident(src[i - 1]);
+        if b == b'/' && i + 1 < src.len() && src[i + 1] == b'/' {
+            // Line comment: capture the text for pragma parsing, then blank.
+            let start = i;
+            let mut end = i;
+            while end < src.len() && src[end] != b'\n' {
+                end += 1;
+            }
+            let text = &source[start..end];
+            // Pragmas live in plain `//` comments only: doc comments
+            // (`///`, `//!`) may legitimately *describe* the syntax.
+            let is_doc = matches!(src.get(start + 2), Some(&b'/') | Some(&b'!'));
+            if is_doc {
+                while i < end {
+                    blank!();
+                }
+                continue;
+            }
+            if let Some(found) = parse_pragma(text, line) {
+                match found {
+                    Ok(p) => pragmas.push(p),
+                    Err(e) => errors.push(e),
+                }
+            }
+            while i < end {
+                blank!();
+            }
+        } else if b == b'/' && i + 1 < src.len() && src[i + 1] == b'*' {
+            // Block comment, possibly nested.
+            let mut depth = 0usize;
+            loop {
+                if i >= src.len() {
+                    break;
+                }
+                if src[i] == b'/' && i + 1 < src.len() && src[i + 1] == b'*' {
+                    depth += 1;
+                    blank!();
+                    blank!();
+                } else if src[i] == b'*' && i + 1 < src.len() && src[i + 1] == b'/' {
+                    depth -= 1;
+                    blank!();
+                    blank!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank!();
+                }
+            }
+        } else if b == b'"' {
+            // Ordinary (or byte) string literal: keep the quotes, blank the body.
+            copy!();
+            while i < src.len() {
+                if src[i] == b'\\' && i + 1 < src.len() {
+                    blank!();
+                    blank!();
+                } else if src[i] == b'"' {
+                    copy!();
+                    break;
+                } else {
+                    blank!();
+                }
+            }
+        } else if (b == b'r' && !prev_ident) && raw_string_hashes(&src[i + 1..]).is_some() {
+            // Raw string r"..." / r#"..."# — no escapes inside.
+            let hashes = raw_string_hashes(&src[i + 1..]).unwrap_or(0);
+            copy!(); // r
+            for _ in 0..hashes {
+                copy!(); // #
+            }
+            copy!(); // opening quote
+            let closer_len = hashes + 1;
+            while i < src.len() {
+                if src[i] == b'"' && src[i + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                    for _ in 0..closer_len.min(src.len() - i) {
+                        copy!();
+                    }
+                    break;
+                }
+                blank!();
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime. A lifetime is `'` + ident with no
+            // closing quote right after a single char.
+            let next = src.get(i + 1).copied().unwrap_or(0);
+            let after = src.get(i + 2).copied().unwrap_or(0);
+            if next == b'\\' || (!is_ident(next) && next != b'\'') || after == b'\'' {
+                // Char literal: blank until the closing quote (bounded —
+                // escapes like '\u{1F600}' stay under 12 bytes).
+                copy!();
+                let mut n = 0;
+                while i < src.len() && n < 12 {
+                    if src[i] == b'\\' && i + 1 < src.len() {
+                        blank!();
+                        blank!();
+                        n += 2;
+                    } else if src[i] == b'\'' {
+                        copy!();
+                        break;
+                    } else {
+                        blank!();
+                        n += 1;
+                    }
+                }
+            } else {
+                // Lifetime: keep the tick, continue as code.
+                copy!();
+            }
+        } else {
+            copy!();
+        }
+    }
+
+    // The scrubber only ever writes ASCII into blanked spans and copies
+    // original bytes elsewhere, but a multi-byte char split across a
+    // copy/blank boundary could in principle leave invalid UTF-8; fall
+    // back to a lossy conversion rather than failing the whole file.
+    let text = String::from_utf8(out)
+        .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned());
+    Scrubbed { text, pragmas, errors }
+}
+
+/// If `rest` begins a raw-string opener (`#*"`), returns the hash count.
+fn raw_string_hashes(rest: &[u8]) -> Option<usize> {
+    let mut n = 0;
+    while n < rest.len() && rest[n] == b'#' {
+        n += 1;
+    }
+    if rest.get(n) == Some(&b'"') {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Parses a pragma out of a line-comment's text, if it claims to be one.
+///
+/// Returns `None` for ordinary comments, `Some(Ok(_))` for a well-formed
+/// pragma and `Some(Err(_))` when the comment says `fae-lint:` but the
+/// rest does not match `allow(<rule>[, <rule>...], reason = "...")`.
+fn parse_pragma(comment: &str, line: usize) -> Option<Result<Pragma, PragmaError>> {
+    let idx = comment.find("fae-lint:")?;
+    let rest = comment[idx + "fae-lint:".len()..].trim();
+    let err = |message: &str| Some(Err(PragmaError { line, message: message.to_string() }));
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return err("expected `allow(<rule>[, <rule>...], reason = \"...\")`");
+    };
+    let Some(inner) = inner.trim_end().strip_suffix(')') else {
+        return err("missing closing `)`");
+    };
+    // The reason clause is last and its text may contain commas, so split
+    // on the `reason` keyword rather than naively on `,`.
+    let Some(reason_at) = inner.find("reason") else {
+        return err("missing `reason = \"...\"` clause");
+    };
+    let rule_part = inner[..reason_at].trim().trim_end_matches(',').trim();
+    let reason_part = inner[reason_at + "reason".len()..].trim();
+    let Some(reason_part) = reason_part.strip_prefix('=') else {
+        return err("expected `=` after `reason`");
+    };
+    let reason_part = reason_part.trim();
+    let reason = reason_part.strip_prefix('"').and_then(|r| r.strip_suffix('"'));
+    let Some(reason) = reason else {
+        return err("reason must be a quoted string");
+    };
+    if reason.trim().is_empty() {
+        return err("reason must not be empty");
+    }
+    if rule_part.is_empty() {
+        return err("at least one rule id is required");
+    }
+    let rules: Vec<String> = rule_part.split(',').map(|r| r.trim().to_string()).collect();
+    if rules.iter().any(|r| r.is_empty() || !r.bytes().all(|b| is_ident(b) || b == b'-')) {
+        return err("rule ids must be kebab-case identifiers");
+    }
+    Some(Ok(Pragma { line, rules, reason: reason.to_string() }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let s = scrub("let x = \"HashMap\"; // HashMap\nlet y = 1;");
+        assert!(!s.text.contains("HashMap"));
+        assert!(s.text.contains("let x ="));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.text.len(), "let x = \"HashMap\"; // HashMap\nlet y = 1;".len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src = "let r = r#\"unwrap()\"#; let c = '\\n'; fn f<'a>(x: &'a str) {}";
+        let s = scrub(src);
+        assert!(!s.text.contains("unwrap"));
+        assert!(s.text.contains("fn f<'a>(x: &'a str)"));
+        assert_eq!(s.text.len(), src.len());
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let s = scrub("a /* x /* panic!() */ y */ b");
+        assert!(!s.text.contains("panic"));
+        assert!(s.text.starts_with('a'));
+        assert!(s.text.ends_with('b'));
+    }
+
+    #[test]
+    fn pragma_parses() {
+        let s = scrub("// fae-lint: allow(no-panic, reason = \"checked, above, twice\")\nx");
+        assert_eq!(s.pragmas.len(), 1);
+        assert_eq!(s.pragmas[0].rules, vec!["no-panic"]);
+        assert_eq!(s.pragmas[0].reason, "checked, above, twice");
+        assert!(s.errors.is_empty());
+    }
+
+    #[test]
+    fn pragma_multi_rule() {
+        let s = scrub("// fae-lint: allow(wall-clock, ambient-rng, reason = \"bench only\")\n");
+        assert_eq!(s.pragmas[0].rules, vec!["wall-clock", "ambient-rng"]);
+    }
+
+    #[test]
+    fn malformed_pragma_is_an_error() {
+        let s = scrub("// fae-lint: allow(no-panic)\n");
+        assert!(s.pragmas.is_empty());
+        assert_eq!(s.errors.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Proves fae-lint fails when it should: the seeded-violation fixture
+//! tree must produce exactly the pinned diagnostics, and the suppressed/
+//! exempt fixture must come back clean. CI additionally runs the binary
+//! over the same trees and asserts the exit codes (see ci.yml).
+
+use std::path::{Path, PathBuf};
+
+use fae_lint::{lint_tree, FileClass};
+
+const STRICT: FileClass = FileClass { deterministic: true, binary: false };
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+#[test]
+fn seeded_violations_are_all_caught() {
+    let diags = lint_tree(&fixture("violations"), STRICT).expect("fixture tree readable");
+    let got: Vec<(String, usize, String)> = diags
+        .iter()
+        .map(|d| {
+            let file = d.file.file_name().expect("file name").to_string_lossy().into_owned();
+            (file, d.line, d.rule.clone())
+        })
+        .collect();
+    let want: &[(&str, usize, &str)] = &[
+        ("determinism.rs", 5, "hash-container"),
+        ("determinism.rs", 6, "wall-clock"),
+        ("determinism.rs", 8, "wall-clock"),
+        ("determinism.rs", 10, "wall-clock"),
+        ("determinism.rs", 15, "ambient-rng"),
+        ("determinism.rs", 19, "hash-container"),
+        ("determinism.rs", 21, "hash-container"),
+        ("determinism.rs", 30, "timeline-phase"),
+        ("panics.rs", 5, "no-panic"),
+        ("panics.rs", 10, "no-panic"),
+        ("panics.rs", 15, "no-panic"),
+        ("panics.rs", 20, "no-panic"),
+        ("panics.rs", 25, "no-panic"),
+        ("pragmas.rs", 5, "unused-pragma"),
+        ("pragmas.rs", 10, "bad-pragma"),
+        ("pragmas.rs", 15, "bad-pragma"),
+        ("pragmas.rs", 16, "no-panic"),
+    ];
+    let want: Vec<(String, usize, String)> =
+        want.iter().map(|(f, l, r)| (f.to_string(), *l, r.to_string())).collect();
+    assert_eq!(got, want, "fixture diagnostics drifted");
+}
+
+#[test]
+fn suppressed_and_exempt_code_is_clean() {
+    let diags = lint_tree(&fixture("clean"), STRICT).expect("fixture tree readable");
+    assert!(diags.is_empty(), "clean fixture reported: {diags:?}");
+}
+
+#[test]
+fn every_diagnostic_renders_file_line_rule() {
+    let diags = lint_tree(&fixture("violations"), STRICT).expect("fixture tree readable");
+    assert!(!diags.is_empty());
+    for d in &diags {
+        let s = d.to_string();
+        assert!(s.contains(&format!(":{}: [{}]", d.line, d.rule)), "bad rendering: {s}");
+    }
+}
+
+#[test]
+fn binary_classification_exempts_no_panic_only() {
+    let bin = FileClass { deterministic: true, binary: true };
+    let diags = lint_tree(&fixture("violations"), bin).expect("fixture tree readable");
+    assert!(diags.iter().all(|d| d.rule != "no-panic"), "no-panic must not fire on binaries");
+    assert!(
+        diags.iter().any(|d| d.rule == "wall-clock"),
+        "determinism rules must still fire on binaries"
+    );
+}
+
+#[test]
+fn workspace_is_clean() {
+    // The tentpole's end state: the real workspace carries zero
+    // violations. Walk up from this crate to the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent);
+    let root = root.expect("workspace root above crates/fae-lint");
+    let diags = fae_lint::lint_workspace(root).expect("workspace walkable");
+    assert!(diags.is_empty(), "workspace violations:\n{diags:#?}");
+}

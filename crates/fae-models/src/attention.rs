@@ -122,6 +122,7 @@ impl AttentionPool {
     #[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, grad_ctx: &Tensor) -> (SeqBatch, Tensor) {
         let Cache { seq, query, alphas } =
+            // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
             self.cached.take().expect("AttentionPool::backward before forward");
         let (batch, d) = query.shape();
         assert_eq!(grad_ctx.shape(), (batch, d), "grad shape mismatch");

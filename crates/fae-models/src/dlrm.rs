@@ -52,8 +52,8 @@ impl Dlrm {
     /// the embedding dimension (as the paper's configs do).
     pub fn from_spec(spec: &WorkloadSpec, rng: &mut impl Rng) -> Self {
         assert_eq!(
-            *spec.bottom_mlp.last().unwrap(),
-            spec.embedding_dim,
+            spec.bottom_mlp.last().copied(),
+            Some(spec.embedding_dim),
             "bottom MLP must emit embedding_dim features"
         );
         let num_tables = spec.tables.len();
@@ -93,6 +93,7 @@ impl RecModel for Dlrm {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Vec<SparseGrad> {
+        // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let sparse = self.cached_sparse.take().expect("Dlrm::backward called before forward");
         let d_inter = self.top.backward(grad);
         let feature_grads = self.interaction.backward(&d_inter);

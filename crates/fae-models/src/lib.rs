@@ -19,6 +19,7 @@
 //! `fae-sysmodel` cost profile so the *same* model shapes drive both the
 //! numeric experiments (Fig 12) and the performance model (Figs 13–15).
 
+#![forbid(unsafe_code)]
 pub mod attention;
 pub mod bridge;
 pub mod dlrm;

@@ -50,8 +50,8 @@ impl Tbsm {
         assert_eq!(spec.kind, WorkloadKind::Tbsm, "Tbsm requires a TBSM spec");
         assert_eq!(spec.tables.len(), 3, "TBSM uses item/category/user tables");
         assert_eq!(
-            *spec.bottom_mlp.last().unwrap(),
-            spec.embedding_dim,
+            spec.bottom_mlp.last().copied(),
+            Some(spec.embedding_dim),
             "bottom MLP must emit embedding_dim features"
         );
         let mut top_sizes = spec.top_mlp.clone();
@@ -109,6 +109,7 @@ impl RecModel for Tbsm {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Vec<SparseGrad> {
+        // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let cached = self.cached.take().expect("Tbsm::backward called before forward");
         let d = self.emb_dim;
         let dz = self.top.backward(grad);

@@ -103,6 +103,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let x = self.cached_x.as_ref().expect("Linear::backward called before forward");
         // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ
         self.grad_w.add_scaled(&x.transpose().matmul(grad_out), 1.0);
@@ -175,6 +176,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let x = self.cached_x.as_ref().expect("Relu::backward called before forward");
         let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
         grad_out.hadamard(&mask)
@@ -218,6 +220,7 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let y = self.cached_y.as_ref().expect("Sigmoid::backward called before forward");
         let dy = y.map(|v| v * (1.0 - v));
         grad_out.hadamard(&dy)

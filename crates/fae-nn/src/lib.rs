@@ -20,6 +20,7 @@
 //! Everything is deterministic given a seed; no threads are spawned except
 //! inside matmul for large matrices (via rayon).
 
+#![forbid(unsafe_code)]
 pub mod gradcheck;
 pub mod init;
 pub mod layers;

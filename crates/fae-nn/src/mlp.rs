@@ -69,6 +69,7 @@ impl Mlp {
 
     /// Output width.
     pub fn out_width(&self) -> usize {
+        // fae-lint: allow(no-panic, reason = "Mlp::new asserts sizes.len() >= 2, so sizes is never empty")
         *self.sizes.last().unwrap()
     }
 }

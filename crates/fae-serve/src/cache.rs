@@ -19,7 +19,7 @@
 //! with the smallest `(count, row id)` pair, so identical access streams
 //! produce identical cache states on every run.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use fae_data::MiniBatch;
 use fae_embed::HotColdPartition;
@@ -77,10 +77,10 @@ impl CacheStats {
 /// TinyLFU-style dynamic tier (see module docs).
 #[derive(Clone, Debug)]
 pub struct FreqCache {
-    pinned: HashSet<u32>,
+    pinned: BTreeSet<u32>,
     capacity: usize,
-    resident: HashSet<u32>,
-    freq: HashMap<u32, u32>,
+    resident: BTreeSet<u32>,
+    freq: BTreeMap<u32, u32>,
     window: usize,
     cold_accesses: usize,
     stats: CacheStats,
@@ -94,8 +94,8 @@ impl FreqCache {
         Self {
             pinned: pinned.into_iter().collect(),
             capacity,
-            resident: HashSet::new(),
-            freq: HashMap::new(),
+            resident: BTreeSet::new(),
+            freq: BTreeMap::new(),
             window,
             cold_accesses: 0,
             stats: CacheStats::default(),
@@ -163,7 +163,9 @@ impl FreqCache {
             self.stats.admissions += 1;
             return true;
         }
-        let (victim, victim_freq) = self.coldest_resident();
+        let Some((victim, victim_freq)) = self.coldest_resident() else {
+            return false;
+        };
         if self.freq.get(&row).copied().unwrap_or(0) >= victim_freq {
             self.resident.remove(&victim);
             self.resident.insert(row);
@@ -174,9 +176,9 @@ impl FreqCache {
         false
     }
 
-    /// Resident with the smallest `(count, row id)` pair — deterministic
-    /// regardless of hash iteration order.
-    fn coldest_resident(&self) -> (u32, u32) {
+    /// Resident with the smallest `(count, row id)` pair, or `None` when
+    /// the dynamic tier is empty.
+    fn coldest_resident(&self) -> Option<(u32, u32)> {
         let mut best: Option<(u32, u32)> = None;
         for &r in &self.resident {
             let f = self.freq.get(&r).copied().unwrap_or(0);
@@ -186,7 +188,7 @@ impl FreqCache {
                 keep => keep,
             };
         }
-        best.expect("coldest_resident on an empty dynamic tier")
+        best
     }
 }
 
@@ -196,14 +198,14 @@ impl FreqCache {
 pub struct LruCache {
     capacity: usize,
     stamp: u64,
-    resident: HashMap<u32, u64>,
+    resident: BTreeMap<u32, u64>,
     stats: CacheStats,
 }
 
 impl LruCache {
     /// Builds an LRU cache holding at most `capacity` rows.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, stamp: 0, resident: HashMap::new(), stats: CacheStats::default() }
+        Self { capacity, stamp: 0, resident: BTreeMap::new(), stats: CacheStats::default() }
     }
 
     /// Lifetime counters (only `hits`/`misses`/`admissions`/`evictions`
@@ -226,13 +228,10 @@ impl LruCache {
             return CacheAccess::Miss { admitted: false };
         }
         if self.resident.len() >= self.capacity {
-            let (&victim, _) = self
-                .resident
-                .iter()
-                .min_by_key(|&(&r, &s)| (s, r))
-                .expect("eviction from an empty LRU");
-            self.resident.remove(&victim);
-            self.stats.evictions += 1;
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|&(&r, &s)| (s, r)) {
+                self.resident.remove(&victim);
+                self.stats.evictions += 1;
+            }
         }
         self.resident.insert(row, self.stamp);
         self.stats.admissions += 1;

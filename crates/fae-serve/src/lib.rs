@@ -23,6 +23,7 @@
 //! [`TrainCheckpoint`]: fae_core::TrainCheckpoint
 //! [`Timeline`]: fae_sysmodel::Timeline
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batcher;

@@ -70,6 +70,8 @@ pub enum TraceError {
     Io(std::io::Error),
     /// Structurally invalid trace file.
     Malformed(String),
+    /// JSON serialization failure while writing.
+    Json(serde_json::Error),
     /// Trace recorded against a different workload or data seed.
     Mismatch(String),
 }
@@ -79,6 +81,7 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "trace io error: {e}"),
             TraceError::Malformed(m) => write!(f, "malformed trace: {m}"),
+            TraceError::Json(e) => write!(f, "trace serialization error: {e}"),
             TraceError::Mismatch(m) => write!(f, "trace mismatch: {m}"),
         }
     }
@@ -92,6 +95,12 @@ impl From<std::io::Error> for TraceError {
     }
 }
 
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Json(e)
+    }
+}
+
 impl RequestTrace {
     /// Writes the trace: one header line, then one line per request.
     pub fn save(&self, path: &Path) -> Result<(), TraceError> {
@@ -102,10 +111,10 @@ impl RequestTrace {
             "data_seed": self.data_seed,
             "count": self.requests.len(),
         });
-        writeln!(w, "{}", serde_json::to_string(&header).expect("Value serialization"))?;
+        writeln!(w, "{}", serde_json::to_string(&header)?)?;
         for r in &self.requests {
             let line = json!({"id": r.id, "arrival_s": r.arrival_s, "input": r.input});
-            writeln!(w, "{}", serde_json::to_string(&line).expect("Value serialization"))?;
+            writeln!(w, "{}", serde_json::to_string(&line)?)?;
         }
         w.flush()?;
         Ok(())

@@ -20,6 +20,7 @@
 //!   (Fig 14's stacked bars, Table IV/V totals),
 //! * [`power`] — the per-GPU average-power model behind Table VI.
 
+#![forbid(unsafe_code)]
 pub mod collective;
 pub mod constants;
 pub mod device;

@@ -38,6 +38,22 @@ impl Phase {
         Phase::EmbedSync,
         Phase::Framework,
     ];
+
+    /// Position of this phase in [`Phase::ALL`] (display order) — the
+    /// array slot it occupies in a [`Timeline`] and in journal
+    /// `PhaseSeconds` records.
+    pub const fn index(self) -> usize {
+        match self {
+            Phase::EmbedForward => 0,
+            Phase::DenseForward => 1,
+            Phase::Backward => 2,
+            Phase::Optimizer => 3,
+            Phase::Transfer => 4,
+            Phase::AllReduce => 5,
+            Phase::EmbedSync => 6,
+            Phase::Framework => 7,
+        }
+    }
 }
 
 impl fmt::Display for Phase {
@@ -72,14 +88,10 @@ impl Timeline {
         Self::default()
     }
 
-    fn slot(phase: Phase) -> usize {
-        Phase::ALL.iter().position(|&p| p == phase).expect("phase in ALL")
-    }
-
     /// Adds `secs` to `phase`.
     pub fn add(&mut self, phase: Phase, secs: f64) {
         debug_assert!(secs >= 0.0 && secs.is_finite(), "negative/NaN time");
-        self.seconds[Self::slot(phase)] += secs;
+        self.seconds[phase.index()] += secs;
     }
 
     /// Marks `secs` of already-recorded time as CPU-resident (GPU idle).
@@ -95,7 +107,7 @@ impl Timeline {
 
     /// Seconds accumulated in `phase`.
     pub fn get(&self, phase: Phase) -> f64 {
-        self.seconds[Self::slot(phase)]
+        self.seconds[phase.index()]
     }
 
     /// Total seconds across phases.

@@ -37,8 +37,7 @@ impl PhaseSeconds {
 
     /// Seconds charged to `phase`.
     pub fn get(&self, phase: Phase) -> f64 {
-        let i = Phase::ALL.iter().position(|&p| p == phase).expect("phase in ALL");
-        self.0[i]
+        self.0[phase.index()]
     }
 
     fn to_json(self) -> Value {

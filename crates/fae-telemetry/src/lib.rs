@@ -18,6 +18,7 @@
 //! [`Telemetry::disabled`] handle (also `Default`) makes every call a
 //! no-op, so instrumented code paths cost nothing when observability is
 //! off and call sites never need `if let Some(telemetry)` guards.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod journal;
@@ -207,9 +208,8 @@ impl Telemetry {
     }
 
     /// Serializes the metrics snapshot as pretty JSON.
-    pub fn metrics_json(&self) -> String {
+    pub fn metrics_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(&self.metrics().to_json())
-            .expect("Value serialization cannot fail")
     }
 
     /// Writes the metrics snapshot to `path`.
@@ -219,7 +219,8 @@ impl Telemetry {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(path, self.metrics_json())
+        let json = self.metrics_json().map_err(io::Error::other)?;
+        std::fs::write(path, json)
     }
 }
 
@@ -274,12 +275,6 @@ impl TelemetryBuilder {
             progress_every: self.progress_every.unwrap_or(100),
         }))))
     }
-
-    /// Builds the handle, panicking on journal-creation failure. Use
-    /// [`try_build`](TelemetryBuilder::try_build) to handle the error.
-    pub fn build(self) -> Telemetry {
-        self.try_build().expect("telemetry journal creation failed")
-    }
 }
 
 #[cfg(test)]
@@ -300,7 +295,7 @@ mod tests {
 
     #[test]
     fn enabled_handle_records_and_clones_share_state() {
-        let t = Telemetry::builder().retain_events(true).build();
+        let t = Telemetry::builder().retain_events(true).try_build().expect("telemetry");
         let t2 = t.clone();
         t.counter_add("c", 2);
         t2.counter_add("c", 3);
@@ -314,7 +309,7 @@ mod tests {
         let dir = std::env::temp_dir().join("fae-telemetry-lib");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("handle.jsonl");
-        let t = Telemetry::builder().journal_path(&path).build();
+        let t = Telemetry::builder().journal_path(&path).try_build().expect("telemetry");
         t.emit(&JournalEvent::Fault { step: 1, kind: "device-loss".into() });
         t.emit(&JournalEvent::Recovery {
             step: 1,
@@ -330,7 +325,7 @@ mod tests {
     #[test]
     fn debug_formats_do_not_leak_internals() {
         assert_eq!(format!("{:?}", Telemetry::disabled()), "Telemetry(disabled)");
-        let t = Telemetry::builder().build();
+        let t = Telemetry::builder().try_build().expect("telemetry");
         assert_eq!(format!("{t:?}"), "Telemetry(enabled, journal: false)");
     }
 }

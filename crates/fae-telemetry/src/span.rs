@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn span_records_on_drop() {
-        let t = Telemetry::builder().build();
+        let t = Telemetry::builder().try_build().expect("telemetry");
         {
             let mut g = t.span("pipeline/train");
             g.add_sim(2.5);
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn nested_paths_aggregate_separately() {
-        let t = Telemetry::builder().build();
+        let t = Telemetry::builder().try_build().expect("telemetry");
         t.span("pipeline").add_sim(1.0);
         t.span("pipeline/calibrate").add_sim(0.5);
         t.span("pipeline/calibrate").add_sim(0.25);

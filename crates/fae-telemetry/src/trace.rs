@@ -81,7 +81,8 @@ fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: M
 ///
 /// The output is a complete `{"traceEvents": [...]}` object; write it to
 /// a file and load it in Perfetto's JSON importer or `chrome://tracing`.
-pub fn chrome_trace(events: &[JournalEvent]) -> String {
+/// Errs only if the assembled in-memory `Value` fails to serialize.
+pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error> {
     let (num_gpus, workers) = events
         .iter()
         .find_map(|e| match e {
@@ -271,7 +272,7 @@ pub fn chrome_trace(events: &[JournalEvent]) -> String {
     let mut root = Map::new();
     root.insert("traceEvents".into(), Value::Array(out));
     root.insert("displayTimeUnit".into(), Value::String("ms".into()));
-    serde_json::to_string(&Value::Object(root)).expect("Value serialization cannot fail")
+    serde_json::to_string(&Value::Object(root))
 }
 
 #[cfg(test)]
@@ -326,7 +327,7 @@ mod tests {
 
     #[test]
     fn trace_is_valid_json_with_expected_tracks() {
-        let text = chrome_trace(&sample());
+        let text = chrome_trace(&sample()).expect("render");
         let v: Value = serde_json::from_str(&text).expect("valid JSON");
         let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
         let names: Vec<&str> = events
@@ -343,7 +344,7 @@ mod tests {
 
     #[test]
     fn hot_embed_forward_runs_on_devices_cold_on_cpu() {
-        let text = chrome_trace(&sample());
+        let text = chrome_trace(&sample()).expect("render");
         let v: Value = serde_json::from_str(&text).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
         let embed: Vec<(&str, u64)> = events
@@ -369,7 +370,7 @@ mod tests {
         let events = sample();
         let expected_us: f64 =
             events.iter().filter_map(JournalEvent::phases).map(|p| p.total() * 1e6).sum();
-        let text = chrome_trace(&events);
+        let text = chrome_trace(&events).expect("render");
         let v: Value = serde_json::from_str(&text).unwrap();
         // Sum durations once per slice position — device-track replicas of
         // the same (ts, name) count once.
@@ -390,7 +391,7 @@ mod tests {
 
     #[test]
     fn worker_lanes_present_when_parallel() {
-        let text = chrome_trace(&sample());
+        let text = chrome_trace(&sample()).expect("render");
         let v: Value = serde_json::from_str(&text).unwrap();
         let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
         let names: Vec<&str> = events
@@ -410,8 +411,8 @@ mod tests {
 
     #[test]
     fn export_is_deterministic() {
-        let a = chrome_trace(&sample());
-        let b = chrome_trace(&sample());
+        let a = chrome_trace(&sample()).expect("render");
+        let b = chrome_trace(&sample()).expect("render");
         assert_eq!(a, b);
     }
 
@@ -446,7 +447,7 @@ mod tests {
                 simulated_seconds: 0.26,
             },
         ];
-        let text = chrome_trace(&events);
+        let text = chrome_trace(&events).expect("render");
         let v: Value = serde_json::from_str(&text).unwrap();
         let trace = v.get("traceEvents").and_then(Value::as_array).unwrap();
         let lane_names: Vec<&str> = trace
@@ -474,7 +475,7 @@ mod tests {
     #[test]
     fn train_journal_trace_is_unchanged_by_serve_support() {
         // A journal with no serve events must not grow serve lanes.
-        let text = chrome_trace(&sample());
+        let text = chrome_trace(&sample()).expect("render");
         assert!(!text.contains("serve-worker"));
     }
 }

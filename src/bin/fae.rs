@@ -263,7 +263,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         println!("metrics written to {p}");
     }
     if let Some(p) = args.get("trace-out") {
-        let trace = telemetry::chrome_trace(&telem.events());
+        let trace =
+            telemetry::chrome_trace(&telem.events()).map_err(|e| format!("--trace-out: {e}"))?;
         std::fs::write(p, trace).map_err(|e| format!("--trace-out: {e}"))?;
         println!("chrome trace written to {p} (open in Perfetto / chrome://tracing)");
     }
@@ -450,7 +451,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!("metrics written to {p}");
     }
     if let Some(p) = args.get("trace-out") {
-        let trace = telemetry::chrome_trace(&telem.events());
+        let trace =
+            telemetry::chrome_trace(&telem.events()).map_err(|e| format!("--trace-out: {e}"))?;
         std::fs::write(p, trace).map_err(|e| format!("--trace-out: {e}"))?;
         println!("chrome trace written to {p}");
     }

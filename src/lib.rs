@@ -44,6 +44,7 @@
 //! assert!(fae.simulated_seconds <= baseline.simulated_seconds);
 //! ```
 
+#![forbid(unsafe_code)]
 pub use fae_core as core;
 pub use fae_data as data;
 pub use fae_embed as embed;

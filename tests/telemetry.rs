@@ -130,7 +130,7 @@ fn journal_sums_hold_across_resume() {
     // Second leg: resume with a journal attached. The resumed run must
     // journal the checkpoint's prior timeline as a charge so its event
     // stream still accounts for the *total* simulated seconds.
-    let telem = Telemetry::builder().retain_events(true).build();
+    let telem = Telemetry::builder().retain_events(true).try_build().expect("telemetry");
     let second = ResilienceOptions {
         checkpoint_dir: Some(dir),
         checkpoint_every_rounds: 1,
@@ -181,14 +181,14 @@ fn report_summary_matches_run() {
 fn chrome_trace_is_deterministic_for_same_seed() {
     let (spec, pre, test, cfg) = setup();
     let run = || {
-        let telem = Telemetry::builder().retain_events(true).build();
+        let telem = Telemetry::builder().retain_events(true).try_build().expect("telemetry");
         let opts = ResilienceOptions {
             plan: FaultPlan::parse_seeded("sync-failure@40", 7).unwrap(),
             telemetry: telem.clone(),
             ..Default::default()
         };
         train_fae_resilient(&spec, &pre, &test, &cfg, &opts);
-        chrome_trace(&telem.events())
+        chrome_trace(&telem.events()).expect("render")
     };
     let a = run();
     let b = run();
@@ -199,4 +199,30 @@ fn chrome_trace_is_deterministic_for_same_seed() {
     let events = v.get("traceEvents").and_then(|e| e.as_array()).expect("traceEvents array");
     assert!(events.len() > 10);
     assert!(events.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")));
+}
+
+/// Satellite of the fae-lint PR: the determinism contract the linter
+/// enforces (no wall clock, no ambient RNG, no hash-order iteration in
+/// the five deterministic crates) is observable end to end — two
+/// same-seed runs must write byte-identical journal *files*, not just
+/// equal in-memory event streams.
+#[test]
+fn same_seed_runs_write_byte_identical_journals() {
+    let (spec, pre, test, cfg) = setup();
+    let dir = tmpdir("byte-identity");
+    let run = |name: &str| -> Vec<u8> {
+        let path = dir.join(name);
+        let telem = Telemetry::builder().journal_path(&path).try_build().expect("telemetry");
+        let opts = ResilienceOptions {
+            plan: FaultPlan::parse_seeded("sync-failure@40,device-loss@90", 11).unwrap(),
+            telemetry: telem,
+            ..Default::default()
+        };
+        train_fae_resilient(&spec, &pre, &test, &cfg, &opts);
+        fs::read(&path).expect("journal file")
+    };
+    let a = run("a.jsonl");
+    let b = run("b.jsonl");
+    assert!(!a.is_empty(), "journal must not be empty");
+    assert_eq!(a, b, "same-seed runs must write byte-identical journals");
 }

@@ -3,6 +3,7 @@
 //! append-only writes into [`BytesMut`] ([`BufMut`]), and the frozen
 //! [`Bytes`] buffer.
 
+#![forbid(unsafe_code)]
 use std::ops::Deref;
 
 /// An immutable byte buffer (here: an owned `Vec<u8>` behind `Deref`).

@@ -4,6 +4,7 @@
 //! modelling, outlier analysis, or HTML reports, but the harness
 //! compiles and produces comparable numbers offline.
 
+#![forbid(unsafe_code)]
 use std::hint;
 use std::time::{Duration, Instant};
 

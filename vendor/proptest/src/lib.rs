@@ -9,6 +9,7 @@
 //! the body; assertion macros map to `assert!`/`assert_eq!`. There is
 //! no shrinking — a failure reports the panicking case directly.
 
+#![forbid(unsafe_code)]
 pub use rand;
 
 use rand::rngs::StdRng;

@@ -12,6 +12,7 @@
 //! produce different (but equally valid) datasets than a crates.io
 //! build would.
 
+#![forbid(unsafe_code)]
 pub mod distributions;
 pub mod rngs;
 pub mod seq;

@@ -7,6 +7,7 @@
 //! sampled frequencies follow `p(k) ∝ k^(-s)` over `1..=n` with O(1)
 //! memory and no setup tables.
 
+#![forbid(unsafe_code)]
 use std::fmt;
 
 pub use rand::distributions::Distribution;

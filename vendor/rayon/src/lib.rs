@@ -9,6 +9,7 @@
 //! environment without crates.io access, and trivially replaceable by
 //! real rayon when the registry is reachable.
 
+#![forbid(unsafe_code)]
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
 }

@@ -10,6 +10,7 @@
 //! fields as `None`) matches upstream serde_json, so files written by
 //! the real crates parse identically.
 
+#![forbid(unsafe_code)]
 mod value;
 
 pub use value::{Map, Number, Value};

@@ -12,6 +12,7 @@
 //! `#[serde(...)]` attributes are rejected with a compile error rather
 //! than silently mis-serialized.
 
+#![forbid(unsafe_code)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {

@@ -7,6 +7,7 @@
 //! interoperate: 2-space pretty indentation, integers kept integral,
 //! floats in shortest round-trip form, non-finite floats as `null`.
 
+#![forbid(unsafe_code)]
 mod parse;
 
 pub use parse::from_value_str;
