@@ -1,0 +1,198 @@
+//! Multi-node training benchmark: what the fae-net wire protocol costs.
+//!
+//! Two kinds of numbers, both honest about what they are:
+//!
+//! 1. **Measured** — real localhost TCP runs of the tiny workload:
+//!    in-process `ParallelEngine` vs `RemoteEngine` + node threads at
+//!    1/2/4 workers (wall-clock overhead of framing, CRC, RPC and
+//!    apply-broadcast), plus a crash run (worker-crash@6) showing the
+//!    reshard + rejoin path. Every run must match the in-process model
+//!    digest bit for bit — the benchmark fails loudly otherwise.
+//! 2. **Modeled** — the §5 cost model's price for the same recovery
+//!    events at paper scale (Kaggle, 4 × V100, 256 MB hot bag): one
+//!    hot-bag sync and one reshard (communicator reinit + dense
+//!    re-broadcast + hot re-replication).
+//!
+//! Output: `results/BENCH_multinode.json` (via `scripts/bench.sh multinode`).
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Instant;
+
+use fae_bench::{print_table, save_json};
+use fae_core::input_processor::{PreprocessConfig, Preprocessed};
+use fae_core::{
+    pipeline, train_fae_resilient, train_fae_with_engine, AnyModel, CalibratorConfig, FaultPlan,
+    RecoveryAction, ResilienceOptions, TrainConfig, TrainReport,
+};
+use fae_data::{generate, Dataset, GenOptions, WorkloadSpec};
+use fae_models::RecModel;
+use fae_net::{run_node, NetConfig, NodeConfig, RemoteEngine};
+use fae_sysmodel::{reshard_cost, sync_cost, SystemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shrunken calibrator budget so the tiny workload has both hot and cold
+/// batches (same shape as tests/distributed.rs).
+fn setup(workers: usize) -> (WorkloadSpec, Preprocessed, Dataset, TrainConfig) {
+    let spec = WorkloadSpec::tiny_test();
+    let ds = generate(&spec, &GenOptions::sized(131, 6_000));
+    let (train, test) = ds.split(0.2);
+    let artifacts = pipeline::prepare(
+        &train,
+        CalibratorConfig {
+            gpu_budget_bytes: 40 << 10,
+            small_table_bytes: 2 << 10,
+            ..Default::default()
+        },
+        &PreprocessConfig { minibatch_size: 64, seed: 3 },
+    );
+    let cfg = TrainConfig {
+        epochs: 1,
+        minibatch_size: 64,
+        initial_rate: 25,
+        workers,
+        ..Default::default()
+    };
+    (spec, artifacts.preprocessed, test, cfg)
+}
+
+/// One distributed run over real loopback TCP, node threads running the
+/// same supervisor the `fae node` binary runs.
+fn train_distributed(
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    workers: usize,
+    plan: &FaultPlan,
+) -> TrainReport {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind coordinator");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handles: Vec<_> = (0..workers)
+        .map(|k| {
+            let node = NodeConfig {
+                addr: addr.clone(),
+                node_id: k as u32,
+                workers: workers as u32,
+                net: NetConfig::default(),
+                plan: plan.clone(),
+            };
+            thread::spawn(move || run_node(node))
+        })
+        .collect();
+    let seed = cfg.seed;
+    let num_gpus = cfg.num_gpus;
+    let coordinator_plan = plan.clone();
+    let report =
+        train_fae_with_engine(spec, pre, test, cfg, &ResilienceOptions::default(), move |model| {
+            RemoteEngine::new(
+                model,
+                spec,
+                seed,
+                workers,
+                num_gpus,
+                listener,
+                NetConfig::default(),
+                coordinator_plan,
+            )
+            .expect("coordinator start")
+        });
+    for h in handles {
+        h.join().expect("node thread").expect("node exit");
+    }
+    report
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut scaling = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let (spec, pre, test, cfg) = setup(workers);
+        let t0 = Instant::now();
+        let local = train_fae_resilient(&spec, &pre, &test, &cfg, &ResilienceOptions::default());
+        let local_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let remote = train_distributed(&spec, &pre, &test, &cfg, workers, &FaultPlan::default());
+        let remote_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            local.model_digest, remote.model_digest,
+            "distributed digest diverged at {workers} workers — benchmark invalid"
+        );
+        rows.push(vec![
+            workers.to_string(),
+            format!("{local_ms:.0}"),
+            format!("{remote_ms:.0}"),
+            format!("{:.2}x", remote_ms / local_ms.max(1e-9)),
+            "yes".to_string(),
+        ]);
+        scaling.push(serde_json::json!({
+            "workers": workers,
+            "in_process_ms": local_ms,
+            "distributed_ms": remote_ms,
+            "wire_overhead_x": remote_ms / local_ms.max(1e-9),
+            "digest_match": true,
+        }));
+    }
+
+    // Crash + reshard + rejoin at 2 workers: the recovery path's price.
+    let (spec, pre, test, cfg) = setup(2);
+    let local = train_fae_resilient(&spec, &pre, &test, &cfg, &ResilienceOptions::default());
+    let plan = FaultPlan::parse_seeded("worker-crash@6", 41).expect("plan");
+    let t = Instant::now();
+    let crashed = train_distributed(&spec, &pre, &test, &cfg, 2, &plan);
+    let crash_ms = t.elapsed().as_secs_f64() * 1e3;
+    let resharded =
+        crashed.recoveries.iter().any(|r| matches!(r, RecoveryAction::ReshardedToSurvivors { .. }));
+    let rejoined =
+        crashed.recoveries.iter().any(|r| matches!(r, RecoveryAction::NodeRejoined { .. }));
+    assert_eq!(local.model_digest, crashed.model_digest, "crash run digest diverged");
+    assert!(resharded && rejoined, "crash run must reshard and rejoin");
+
+    // The cost model's price for the same events at paper scale.
+    let sys = SystemConfig::paper_server(4);
+    let paper = WorkloadSpec::rmc2_kaggle_paper();
+    let mut rng = StdRng::seed_from_u64(1);
+    let dense_bytes = AnyModel::from_spec(&paper, &mut rng).dense_param_count() as f64 * 4.0;
+    let hot_bytes = (256u64 << 20) as f64;
+    let modeled_sync_s = sync_cost(&sys, hot_bytes).total();
+    let modeled_reshard_s = reshard_cost(&sys, dense_bytes, hot_bytes).total();
+
+    print_table(
+        "Multi-node wire overhead (tiny workload, real loopback TCP, wall-clock)",
+        &["workers", "in-proc ms", "distributed ms", "overhead", "digest match"],
+        &rows,
+    );
+    println!(
+        "\ncrash @ step 6 (2 workers): {crash_ms:.0} ms wall, resharded={resharded}, \
+         rejoined={rejoined}, digest bit-identical"
+    );
+    println!(
+        "modeled at paper scale (Kaggle, 4 GPUs, 256 MB hot bag): hot-bag sync \
+         {:.1} ms, reshard (reinit + dense bcast + re-replicate) {:.1} ms",
+        modeled_sync_s * 1e3,
+        modeled_reshard_s * 1e3
+    );
+
+    save_json(
+        "BENCH_multinode",
+        &serde_json::json!({
+            "scaling": scaling,
+            "crash_recovery": {
+                "workers": 2,
+                "fault_plan": "worker-crash@6",
+                "wall_ms": crash_ms,
+                "resharded": resharded,
+                "rejoined": rejoined,
+                "digest_match": true,
+            },
+            "modeled_paper_scale": {
+                "gpus": 4,
+                "hot_bag_bytes": hot_bytes,
+                "dense_param_bytes": dense_bytes,
+                "sync_s": modeled_sync_s,
+                "reshard_s": modeled_reshard_s,
+            },
+        }),
+    );
+}

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fae_data::{Dataset, WorkloadSpec};
-use fae_models::{evaluate, train_step, MasterEmbeddings};
+use fae_models::{evaluate, train_step, MasterEmbeddings, RecModel};
 use fae_sysmodel::power::average_gpu_power;
 use fae_sysmodel::{step_cost, sync_cost, ExecMode, SystemConfig, Timeline};
 
@@ -182,6 +182,12 @@ pub fn train_fae_adaptive(
     let train_batches =
         crate::trainer::make_test_batches(train, cfg.train.minibatch_size, cfg.train.eval_batches);
     let final_train = evaluate(&mut model, &master, &train_batches);
+    let mut final_dense = Vec::new();
+    model.write_params(&mut final_dense);
+    let digest = crate::checkpoint::model_digest(
+        &final_dense,
+        &crate::checkpoint::TrainCheckpoint::snapshot_master(&master),
+    );
     AdaptiveReport {
         report: TrainReport {
             history,
@@ -197,6 +203,7 @@ pub fn train_fae_adaptive(
             faults: Vec::new(),
             recoveries: Vec::new(),
             interrupted: false,
+            model_digest: digest,
         },
         recalibrations: recals,
         window_shares,

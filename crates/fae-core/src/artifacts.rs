@@ -40,6 +40,13 @@ pub enum ArtifactError {
     Json(serde_json::Error),
     /// Filesystem failure.
     Io(io::Error),
+    /// The artifact set was present when the load began, but this piece
+    /// of it was gone by the time it was read — something outside this
+    /// process is deleting files mid-load. Unlike a missing or corrupt
+    /// set, this is not rebuilt over: a rebuild would immediately race
+    /// the same deleter, and silently papering over an external actor
+    /// removing files hides a real operational problem.
+    Vanished(PathBuf),
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -48,6 +55,9 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Format(e) => write!(f, "fae container: {e}"),
             ArtifactError::Json(e) => write!(f, "sidecar json: {e}"),
             ArtifactError::Io(e) => write!(f, "io: {e}"),
+            ArtifactError::Vanished(p) => {
+                write!(f, "artifact {} vanished mid-load", p.display())
+            }
         }
     }
 }
@@ -117,7 +127,16 @@ pub fn save(artifacts: &StaticArtifacts, workload: &str, path: &Path) -> Result<
 /// into the hot and cold streams.
 pub fn load(path: &Path) -> Result<(StaticArtifacts, String), ArtifactError> {
     let (workload, blocks) = prefetch_fae_blocks(fs::read(path)?)?;
-    let sidecar: Sidecar = serde_json::from_slice(&fs::read(sidecar_path(path))?)?;
+    // The stream was just read successfully, so the set existed; a
+    // sidecar that is NotFound *now* vanished underneath us.
+    let sidecar_bytes = match fs::read(sidecar_path(path)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Err(ArtifactError::Vanished(sidecar_path(path)));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let sidecar: Sidecar = serde_json::from_slice(&sidecar_bytes)?;
     let (mut hot, mut cold) = (Vec::new(), Vec::new());
     for block in blocks {
         let b = block?;
@@ -226,6 +245,10 @@ pub fn load_or_rebuild_with(
             let (artifacts, name) = r.value;
             Ok((artifacts, name, recoveries))
         }
+        // A file vanishing mid-read is an external deletion in progress,
+        // not a bad artifact set: surface it instead of racing the
+        // deleter with a rebuild.
+        Err((err @ ArtifactError::Vanished(_), _, _)) => Err(err),
         Err((err, _, _)) => {
             let reason = err.to_string();
             eprintln!(
@@ -373,6 +396,34 @@ mod tests {
         a.preprocessed.to_fae_file("x").write_file(&path).unwrap();
         let r = load(&path);
         fs::remove_file(&path).ok();
-        assert!(matches!(r, Err(ArtifactError::Io(_))));
+        match r {
+            Err(ArtifactError::Vanished(p)) => assert_eq!(p, sidecar_path(&path)),
+            Err(other) => panic!("expected Vanished, got {other:?}"),
+            Ok(_) => panic!("expected Vanished, got a successful load"),
+        }
+    }
+
+    #[test]
+    fn vanished_sidecar_is_surfaced_not_rebuilt_over() {
+        let a = artifacts();
+        let dir = std::env::temp_dir().join("fae-artifacts-vanish");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.fae");
+        save(&a, "tiny-test", &path).expect("save");
+        // An external actor deletes the sidecar between our reads.
+        fs::remove_file(sidecar_path(&path)).unwrap();
+
+        let retry = RetryPolicy::default();
+        let mut injector = FaultInjector::none();
+        let r = load_or_rebuild(&path, "tiny-test", &mut injector, &retry, || {
+            panic!("must not rebuild over a vanishing file")
+        });
+        match r {
+            Err(ArtifactError::Vanished(_)) => {}
+            Err(other) => panic!("expected Vanished, got {other:?}"),
+            Ok(_) => panic!("expected a typed mid-read-deletion error, got a rebuild"),
+        }
+        fs::remove_dir_all(&dir).ok();
     }
 }

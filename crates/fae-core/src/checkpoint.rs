@@ -268,6 +268,18 @@ impl TrainCheckpoint {
                     buf.put_u8(5);
                     buf.put_u64_le(step);
                 }
+                RecoveryAction::ReshardedToSurvivors { step, node, live } => {
+                    buf.put_u8(6);
+                    buf.put_u64_le(step);
+                    buf.put_u32_le(node);
+                    buf.put_u32_le(live);
+                }
+                RecoveryAction::NodeRejoined { step, node, state_bytes } => {
+                    buf.put_u8(7);
+                    buf.put_u64_le(step);
+                    buf.put_u32_le(node);
+                    buf.put_u64_le(state_bytes);
+                }
             }
         }
         // Dense parameters.
@@ -445,6 +457,22 @@ impl TrainCheckpoint {
                     need(buf, 8, "resumed record")?;
                     RecoveryAction::ResumedFromCheckpoint { step: buf.get_u64_le() }
                 }
+                6 => {
+                    need(buf, 16, "resharded record")?;
+                    RecoveryAction::ReshardedToSurvivors {
+                        step: buf.get_u64_le(),
+                        node: buf.get_u32_le(),
+                        live: buf.get_u32_le(),
+                    }
+                }
+                7 => {
+                    need(buf, 20, "node-rejoined record")?;
+                    RecoveryAction::NodeRejoined {
+                        step: buf.get_u64_le(),
+                        node: buf.get_u32_le(),
+                        state_bytes: buf.get_u64_le(),
+                    }
+                }
                 _ => return Err(CheckpointError::Corrupt("unknown recovery tag")),
             };
             recoveries.push(action);
@@ -559,8 +587,32 @@ fn checked(elems: usize, width: usize, what: &'static str) -> Result<usize, Chec
     elems.checked_mul(width).ok_or(CheckpointError::Corrupt(what))
 }
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
-fn crc32(data: &[u8]) -> u32 {
+/// CRC-32 fingerprint of the *model* alone: flattened dense parameters
+/// plus the master embedding tables. Unlike [`TrainCheckpoint::digest`]
+/// it ignores scheduler/timeline/fault state, so a distributed run and a
+/// single-process run that trained the same weights compare equal even
+/// though their fault logs differ.
+pub fn model_digest(dense_params: &[f32], tables: &[TableSnapshot]) -> u32 {
+    let mut buf = BytesMut::with_capacity(dense_params.len() * 4 + 64);
+    buf.put_u32_le(dense_params.len() as u32);
+    for &p in dense_params {
+        buf.put_f32_le(p);
+    }
+    buf.put_u32_le(tables.len() as u32);
+    for t in tables {
+        buf.put_u32_le(t.rows);
+        buf.put_u32_le(t.dim);
+        for &w in &t.weights {
+            buf.put_f32_le(w);
+        }
+    }
+    crc32(&buf.freeze().to_vec())
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320). Public so the
+/// wire protocol (`fae-net`) frames carry the same checksum the on-disk
+/// containers do.
+pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &byte in data {
         crc ^= byte as u32;
@@ -616,6 +668,8 @@ mod tests {
                 RecoveryAction::ShrankReplicas { step: 41, from: 4, to: 3 },
                 RecoveryAction::SyncRetried { step: 60, attempts: 3, waited_s: 0.15 },
                 RecoveryAction::RebuiltArtifacts,
+                RecoveryAction::ReshardedToSurvivors { step: 70, node: 1, live: 2 },
+                RecoveryAction::NodeRejoined { step: 90, node: 1, state_bytes: 4096 },
             ],
             dense_params: vec![0.1, -0.2, 0.3],
             tables: vec![

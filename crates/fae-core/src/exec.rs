@@ -44,9 +44,12 @@ use rand::SeedableRng;
 
 use fae_data::{MiniBatch, WorkloadSpec};
 use fae_embed::SparseGrad;
-use fae_models::{forward_backward, EmbeddingSource, RecModel};
-use fae_telemetry::Telemetry;
+use fae_models::{forward_backward, EmbeddingSource, MasterEmbeddings, RecModel};
+use fae_sysmodel::Timeline;
+use fae_telemetry::{JournalEvent, StepMode, Telemetry};
 
+use crate::faults::{InjectedFault, RecoveryAction};
+use crate::replicator::HotEmbeddings;
 use crate::trainer::AnyModel;
 
 /// `W` bit-identical model replicas plus the scoped-thread step executor.
@@ -55,12 +58,68 @@ pub struct ParallelEngine {
     telemetry: Telemetry,
 }
 
-/// What one worker thread produces for the reduction.
-struct WorkerOut {
-    loss: f32,
-    samples: usize,
-    dense: Vec<f32>,
-    sparse: Vec<SparseGrad>,
+/// What one worker — a local thread or a remote node — produces for the
+/// deterministic reduction.
+pub struct ShardOutput {
+    /// Shard-mean BCE loss, already grad-scaled by the worker.
+    pub loss: f32,
+    /// Samples in the shard (`n_w`).
+    pub samples: usize,
+    /// Dense gradients extracted via [`RecModel::write_grads`].
+    pub dense: Vec<f32>,
+    /// Per-table sparse embedding gradients.
+    pub sparse: Vec<SparseGrad>,
+}
+
+/// Runs one shard's forward/backward on `replica`, scaling the loss
+/// gradient by `shard.len() / total` so that summing worker gradients
+/// reproduces the full-batch mean-loss gradient. This is the exact
+/// per-worker arithmetic of [`ParallelEngine::step`], exposed so a
+/// networked engine can run the *same* computation for shards whose
+/// owning node is unreachable.
+pub fn compute_shard<E>(
+    replica: &mut AnyModel,
+    emb: &E,
+    shard: &MiniBatch,
+    total: usize,
+) -> ShardOutput
+where
+    E: EmbeddingSource + Sync,
+{
+    let scale = shard.len() as f32 / total as f32;
+    let (loss, sparse) = forward_backward(replica, emb, shard, scale);
+    let mut dense = Vec::new();
+    replica.write_grads(&mut dense);
+    ShardOutput { loss, samples: shard.len(), dense, sparse }
+}
+
+/// Reduces worker outputs strictly in worker-index order — never in
+/// completion or arrival order — returning `(loss, dense, sparse)`.
+/// Skipped shards (`None`) contribute nothing; float summation order is
+/// therefore a pure function of which indices produced output.
+pub fn reduce_shards(
+    outputs: &[Option<ShardOutput>],
+    total: usize,
+    num_tables: usize,
+    dim: usize,
+) -> (f32, Vec<f32>, Vec<SparseGrad>) {
+    let mut loss = 0.0f32;
+    let mut combined: Vec<f32> = Vec::new();
+    let mut merged: Vec<SparseGrad> = (0..num_tables).map(|_| SparseGrad::new(dim)).collect();
+    for out in outputs.iter().flatten() {
+        loss += out.loss * (out.samples as f32 / total as f32);
+        if combined.is_empty() {
+            combined = out.dense.clone();
+        } else {
+            for (c, &g) in combined.iter_mut().zip(&out.dense) {
+                *c += g;
+            }
+        }
+        for (m, s) in merged.iter_mut().zip(&out.sparse) {
+            m.merge(s);
+        }
+    }
+    (loss, combined, merged)
 }
 
 impl ParallelEngine {
@@ -138,7 +197,7 @@ impl ParallelEngine {
 
         let n = batch.len();
         let shards = batch.shards(w);
-        let mut outputs: Vec<Option<WorkerOut>> = Vec::new();
+        let mut outputs: Vec<Option<ShardOutput>> = Vec::new();
         outputs.resize_with(w, || None);
 
         std::thread::scope(|scope| {
@@ -151,34 +210,13 @@ impl ParallelEngine {
                 let telemetry = self.telemetry.clone();
                 scope.spawn(move || {
                     let _span = telemetry.span(&format!("train/worker{widx}"));
-                    let scale = shard.len() as f32 / n as f32;
-                    let (loss, sparse) = forward_backward(replica, emb, shard, scale);
-                    let mut dense = Vec::new();
-                    replica.write_grads(&mut dense);
-                    *slot = Some(WorkerOut { loss, samples: shard.len(), dense, sparse });
+                    *slot = Some(compute_shard(replica, emb, shard, n));
                 });
             }
         });
 
         // Reduce on the calling thread, strictly in worker-index order.
-        let num_tables = emb.num_tables();
-        let dim = emb.dim();
-        let mut loss = 0.0f32;
-        let mut combined: Vec<f32> = Vec::new();
-        let mut merged: Vec<SparseGrad> = (0..num_tables).map(|_| SparseGrad::new(dim)).collect();
-        for out in outputs.iter().flatten() {
-            loss += out.loss * (out.samples as f32 / n as f32);
-            if combined.is_empty() {
-                combined = out.dense.clone();
-            } else {
-                for (c, &g) in combined.iter_mut().zip(&out.dense) {
-                    *c += g;
-                }
-            }
-            for (m, s) in merged.iter_mut().zip(&out.sparse) {
-                m.merge(s);
-            }
-        }
+        let (loss, combined, merged) = reduce_shards(&outputs, n, emb.num_tables(), emb.dim());
 
         // Every replica applies the identical reduced gradient — replicas
         // that sat out (empty shard) overwrite their stale grads too.
@@ -203,6 +241,170 @@ impl ParallelEngine {
             }
         }
         worst
+    }
+
+    /// Mutable access to replica `k` — a networked engine computing an
+    /// unreachable node's shard locally runs the exact per-worker
+    /// arithmetic ([`compute_shard`]) against this replica.
+    pub fn replica_mut(&mut self, k: usize) -> &mut AnyModel {
+        &mut self.replicas[k]
+    }
+
+    /// Applies an already-reduced dense gradient to every replica and
+    /// steps — the second half of [`ParallelEngine::step`], exposed so a
+    /// networked engine can reduce remote [`ShardOutput`]s itself and
+    /// still update the local replicas identically.
+    pub fn apply_combined(&mut self, combined: &[f32], lr: f32) {
+        for r in &mut self.replicas {
+            r.read_grads(combined);
+            r.sgd_step(lr);
+        }
+    }
+}
+
+/// Side effects a [`StepEngine`] accumulated since the last
+/// [`StepEngine::drain_net`] — simulated-time charges, journal events,
+/// injected faults and recovery actions produced by the transport layer
+/// rather than the training loop itself. The purely local
+/// [`ParallelEngine`] never produces any.
+pub struct NetEvents {
+    /// Charges to fold into the *surrounding* step's journal delta (the
+    /// trainer merges these into the timeline only, so the next `Step` /
+    /// `Sync` journal event absorbs them into its phase seconds).
+    pub step_charges: Timeline,
+    /// Charges already covered by a phase-carrying event in `journal`
+    /// (the trainer merges these into both the timeline and its journal
+    /// snapshot, so they are not double-counted).
+    pub event_charges: Timeline,
+    /// Journal events to emit (membership changes, reshard phases, …).
+    /// Their phase seconds must sum to `event_charges`.
+    pub journal: Vec<JournalEvent>,
+    /// Faults the transport injected, for the run report.
+    pub faults: Vec<InjectedFault>,
+    /// Recovery actions the transport took, for the run report.
+    pub recoveries: Vec<RecoveryAction>,
+}
+
+impl Default for NetEvents {
+    fn default() -> Self {
+        Self {
+            step_charges: Timeline::new(),
+            event_charges: Timeline::new(),
+            journal: Vec::new(),
+            faults: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+}
+
+impl NetEvents {
+    /// True when there is nothing to absorb.
+    pub fn is_empty(&self) -> bool {
+        self.journal.is_empty()
+            && self.faults.is_empty()
+            && self.recoveries.is_empty()
+            && self.step_charges.total() == 0.0
+            && self.event_charges.total() == 0.0
+    }
+}
+
+/// A training-step executor the FAE trainer can drive: the in-process
+/// [`ParallelEngine`], or a networked engine fanning shards out to
+/// worker processes (`fae-net`). The trainer is generic over this trait
+/// ([`crate::trainer::train_fae_with_engine`]), so the schedule, cost
+/// model, fault handling and checkpointing are written once.
+///
+/// The contract mirrors [`ParallelEngine`]'s determinism guarantees: for
+/// a fixed worker count, `engine_step` must return bit-identical results
+/// to `ParallelEngine::step` with the same replicas — regardless of
+/// where the shards were computed.
+pub trait StepEngine {
+    /// Executes one training step over `batch` against `emb` and returns
+    /// the mean loss plus merged per-table sparse gradients (the caller
+    /// applies those to its embedding source). `step` and `mode` let a
+    /// networked engine tag wire messages; the local engine ignores them.
+    fn engine_step<E>(
+        &mut self,
+        emb: &E,
+        batch: &MiniBatch,
+        step: u64,
+        mode: StepMode,
+        lr: f32,
+    ) -> (f32, Vec<SparseGrad>)
+    where
+        E: EmbeddingSource + Sync;
+
+    /// Logical worker (shard) count.
+    fn workers(&self) -> usize;
+
+    /// Replica 0, for evaluation and checkpointing.
+    fn primary(&mut self) -> &mut AnyModel;
+
+    /// Immutable replica 0.
+    fn primary_ref(&self) -> &AnyModel;
+
+    /// Re-broadcasts replica 0's dense parameters to every replica
+    /// (after a checkpoint restore).
+    fn broadcast_params(&mut self);
+
+    /// Attaches a telemetry handle.
+    fn set_telemetry(&mut self, telemetry: Telemetry);
+
+    /// The trainer just refreshed the hot bags from the master tables; a
+    /// networked engine ships the refreshed rows to its workers here.
+    fn on_refresh(&mut self, _step: u64, _master: &MasterEmbeddings, _hot: &HotEmbeddings) {}
+
+    /// The trainer just wrote the hot bags back into the master tables.
+    fn on_write_back(&mut self, _step: u64, _master: &MasterEmbeddings) {}
+
+    /// The run degraded to CPU-only cold execution; no further hot
+    /// shards will be fanned out.
+    fn on_cold_only(&mut self, _step: u64) {}
+
+    /// A checkpoint restore replaced the master tables (and replica 0's
+    /// parameters, already re-broadcast) before the first step.
+    fn on_master_restored(&mut self, _master: &MasterEmbeddings) {}
+
+    /// Drains transport side effects accumulated since the last call;
+    /// the trainer absorbs them into the timeline, journal and report.
+    fn drain_net(&mut self) -> NetEvents {
+        NetEvents::default()
+    }
+}
+
+impl StepEngine for ParallelEngine {
+    fn engine_step<E>(
+        &mut self,
+        emb: &E,
+        batch: &MiniBatch,
+        _step: u64,
+        _mode: StepMode,
+        lr: f32,
+    ) -> (f32, Vec<SparseGrad>)
+    where
+        E: EmbeddingSource + Sync,
+    {
+        self.step(emb, batch, lr)
+    }
+
+    fn workers(&self) -> usize {
+        ParallelEngine::workers(self)
+    }
+
+    fn primary(&mut self) -> &mut AnyModel {
+        ParallelEngine::primary(self)
+    }
+
+    fn primary_ref(&self) -> &AnyModel {
+        ParallelEngine::primary_ref(self)
+    }
+
+    fn broadcast_params(&mut self) {
+        ParallelEngine::broadcast_params(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        ParallelEngine::set_telemetry(self, telemetry)
     }
 }
 

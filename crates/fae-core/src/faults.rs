@@ -42,6 +42,24 @@ pub enum FaultKind {
     /// A transient I/O error: the next I/O operation at or after step
     /// `at` fails a bounded number of times before succeeding.
     TransientIo,
+    /// Network: the next coordinator→worker frame at or after step `at`
+    /// is silently dropped; the reply deadline expires and the frame is
+    /// retried.
+    NetDrop,
+    /// Network: a frame is delayed in flight at step `at`; the wire
+    /// layer charges the stall to the timeline.
+    NetDelay,
+    /// Network: the link to one worker (chosen by
+    /// [`FaultInjector::variation`]) is severed at step `at`; the worker
+    /// must reconnect and rejoin.
+    NetPartition,
+    /// Network: a frame is delivered twice at step `at`; the epoch/seq
+    /// dedup layer must make the replay a no-op.
+    NetDuplicate,
+    /// A whole worker process (chosen by [`FaultInjector::variation`])
+    /// crashes at step `at`; the coordinator resharding + rejoin path
+    /// must recover it.
+    WorkerCrash,
 }
 
 impl FaultKind {
@@ -53,6 +71,11 @@ impl FaultKind {
             FaultKind::SyncFailure => 2,
             FaultKind::ArtifactCorruption => 3,
             FaultKind::TransientIo => 4,
+            FaultKind::NetDrop => 5,
+            FaultKind::NetDelay => 6,
+            FaultKind::NetPartition => 7,
+            FaultKind::NetDuplicate => 8,
+            FaultKind::WorkerCrash => 9,
         }
     }
 
@@ -64,6 +87,11 @@ impl FaultKind {
             2 => FaultKind::SyncFailure,
             3 => FaultKind::ArtifactCorruption,
             4 => FaultKind::TransientIo,
+            5 => FaultKind::NetDrop,
+            6 => FaultKind::NetDelay,
+            7 => FaultKind::NetPartition,
+            8 => FaultKind::NetDuplicate,
+            9 => FaultKind::WorkerCrash,
             _ => return None,
         })
     }
@@ -76,6 +104,11 @@ impl FaultKind {
             FaultKind::SyncFailure => "sync-failure",
             FaultKind::ArtifactCorruption => "artifact-corruption",
             FaultKind::TransientIo => "transient-io",
+            FaultKind::NetDrop => "net-drop",
+            FaultKind::NetDelay => "net-delay",
+            FaultKind::NetPartition => "net-partition",
+            FaultKind::NetDuplicate => "net-duplicate",
+            FaultKind::WorkerCrash => "worker-crash",
         }
     }
 }
@@ -96,6 +129,11 @@ impl FromStr for FaultKind {
             "sync-failure" => FaultKind::SyncFailure,
             "artifact-corruption" => FaultKind::ArtifactCorruption,
             "transient-io" => FaultKind::TransientIo,
+            "net-drop" => FaultKind::NetDrop,
+            "net-delay" => FaultKind::NetDelay,
+            "net-partition" => FaultKind::NetPartition,
+            "net-duplicate" => FaultKind::NetDuplicate,
+            "worker-crash" => FaultKind::WorkerCrash,
             other => return Err(FaultPlanError::UnknownKind(other.to_string())),
         })
     }
@@ -129,7 +167,8 @@ impl fmt::Display for FaultPlanError {
             FaultPlanError::UnknownKind(k) => write!(
                 f,
                 "unknown fault kind '{k}' (expected device-loss | replication-oom | \
-                 sync-failure | artifact-corruption | transient-io)"
+                 sync-failure | artifact-corruption | transient-io | net-drop | \
+                 net-delay | net-partition | net-duplicate | worker-crash)"
             ),
             FaultPlanError::BadEntry(e) => write!(f, "bad fault entry '{e}' (expected kind@step)"),
             FaultPlanError::BadStep(s) => write!(f, "bad fault step '{s}' (expected an integer)"),
@@ -259,6 +298,26 @@ pub enum RecoveryAction {
         /// Steps already completed at the checkpoint.
         step: u64,
     },
+    /// A worker node was declared dead; its shard was re-assigned to the
+    /// survivors (computed coordinator-side until the node rejoins).
+    ReshardedToSurvivors {
+        /// Step at which the node was declared dead.
+        step: u64,
+        /// The lost node's id.
+        node: u32,
+        /// Live workers after the reshard.
+        live: u32,
+    },
+    /// A worker reconnected and was re-admitted: the coordinator shipped
+    /// it the current model state and hot bags.
+    NodeRejoined {
+        /// Step at which the node rejoined.
+        step: u64,
+        /// The rejoining node's id.
+        node: u32,
+        /// Bytes of state shipped in the welcome (dense params + hot rows).
+        state_bytes: u64,
+    },
 }
 
 impl fmt::Display for RecoveryAction {
@@ -281,6 +340,12 @@ impl fmt::Display for RecoveryAction {
             }
             RecoveryAction::ResumedFromCheckpoint { step } => {
                 write!(f, "resumed from checkpoint at step {step}")
+            }
+            RecoveryAction::ReshardedToSurvivors { step, node, live } => {
+                write!(f, "step {step}: node {node} lost, resharded onto {live} live workers")
+            }
+            RecoveryAction::NodeRejoined { step, node, state_bytes } => {
+                write!(f, "step {step}: node {node} rejoined ({state_bytes} state bytes shipped)")
             }
         }
     }

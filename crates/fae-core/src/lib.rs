@@ -50,11 +50,12 @@ pub mod trainer;
 
 pub use adaptive::{train_fae_adaptive, AdaptiveConfig, AdaptiveReport};
 pub use calibrator::{CalibrationResult, Calibrator, CalibratorConfig, RandEmBox, RandEmEstimate};
+pub use checkpoint::model_digest;
 pub use checkpoint::{latest_in, CheckpointError, TableSnapshot, TrainCheckpoint};
 pub use classifier::classify_tables;
 pub use distributed::DataParallel;
 pub use drift::{hot_access_share, DriftMonitor, DriftVerdict};
-pub use exec::ParallelEngine;
+pub use exec::{compute_shard, reduce_shards, NetEvents, ParallelEngine, ShardOutput, StepEngine};
 pub use fae_telemetry::Telemetry;
 pub use faults::{
     retry_with_backoff, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanError,
@@ -65,6 +66,6 @@ pub use pipeline::{prefetch_fae_blocks, Prefetcher};
 pub use replicator::HotEmbeddings;
 pub use scheduler::{Rate, SchedulerState, ShuffleScheduler};
 pub use trainer::{
-    train_baseline, train_fae, train_fae_resilient, AnyModel, EvalPoint, ResilienceOptions,
-    TrainConfig, TrainReport,
+    train_baseline, train_fae, train_fae_resilient, train_fae_with_engine, AnyModel, EvalPoint,
+    ResilienceOptions, TrainConfig, TrainReport,
 };

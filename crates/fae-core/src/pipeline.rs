@@ -33,7 +33,10 @@ pub const PREFETCH_DEPTH: usize = 2;
 /// produced, so wrapping a deterministic producer keeps a deterministic
 /// stream. Dropping the prefetcher disconnects the channel, which stops
 /// the producer at its next send; the thread is then joined, so no
-/// producer outlives its consumer.
+/// producer outlives its consumer. A producer that *panicked* ends the
+/// stream just like a clean finish — indistinguishable at the channel —
+/// so the join result is checked and the panic resurfaces on drop
+/// rather than being swallowed as a short stream.
 pub struct Prefetcher<T: Send + 'static> {
     rx: Option<mpsc::Receiver<T>>,
     join: Option<thread::JoinHandle<()>>,
@@ -70,7 +73,18 @@ impl<T: Send + 'static> Drop for Prefetcher<T> {
         // with a send error, *then* join — the other order deadlocks.
         drop(self.rx.take());
         if let Some(j) = self.join.take() {
-            let _ = j.join();
+            if let Err(payload) = j.join() {
+                // The producer died mid-stream. To the consumer that
+                // looked like a clean end-of-stream, so this is the only
+                // place the failure can surface.
+                if std::thread::panicking() {
+                    // Propagating here would double-panic into an abort;
+                    // the original unwind already reports a failure.
+                    eprintln!("fae: prefetch producer panicked (suppressed during unwind)");
+                } else {
+                    std::panic::resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -221,6 +235,19 @@ mod tests {
         .expect("spawn");
         assert_eq!(pf.next(), Some(0));
         drop(pf); // must disconnect + join without deadlocking
+    }
+
+    #[test]
+    fn producer_panic_resurfaces_at_drop_not_as_a_short_stream() {
+        let mut pf = Prefetcher::spawn(|tx: &mpsc::SyncSender<u32>| {
+            let _ = tx.send(1);
+            panic!("producer exploded mid-stream");
+        })
+        .expect("spawn");
+        assert_eq!(pf.next(), Some(1));
+        assert_eq!(pf.next(), None, "the hangup itself just ends the stream");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(pf)));
+        assert!(r.is_err(), "the producer's panic must resurface when the prefetcher drops");
     }
 
     #[test]

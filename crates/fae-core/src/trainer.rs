@@ -55,8 +55,8 @@ use fae_sysmodel::power::average_gpu_power;
 use fae_sysmodel::{reshard_cost, step_cost, sync_cost, ExecMode, Phase, SystemConfig, Timeline};
 use fae_telemetry::{JournalEvent, PhaseSeconds, StepMode, Telemetry};
 
-use crate::checkpoint::{latest_in, TrainCheckpoint};
-use crate::exec::ParallelEngine;
+use crate::checkpoint::{latest_in, model_digest, TrainCheckpoint};
+use crate::exec::{ParallelEngine, StepEngine};
 use crate::faults::{
     retry_with_backoff, FaultInjector, FaultKind, FaultPlan, InjectedFault, RecoveryAction,
     RetryPolicy,
@@ -177,6 +177,12 @@ pub struct TrainReport {
     pub recoveries: Vec<RecoveryAction>,
     /// True when the run was halted early (`halt_after_steps`).
     pub interrupted: bool,
+    /// CRC-32 digest over the final model state (dense parameters +
+    /// master embedding tables; see [`crate::checkpoint::model_digest`]).
+    /// Two runs that trained the same model report the same digest, no
+    /// matter where the shards were computed — this is the acceptance
+    /// check for the distributed engine.
+    pub model_digest: u32,
 }
 
 /// A recommendation model of either family, chosen by the workload spec.
@@ -420,6 +426,9 @@ pub fn train_baseline(
         cold_steps: steps,
         sim_seconds: timeline.total(),
     });
+    let mut final_dense = Vec::new();
+    engine.primary_ref().write_params(&mut final_dense);
+    let digest = model_digest(&final_dense, &TrainCheckpoint::snapshot_master(&master));
     TrainReport {
         history,
         final_test,
@@ -434,6 +443,7 @@ pub fn train_baseline(
         faults: Vec::new(),
         recoveries: Vec::new(),
         interrupted: false,
+        model_digest: digest,
     }
 }
 
@@ -463,6 +473,54 @@ pub fn train_fae_resilient(
     cfg: &TrainConfig,
     opts: &ResilienceOptions,
 ) -> TrainReport {
+    train_fae_with_engine(spec, pre, test, cfg, opts, |model| {
+        ParallelEngine::from_model(model, spec, cfg.seed, cfg.workers)
+    })
+}
+
+/// Absorbs a [`StepEngine`]'s transport side effects into the training
+/// loop's bookkeeping. `step_charges` fold into the surrounding journal
+/// delta; `event_charges` advance the snapshot too, because the drained
+/// journal events already carry those phase seconds.
+fn absorb_net<En: StepEngine>(
+    engine: &mut En,
+    timeline: &mut Timeline,
+    tl_prev: &mut Timeline,
+    net_faults: &mut Vec<InjectedFault>,
+    recoveries: &mut Vec<RecoveryAction>,
+    telem: &Telemetry,
+) {
+    let net = engine.drain_net();
+    if net.is_empty() {
+        return;
+    }
+    timeline.merge(&net.step_charges);
+    timeline.merge(&net.event_charges);
+    tl_prev.merge(&net.event_charges);
+    for ev in &net.journal {
+        telem.emit(ev);
+    }
+    net_faults.extend(net.faults);
+    recoveries.extend(net.recoveries);
+}
+
+/// The FAE training loop, generic over the step executor: pass the
+/// in-process [`ParallelEngine`] (what [`train_fae_resilient`] does) or
+/// a networked engine that fans shards out to worker processes. The
+/// closure receives the freshly built (or checkpoint-restored) model and
+/// must wrap it as replica 0.
+pub fn train_fae_with_engine<En, F>(
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    opts: &ResilienceOptions,
+    make_engine: F,
+) -> TrainReport
+where
+    En: StepEngine,
+    F: FnOnce(AnyModel) -> En,
+{
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = AnyModel::from_spec(spec, &mut rng);
     let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
@@ -531,9 +589,13 @@ pub fn train_fae_resilient(
     // The execution engine owns the model replicas from here on. A
     // checkpoint restore above only touched replica 0, so re-broadcast
     // its parameters before the first step.
-    let mut engine = ParallelEngine::from_model(model, spec, cfg.seed, cfg.workers);
+    let mut engine = make_engine(model);
     engine.broadcast_params();
     engine.set_telemetry(telem.clone());
+    if resumed {
+        engine.on_master_restored(&master);
+    }
+    let mut net_faults: Vec<InjectedFault> = Vec::new();
 
     let mut hot = HotEmbeddings::build(&master, pre.partitions.to_vec());
     hot.set_telemetry(telem.clone());
@@ -639,6 +701,7 @@ pub fn train_fae_resilient(
                     // No GPU left to host the hot bags: CPU-only cold
                     // execution for the rest of the run.
                     cold_only = true;
+                    engine.on_cold_only(f.step);
                     recoveries.push(RecoveryAction::ColdFallback { step: f.step });
                     if enabled {
                         telem.emit(&JournalEvent::Recovery {
@@ -655,11 +718,20 @@ pub fn train_fae_resilient(
                 let k = rate.block_len(n_cold).min(n_cold - cp);
                 for &b in &cold_order[cp..cp + k] {
                     let mb = &pre.cold_batches[b];
-                    let (loss, grads) = engine.step(&master, mb, cfg.lr);
+                    let (loss, grads) =
+                        engine.engine_step(&master, mb, steps as u64, StepMode::Cold, cfg.lr);
                     master.apply_sparse_grads(&grads, cfg.lr);
                     costs.charge_cold(&mut timeline, mb.len());
                     cold_steps += 1;
                     steps += 1;
+                    absorb_net(
+                        &mut engine,
+                        &mut timeline,
+                        &mut tl_prev,
+                        &mut net_faults,
+                        &mut recoveries,
+                        &telem,
+                    );
                     if enabled {
                         telem.emit(&JournalEvent::Step {
                             step: steps as u64,
@@ -688,6 +760,7 @@ pub fn train_fae_resilient(
                         // remaining batches run CPU-resident.
                         timeline.merge(costs.sync());
                         cold_only = true;
+                        engine.on_cold_only(f.step);
                         recoveries.push(RecoveryAction::ColdFallback { step: f.step });
                         if enabled {
                             telem.emit(&JournalEvent::Sync {
@@ -709,11 +782,20 @@ pub fn train_fae_resilient(
                     // master tables at hybrid cost, with no sync traffic.
                     for &b in &hot_order[hp..hp + k] {
                         let mb = &pre.hot_batches[b];
-                        let (loss, grads) = engine.step(&master, mb, cfg.lr);
+                        let (loss, grads) =
+                            engine.engine_step(&master, mb, steps as u64, StepMode::Cold, cfg.lr);
                         master.apply_sparse_grads(&grads, cfg.lr);
                         costs.charge_cold(&mut timeline, mb.len());
                         cold_steps += 1;
                         steps += 1;
+                        absorb_net(
+                            &mut engine,
+                            &mut timeline,
+                            &mut tl_prev,
+                            &mut net_faults,
+                            &mut recoveries,
+                            &telem,
+                        );
                         if enabled {
                             telem.emit(&JournalEvent::Step {
                                 step: steps as u64,
@@ -770,6 +852,15 @@ pub fn train_fae_resilient(
                     hot.refresh_from(&master);
                     timeline.merge(costs.sync());
                     transitions += 1;
+                    engine.on_refresh(steps as u64, &master, &hot);
+                    absorb_net(
+                        &mut engine,
+                        &mut timeline,
+                        &mut tl_prev,
+                        &mut net_faults,
+                        &mut recoveries,
+                        &telem,
+                    );
                     if enabled {
                         telem.emit(&JournalEvent::Sync {
                             step: steps as u64,
@@ -783,11 +874,20 @@ pub fn train_fae_resilient(
                         let mb = &pre.hot_batches[b];
                         // Hot steps apply the merged sparse gradient
                         // shard-parallel — disjoint row ranges, exact.
-                        let (loss, grads) = engine.step(&hot, mb, cfg.lr);
+                        let (loss, grads) =
+                            engine.engine_step(&hot, mb, steps as u64, StepMode::Hot, cfg.lr);
                         hot.apply_shared(&grads, cfg.lr);
                         costs.charge_hot(&mut timeline, mb.len());
                         hot_steps += 1;
                         steps += 1;
+                        absorb_net(
+                            &mut engine,
+                            &mut timeline,
+                            &mut tl_prev,
+                            &mut net_faults,
+                            &mut recoveries,
+                            &telem,
+                        );
                         if enabled {
                             telem.emit(&JournalEvent::Step {
                                 step: steps as u64,
@@ -808,6 +908,15 @@ pub fn train_fae_resilient(
                     hot.write_back(&mut master);
                     timeline.merge(costs.sync());
                     transitions += 1;
+                    engine.on_write_back(steps as u64, &master);
+                    absorb_net(
+                        &mut engine,
+                        &mut timeline,
+                        &mut tl_prev,
+                        &mut net_faults,
+                        &mut recoveries,
+                        &telem,
+                    );
                     if enabled {
                         telem.emit(&JournalEvent::Sync {
                             step: steps as u64,
@@ -929,6 +1038,20 @@ pub fn train_fae_resilient(
         .cloned()
         .collect();
     let final_train = evaluate(engine.primary(), &master, &train_sample);
+    absorb_net(&mut engine, &mut timeline, &mut tl_prev, &mut net_faults, &mut recoveries, &telem);
+    // Any transport charges drained after the last step have no Step
+    // event to absorb them; journal the residual so the phase seconds
+    // still sum to the final timeline.
+    if enabled {
+        let residual = take_delta(&mut tl_prev, &timeline);
+        if residual.total() > 0.0 {
+            telem.emit(&JournalEvent::Charge {
+                step: steps as u64,
+                label: "net-drain".into(),
+                phases: residual,
+            });
+        }
+    }
     telem.emit(&JournalEvent::RunEnd {
         steps: steps as u64,
         hot_steps: hot_steps as u64,
@@ -943,6 +1066,14 @@ pub fn train_fae_resilient(
     telem.gauge_set("train.final_accuracy", final_test.accuracy);
     span_train.add_sim(timeline.total() - sim_at_start);
     drop(span_train);
+    let mut final_dense = Vec::new();
+    engine.primary_ref().write_params(&mut final_dense);
+    let digest = model_digest(&final_dense, &TrainCheckpoint::snapshot_master(&master));
+    let mut faults = injector.log().to_vec();
+    if !net_faults.is_empty() {
+        faults.extend(net_faults);
+        faults.sort_by_key(|f| f.step);
+    }
     TrainReport {
         history,
         final_test,
@@ -954,9 +1085,10 @@ pub fn train_fae_resilient(
         cold_steps,
         transitions,
         final_rate: Some(scheduler.rate().pct()),
-        faults: injector.log().to_vec(),
+        faults,
         recoveries,
         interrupted,
+        model_digest: digest,
     }
 }
 

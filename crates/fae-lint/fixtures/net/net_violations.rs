@@ -1,0 +1,39 @@
+//! Seeded net-deadline violations: every way socket I/O can block
+//! without a bound. Linted with the `net` classification only — the
+//! pinned triples live in tests/fixture.rs.
+
+pub fn naked_read(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
+    let _ = stream.read_exact(buf);
+}
+
+pub fn naked_write(stream: &mut std::net::TcpStream, bytes: &[u8]) {
+    let _ = stream.write_all(bytes);
+}
+
+pub fn unbounded_slurp(stream: &mut std::net::TcpStream, buf: &mut Vec<u8>) {
+    let _ = stream.read_to_end(buf);
+}
+
+pub fn unbounded_line(reader: &mut std::io::BufReader<std::net::TcpStream>, buf: &mut Vec<u8>) {
+    let _ = reader.read_until(b'\n', buf);
+}
+
+pub fn os_default_connect(addr: &str) {
+    let _ = std::net::TcpStream::connect(addr);
+}
+
+pub fn deadline_removal(stream: &std::net::TcpStream) {
+    let _ = stream.set_read_timeout(None);
+    let _ = stream.set_write_timeout(None);
+}
+
+pub fn blessed_shapes_do_not_fire(stream: &std::net::TcpStream, addr: &std::net::SocketAddr) {
+    let _ = std::net::TcpStream::connect_timeout(addr, std::time::Duration::from_millis(250));
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(250)));
+}
+
+pub fn suppressed_with_proof(stream: &mut std::net::TcpStream, buf: &mut [u8]) {
+    // fae-lint: allow(net-deadline, reason = "deadline set by the caller one frame up")
+    let _ = stream.read_exact(buf);
+}

@@ -8,7 +8,9 @@
 //!   `timeline-phase`) in the five determinism-critical crates
 //!   (`fae-core`, `fae-embed`, `fae-models`, `fae-serve`, `fae-sysmodel`);
 //! * **no-panic** (`no-panic`) in library code of every first-party
-//!   crate (binary targets are exempt).
+//!   crate (binary targets are exempt);
+//! * **net-deadline** (`net-deadline`) in the networking crate
+//!   (`fae-net`): blocking socket I/O must carry an explicit deadline.
 //!
 //! Violations are suppressed site-by-site with an explicit pragma:
 //!
@@ -90,6 +92,9 @@ pub struct FileClass {
     /// The file belongs to a binary target (`src/bin/`, `src/main.rs`):
     /// the no-panic rule does not apply.
     pub binary: bool,
+    /// Apply the [`Scope::Net`] rules (the fae-net crate: blocking
+    /// socket I/O must carry a deadline).
+    pub net: bool,
 }
 
 /// Lints one file's source text. `label` is used in diagnostics.
@@ -129,6 +134,9 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
         }
         if !class.binary {
             rules::no_panic_matches(line, &mut matches);
+        }
+        if class.net {
+            rules::net_deadline_matches(line, &mut matches);
         }
         for m in matches {
             if regions.contains(offset + m.col) {
@@ -209,7 +217,11 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
     }
     let binary = rel.components().any(|c| c.as_os_str() == "bin")
         || rel.file_name().is_some_and(|f| f == "main.rs");
-    Some(FileClass { deterministic: DET_CRATES.contains(&crate_name.as_str()), binary })
+    Some(FileClass {
+        deterministic: DET_CRATES.contains(&crate_name.as_str()),
+        binary,
+        net: crate_name == "fae-net",
+    })
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted, so diagnostics
@@ -287,7 +299,7 @@ pub fn lint_tree(dir: &Path, class: FileClass) -> Result<Vec<Diagnostic>, WalkEr
 mod tests {
     use super::*;
 
-    const LIB: FileClass = FileClass { deterministic: true, binary: false };
+    const LIB: FileClass = FileClass { deterministic: true, binary: false, net: false };
 
     #[test]
     fn clean_source_is_clean() {
@@ -321,7 +333,7 @@ mod tests {
 
     #[test]
     fn binary_skips_no_panic_keeps_determinism() {
-        let bin = FileClass { deterministic: true, binary: true };
+        let bin = FileClass { deterministic: true, binary: true, net: false };
         let src = "fn main() { args.next().unwrap(); let t = Instant::now(); }\n";
         let d = lint_source(Path::new("bin.rs"), src, bin);
         assert_eq!(d.len(), 1);
@@ -329,11 +341,23 @@ mod tests {
     }
 
     #[test]
+    fn net_rule_applies_only_with_the_net_classification() {
+        let net = FileClass { deterministic: false, binary: false, net: true };
+        let src = "fn f(s: &mut TcpStream) { s.read_exact(&mut b).ok(); }\n";
+        let d = lint_source(Path::new("x.rs"), src, net);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "net-deadline");
+        assert!(lint_source(Path::new("x.rs"), src, LIB).is_empty(), "scope is fae-net only");
+    }
+
+    #[test]
     fn classify_paths() {
         assert!(classify(Path::new("crates/fae-core/src/trainer.rs"))
-            .is_some_and(|c| c.deterministic && !c.binary));
+            .is_some_and(|c| c.deterministic && !c.binary && !c.net));
         assert!(classify(Path::new("crates/fae-telemetry/src/lib.rs"))
             .is_some_and(|c| !c.deterministic && !c.binary));
+        assert!(classify(Path::new("crates/fae-net/src/deadline.rs"))
+            .is_some_and(|c| c.net && !c.deterministic && !c.binary));
         assert!(classify(Path::new("src/bin/fae.rs")).is_some_and(|c| c.binary));
         assert!(classify(Path::new("src/main.rs")).is_some_and(|c| c.binary));
         assert!(classify(Path::new("crates/fae-core/tests/t.rs")).is_none());

@@ -14,6 +14,9 @@ pub enum Scope {
     /// Library code of every first-party crate (binary targets exempt:
     /// a panic there aborts one CLI invocation, not a library contract).
     AllLibs,
+    /// Only the networking crate (fae-net): socket I/O must never block
+    /// without a deadline.
+    Net,
 }
 
 /// Static description of one rule.
@@ -52,6 +55,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "timeline-phase",
         scope: Scope::Deterministic,
         summary: "Timeline charges must name a Phase constant (or a `phase` binding)",
+    },
+    RuleInfo {
+        id: "net-deadline",
+        scope: Scope::Net,
+        summary: "blocking socket I/O (read_exact/write_all/connect/...) must carry a deadline",
     },
 ];
 
@@ -171,6 +179,50 @@ pub fn no_panic_matches(line: &str, out: &mut Vec<Match>) {
     }
 }
 
+/// Runs the net-deadline rule over one scrubbed line: blocking socket
+/// calls, and explicit deadline removal, are flagged. One hung peer must
+/// never be able to stall the coordinator or a worker forever, so every
+/// read/write/connect goes through the deadline helpers
+/// (`fae_net::deadline`), which set a timeout first and pragma their own
+/// blessed call sites.
+///
+/// Lexical gaps, documented: `connect(` is matched only as the bare call
+/// (`TcpStream::connect_timeout` has the deadline built in and does not
+/// match), and file I/O in non-net crates never sees this rule (scope is
+/// the fae-net crate alone — `read_exact` on a `File` is fine elsewhere).
+pub fn net_deadline_matches(line: &str, out: &mut Vec<Match>) {
+    for (tok, what) in [
+        (".read_exact(", "`read_exact` blocks until the peer sends"),
+        (".read_to_end(", "`read_to_end` blocks until the peer closes"),
+        (".read_until(", "`read_until` blocks until the delimiter arrives"),
+        (".write_all(", "`write_all` blocks while the send buffer is full"),
+        ("connect(", "`connect` blocks for the OS default (minutes)"),
+    ] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "net-deadline",
+                message: format!(
+                    "{what} — unbounded without a prior deadline; use the \
+                     fae_net::deadline helpers (or set a timeout and pragma the site)"
+                ),
+            });
+        }
+    }
+    for tok in ["set_read_timeout(None)", "set_write_timeout(None)"] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "net-deadline",
+                message: format!(
+                    "`{tok}` removes the socket deadline, making every later call \
+                     unbounded; deadlines are load-bearing in fae-net"
+                ),
+            });
+        }
+    }
+}
+
 /// The accounting rule: a charge on a receiver that is lexically a
 /// timeline (its last path segment contains "timeline") must name its
 /// phase — either a `Phase::X` constant or a binding whose name contains
@@ -260,6 +312,27 @@ mod tests {
         assert_eq!(nopanic("x.unwrap_or_else(f)"), 0);
         assert_eq!(nopanic("let v = arr[i];"), 0);
         assert_eq!(nopanic("let v = m[\"key\"];"), 1);
+    }
+
+    #[test]
+    fn net_deadline_hits_and_misses() {
+        let net = |l: &str| {
+            let mut m = Vec::new();
+            net_deadline_matches(l, &mut m);
+            m.len()
+        };
+        assert_eq!(net("stream.read_exact(&mut buf)?;"), 1);
+        assert_eq!(net("stream.write_all(&bytes)?;"), 1);
+        assert_eq!(net("stream.read_to_end(&mut v)?;"), 1);
+        assert_eq!(net("reader.read_until(b'\\n', &mut v)?;"), 1);
+        assert_eq!(net("TcpStream::connect(addr)?;"), 1);
+        assert_eq!(net("stream.set_read_timeout(None)?;"), 1);
+        assert_eq!(net("stream.set_write_timeout(None)?;"), 1);
+        // The deadline-carrying forms are exactly what the rule demands.
+        assert_eq!(net("TcpStream::connect_timeout(&a, dur(ms))?;"), 0);
+        assert_eq!(net("stream.set_read_timeout(Some(dur(ms)))?;"), 0);
+        assert_eq!(net("stream.flush()?;"), 0);
+        assert_eq!(net("let reconnect = true;"), 0);
     }
 
     #[test]

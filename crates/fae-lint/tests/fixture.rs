@@ -7,7 +7,8 @@ use std::path::{Path, PathBuf};
 
 use fae_lint::{lint_tree, FileClass};
 
-const STRICT: FileClass = FileClass { deterministic: true, binary: false };
+const STRICT: FileClass = FileClass { deterministic: true, binary: false, net: false };
+const NET: FileClass = FileClass { deterministic: false, binary: false, net: true };
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -65,13 +66,41 @@ fn every_diagnostic_renders_file_line_rule() {
 
 #[test]
 fn binary_classification_exempts_no_panic_only() {
-    let bin = FileClass { deterministic: true, binary: true };
+    let bin = FileClass { deterministic: true, binary: true, net: false };
     let diags = lint_tree(&fixture("violations"), bin).expect("fixture tree readable");
     assert!(diags.iter().all(|d| d.rule != "no-panic"), "no-panic must not fire on binaries");
     assert!(
         diags.iter().any(|d| d.rule == "wall-clock"),
         "determinism rules must still fire on binaries"
     );
+}
+
+#[test]
+fn net_fixture_catches_blocking_io() {
+    let diags = lint_tree(&fixture("net"), NET).expect("fixture tree readable");
+    let got: Vec<(usize, String)> = diags.iter().map(|d| (d.line, d.rule.clone())).collect();
+    let want: &[(usize, &str)] = &[
+        (6, "net-deadline"),  // naked read_exact
+        (10, "net-deadline"), // naked write_all
+        (14, "net-deadline"), // read_to_end
+        (18, "net-deadline"), // read_until
+        (22, "net-deadline"), // bare TcpStream::connect
+        (26, "net-deadline"), // set_read_timeout(None)
+        (27, "net-deadline"), // set_write_timeout(None)
+    ];
+    let want: Vec<(usize, String)> = want.iter().map(|(l, r)| (*l, r.to_string())).collect();
+    assert_eq!(got, want, "net fixture diagnostics drifted");
+}
+
+#[test]
+fn net_fixture_is_silent_outside_the_net_scope() {
+    // The same tree under a non-net classification must fire no
+    // net-deadline diagnostics; the only residue is the now-pointless
+    // pragma, which unused-pragma rightly calls out.
+    let diags = lint_tree(&fixture("net"), STRICT).expect("fixture tree readable");
+    assert!(diags.iter().all(|d| d.rule != "net-deadline"), "scope leak: {diags:?}");
+    let got: Vec<(usize, String)> = diags.iter().map(|d| (d.line, d.rule.clone())).collect();
+    assert_eq!(got, vec![(37, "unused-pragma".to_string())], "unexpected residue");
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! The one blessed home of blocking socket I/O: every read, write and
+//! connect in `fae-net` goes through these helpers, and every one of
+//! them carries an explicit deadline. The `net-deadline` lint rule
+//! (fae-lint) flags blocking socket calls anywhere else in this crate,
+//! which is what keeps "a hung peer stalls the run forever" structurally
+//! impossible rather than a code-review hope.
+//!
+//! A deadline miss mid-frame leaves the stream desynchronized (part of
+//! the frame was consumed); callers treat any error from [`recv_frame`]
+//! on a stream they will keep using as grounds for reconnect or, on the
+//! coordinator, for the suspicion/death path — never for resuming parses.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{Frame, NetError, MAX_FRAME};
+
+fn dur(ms: u64) -> Duration {
+    Duration::from_millis(ms.max(1))
+}
+
+/// Maps raw socket errors onto the protocol's failure vocabulary.
+fn from_io(e: std::io::Error) -> NetError {
+    match e.kind() {
+        ErrorKind::TimedOut | ErrorKind::WouldBlock => NetError::Timeout("socket deadline"),
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::NotConnected => NetError::Disconnected,
+        _ => NetError::Io(e),
+    }
+}
+
+/// Connects to `addr` within `timeout_ms`, trying each resolved address
+/// in turn. Nagle is disabled: the protocol is small request/reply
+/// frames where latency dominates.
+pub fn dial(addr: &str, timeout_ms: u64) -> Result<TcpStream, NetError> {
+    let addrs = addr.to_socket_addrs().map_err(from_io)?;
+    let mut last: Option<NetError> = None;
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, dur(timeout_ms)) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = Some(from_io(e)),
+        }
+    }
+    Err(last.unwrap_or_else(|| NetError::Protocol(format!("{addr} resolved to no addresses"))))
+}
+
+/// Sends one encoded frame under a write deadline.
+pub fn send_frame(stream: &mut TcpStream, frame: &Frame, timeout_ms: u64) -> Result<(), NetError> {
+    let bytes = frame.encode();
+    send_bytes(stream, &bytes, timeout_ms)
+}
+
+/// Sends pre-encoded frame bytes under a write deadline (lets the
+/// coordinator encode once and, under a `net-duplicate` fault, send the
+/// identical bytes twice).
+pub fn send_bytes(stream: &mut TcpStream, bytes: &[u8], timeout_ms: u64) -> Result<(), NetError> {
+    stream.set_write_timeout(Some(dur(timeout_ms))).map_err(from_io)?;
+    // fae-lint: allow(net-deadline, reason = "write deadline set on the previous line; this is the blessed send path")
+    stream.write_all(bytes).map_err(from_io)?;
+    stream.flush().map_err(from_io)
+}
+
+/// Receives one frame under a read deadline: length prefix, body, CRC
+/// check, decode.
+pub fn recv_frame(stream: &mut TcpStream, timeout_ms: u64) -> Result<Frame, NetError> {
+    stream.set_read_timeout(Some(dur(timeout_ms))).map_err(from_io)?;
+    let mut lenb = [0u8; 4];
+    // fae-lint: allow(net-deadline, reason = "read deadline set above; this is the blessed receive path")
+    stream.read_exact(&mut lenb).map_err(from_io)?;
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::Corrupt(format!("length prefix {len} exceeds frame cap")));
+    }
+    let mut buf = vec![0u8; len];
+    // fae-lint: allow(net-deadline, reason = "read deadline set above; this is the blessed receive path")
+    stream.read_exact(&mut buf).map_err(from_io)?;
+    Frame::decode(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Message;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_cross_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let sender = std::thread::spawn(move || {
+            let mut s = dial(&addr, 1_000).expect("connect");
+            let f = Frame { node: 5, epoch: 1, seq: 2, step: 3, msg: Message::Heartbeat };
+            send_frame(&mut s, &f, 1_000).expect("send");
+            // Keep the socket open until the peer has read.
+            let _ = recv_frame(&mut s, 2_000);
+        });
+        let (mut conn, _) = listener.accept().expect("accept");
+        let f = recv_frame(&mut conn, 2_000).expect("recv");
+        assert_eq!((f.node, f.epoch, f.seq, f.step), (5, 1, 2, 3));
+        assert_eq!(f.msg.kind_name(), "heartbeat");
+        let reply = Frame { node: 5, epoch: 1, seq: 2, step: 3, msg: Message::HeartbeatAck };
+        send_frame(&mut conn, &reply, 1_000).expect("reply");
+        sender.join().expect("sender thread");
+    }
+
+    #[test]
+    fn read_deadline_fires_as_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let mut client = dial(&addr, 1_000).expect("connect");
+        let (_server, _) = listener.accept().expect("accept");
+        // Server never writes: the read must miss its deadline, not hang.
+        match recv_frame(&mut client, 50) {
+            Err(NetError::Timeout(_)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_disconnected() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let mut client = dial(&addr, 1_000).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        drop(server);
+        match recv_frame(&mut client, 1_000) {
+            Err(NetError::Disconnected) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The heartbeat/deadline failure detector: a per-node suspicion counter
+//! with a configurable threshold.
+//!
+//! State machine (see DESIGN.md §12):
+//!
+//! ```text
+//!            record_timeout             suspicion == threshold
+//!  ALIVE ──────────────────▶ SUSPECTED ───────────────────────▶ DEAD
+//!    ▲                          │                                │
+//!    └──────── record_ok ◀──────┘          (rejoin admits a      │
+//!    ▲                                      fresh detector)      │
+//!    └────────────────────────── reset ◀─────────────────────────┘
+//! ```
+//!
+//! Any successful exchange clears suspicion entirely — one slow reply
+//! amid healthy traffic never accumulates toward a death verdict; only
+//! *consecutive* missed deadlines do. The struct is deliberately pure
+//! (no clocks, no sockets) so the transition logic is exhaustively unit
+//! testable and identical under real and simulated time.
+
+/// Consecutive-miss failure detector for one remote node.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    suspicion: u32,
+    threshold: u32,
+}
+
+impl FailureDetector {
+    /// A fresh detector declaring death after `threshold` consecutive
+    /// missed deadlines (clamped to at least 1).
+    pub fn new(threshold: u32) -> Self {
+        Self { suspicion: 0, threshold: threshold.max(1) }
+    }
+
+    /// A deadline was met: the node is alive, suspicion clears.
+    pub fn record_ok(&mut self) {
+        self.suspicion = 0;
+    }
+
+    /// A deadline was missed. Returns true when this miss crossed the
+    /// threshold — the node is now considered dead.
+    pub fn record_timeout(&mut self) -> bool {
+        self.suspicion = self.suspicion.saturating_add(1);
+        self.is_dead()
+    }
+
+    /// Current consecutive-miss count.
+    pub fn suspicion(&self) -> u32 {
+        self.suspicion
+    }
+
+    /// True once suspicion has reached the threshold.
+    pub fn is_dead(&self) -> bool {
+        self.suspicion >= self.threshold
+    }
+
+    /// Clears all state (used when a node rejoins).
+    pub fn reset(&mut self) {
+        self.suspicion = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_misses_cross_the_threshold() {
+        let mut d = FailureDetector::new(3);
+        assert!(!d.record_timeout());
+        assert!(!d.record_timeout());
+        assert!(d.record_timeout(), "third consecutive miss is death");
+        assert!(d.is_dead());
+        assert_eq!(d.suspicion(), 3);
+    }
+
+    #[test]
+    fn a_single_ok_clears_all_suspicion() {
+        let mut d = FailureDetector::new(3);
+        d.record_timeout();
+        d.record_timeout();
+        d.record_ok();
+        assert_eq!(d.suspicion(), 0);
+        assert!(!d.record_timeout(), "counter restarted from zero");
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_not_instant_death() {
+        let d = FailureDetector::new(0);
+        assert!(!d.is_dead(), "a fresh detector is never dead");
+    }
+
+    #[test]
+    fn reset_revives_a_dead_detector() {
+        let mut d = FailureDetector::new(1);
+        assert!(d.record_timeout());
+        d.reset();
+        assert!(!d.is_dead());
+    }
+}

@@ -181,6 +181,39 @@ pub enum JournalEvent {
         /// Human-readable detail (rebuild reason, retry counts, ...).
         detail: String,
     },
+    /// A worker node joined (or rejoined) the distributed training group.
+    NodeJoin {
+        /// Step at which the coordinator admitted it.
+        step: u64,
+        /// The node's id.
+        node: u64,
+        /// Membership generation after the join.
+        epoch: u64,
+        /// Bytes of state shipped in the welcome (dense params + hot rows).
+        state_bytes: u64,
+    },
+    /// A worker node was declared dead by the failure detector.
+    NodeLost {
+        /// Step at which it was declared dead.
+        step: u64,
+        /// The node's id.
+        node: u64,
+        /// Consecutive missed deadlines that crossed the suspicion
+        /// threshold (0 = hard disconnect).
+        suspicion: u64,
+    },
+    /// The coordinator re-assigned a lost node's shard and charged the
+    /// reshard to the timeline.
+    Reshard {
+        /// Step at which the reshard happened.
+        step: u64,
+        /// The lost node whose shard moved.
+        node: u64,
+        /// Live workers after the reshard.
+        live: u64,
+        /// Simulated seconds charged, per phase.
+        phases: PhaseSeconds,
+    },
     /// Run trailer: totals, emitted once, last.
     RunEnd {
         /// Total steps executed.
@@ -264,6 +297,9 @@ impl JournalEvent {
             JournalEvent::Eval { .. } => "eval",
             JournalEvent::Fault { .. } => "fault",
             JournalEvent::Recovery { .. } => "recovery",
+            JournalEvent::NodeJoin { .. } => "node_join",
+            JournalEvent::NodeLost { .. } => "node_lost",
+            JournalEvent::Reshard { .. } => "reshard",
             JournalEvent::RunEnd { .. } => "run_end",
             JournalEvent::ServeStart { .. } => "serve_start",
             JournalEvent::ServeBatch { .. } => "serve_batch",
@@ -277,6 +313,7 @@ impl JournalEvent {
             JournalEvent::Step { phases, .. }
             | JournalEvent::Sync { phases, .. }
             | JournalEvent::Charge { phases, .. }
+            | JournalEvent::Reshard { phases, .. }
             | JournalEvent::ServeBatch { phases, .. } => Some(phases),
             _ => None,
         }
@@ -347,6 +384,23 @@ impl JournalEvent {
                 m.insert("step".into(), serde_json::to_value(step));
                 m.insert("action".into(), Value::String(action.clone()));
                 m.insert("detail".into(), Value::String(detail.clone()));
+            }
+            JournalEvent::NodeJoin { step, node, epoch, state_bytes } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("node".into(), serde_json::to_value(node));
+                m.insert("epoch".into(), serde_json::to_value(epoch));
+                m.insert("state_bytes".into(), serde_json::to_value(state_bytes));
+            }
+            JournalEvent::NodeLost { step, node, suspicion } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("node".into(), serde_json::to_value(node));
+                m.insert("suspicion".into(), serde_json::to_value(suspicion));
+            }
+            JournalEvent::Reshard { step, node, live, phases } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("node".into(), serde_json::to_value(node));
+                m.insert("live".into(), serde_json::to_value(live));
+                m.insert("phases".into(), phases.to_json());
             }
             JournalEvent::RunEnd {
                 steps,
@@ -488,6 +542,23 @@ impl JournalEvent {
                 step: get_u64("step")?,
                 action: get_str("action")?,
                 detail: get_str("detail")?,
+            },
+            "node_join" => JournalEvent::NodeJoin {
+                step: get_u64("step")?,
+                node: get_u64("node")?,
+                epoch: get_u64("epoch")?,
+                state_bytes: get_u64("state_bytes")?,
+            },
+            "node_lost" => JournalEvent::NodeLost {
+                step: get_u64("step")?,
+                node: get_u64("node")?,
+                suspicion: get_u64("suspicion")?,
+            },
+            "reshard" => JournalEvent::Reshard {
+                step: get_u64("step")?,
+                node: get_u64("node")?,
+                live: get_u64("live")?,
+                phases: get_phases()?,
             },
             "run_end" => JournalEvent::RunEnd {
                 steps: get_u64("steps")?,
@@ -661,6 +732,14 @@ mod tests {
                 action: "shrank-replicas".into(),
                 detail: "4 -> 3".into(),
             },
+            JournalEvent::NodeLost { step: 2, node: 1, suspicion: 3 },
+            JournalEvent::Reshard {
+                step: 2,
+                node: 1,
+                live: 1,
+                phases: PhaseSeconds([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.03125]),
+            },
+            JournalEvent::NodeJoin { step: 2, node: 1, epoch: 2, state_bytes: 1 << 16 },
             JournalEvent::RunEnd {
                 steps: 2,
                 hot_steps: 1,

@@ -105,6 +105,12 @@ pub struct RunSummary {
     pub faults: u64,
     /// Recovery events seen.
     pub recoveries: u64,
+    /// Node-join events seen (distributed runs).
+    pub node_joins: u64,
+    /// Node-lost events seen (distributed runs).
+    pub node_losses: u64,
+    /// Reshard events seen (distributed runs).
+    pub reshards: u64,
     /// Evaluations in journal order.
     pub evals: Vec<EvalRow>,
     /// The per-phase/category time split.
@@ -175,6 +181,14 @@ pub fn summarize(events: &[JournalEvent]) -> RunSummary {
             }
             JournalEvent::Fault { .. } => s.faults += 1,
             JournalEvent::Recovery { .. } => s.recoveries += 1,
+            JournalEvent::NodeJoin { .. } => s.node_joins += 1,
+            JournalEvent::NodeLost { .. } => s.node_losses += 1,
+            JournalEvent::Reshard { phases, .. } => {
+                s.reshards += 1;
+                for (slot, v) in s.breakdown.other.iter_mut().zip(phases.0) {
+                    *slot += v;
+                }
+            }
             JournalEvent::RunEnd { simulated_seconds, final_accuracy, interrupted, .. } => {
                 s.reported_simulated_seconds = Some(*simulated_seconds);
                 s.final_accuracy = Some(*final_accuracy);
@@ -251,6 +265,15 @@ pub fn render(s: &RunSummary) -> String {
             s.recoveries,
         ),
     );
+    if s.node_joins + s.node_losses + s.reshards > 0 {
+        push(
+            &mut out,
+            format!(
+                "membership: {} node joins   {} node losses   {} reshards",
+                s.node_joins, s.node_losses, s.reshards,
+            ),
+        );
+    }
     if s.interrupted {
         push(&mut out, "note: run was interrupted (journal covers a partial run)".into());
     }

@@ -77,6 +77,19 @@ fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: M
     Value::Object(m)
 }
 
+fn instant_event(tid: u64, name: &str, cat: &str, ts_us: f64, args: Map) -> Value {
+    let mut m = Map::new();
+    m.insert("ph".into(), Value::String("i".into()));
+    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+    m.insert("tid".into(), serde_json::to_value(&tid));
+    m.insert("name".into(), Value::String(name.into()));
+    m.insert("cat".into(), Value::String(cat.into()));
+    m.insert("ts".into(), serde_json::to_value(&ts_us));
+    m.insert("s".into(), Value::String("p".into()));
+    m.insert("args".into(), Value::Object(args));
+    Value::Object(m)
+}
+
 /// Renders a journal as a Chrome trace-event JSON document.
 ///
 /// The output is a complete `{"traceEvents": [...]}` object; write it to
@@ -107,6 +120,19 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error
         })
         .unwrap_or(0);
     let tid_serve0 = tid_worker0 + if workers > 1 { workers as u64 } else { 0 };
+    // Per-node lanes for distributed runs: one track per worker node id
+    // seen in membership events, past the serving lanes.
+    let nodes = events
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::NodeJoin { node, .. }
+            | JournalEvent::NodeLost { node, .. }
+            | JournalEvent::Reshard { node, .. } => Some(*node + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let tid_node0 = tid_serve0 + serve_workers as u64;
 
     let mut out: Vec<Value> = Vec::new();
     out.push(meta_event(0, "process_name", "fae-simulated-timeline"));
@@ -123,6 +149,9 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error
     }
     for w in 0..serve_workers {
         out.push(meta_event(tid_serve0 + w as u64, "thread_name", &format!("serve-worker{w}")));
+    }
+    for k in 0..nodes {
+        out.push(meta_event(tid_node0 + k, "thread_name", &format!("node{k}")));
     }
 
     // A single simulated-time cursor: each charging event occupies the
@@ -178,6 +207,59 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error
                     m.insert("s".into(), Value::String("p".into()));
                     m.insert("args".into(), Value::Object(args));
                     out.push(Value::Object(m));
+                    continue;
+                }
+                JournalEvent::NodeJoin { step, node, epoch, state_bytes } => {
+                    let mut args = Map::new();
+                    args.insert("step".into(), serde_json::to_value(step));
+                    args.insert("epoch".into(), serde_json::to_value(epoch));
+                    args.insert("state_bytes".into(), serde_json::to_value(state_bytes));
+                    out.push(instant_event(
+                        tid_node0 + node,
+                        &format!("node-join:{node}"),
+                        "membership",
+                        cursor_us,
+                        args,
+                    ));
+                    continue;
+                }
+                JournalEvent::NodeLost { step, node, suspicion } => {
+                    let mut args = Map::new();
+                    args.insert("step".into(), serde_json::to_value(step));
+                    args.insert("suspicion".into(), serde_json::to_value(suspicion));
+                    out.push(instant_event(
+                        tid_node0 + node,
+                        &format!("node-lost:{node}"),
+                        "membership",
+                        cursor_us,
+                        args,
+                    ));
+                    continue;
+                }
+                JournalEvent::Reshard { step, node, live, phases } => {
+                    // The reshard charge runs on the lost node's lane so
+                    // the gap it tore into training is visible per node.
+                    let mut local_us = cursor_us;
+                    for (i, phase) in Phase::ALL.iter().enumerate() {
+                        let secs = phases.0[i];
+                        if secs <= 0.0 {
+                            continue;
+                        }
+                        let dur_us = secs * 1e6;
+                        let mut args = Map::new();
+                        args.insert("step".into(), serde_json::to_value(step));
+                        args.insert("live".into(), serde_json::to_value(live));
+                        out.push(slice_event(
+                            tid_node0 + node,
+                            &phase.to_string(),
+                            "reshard",
+                            local_us,
+                            dur_us,
+                            args,
+                        ));
+                        local_us += dur_us;
+                    }
+                    cursor_us = local_us;
                     continue;
                 }
                 JournalEvent::ServeBatch { batch, worker, size, start_s, hits, misses, phases } => {

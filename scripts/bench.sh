@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh               # bench_train -> results/BENCH_train.json
 #   scripts/bench.sh bench_serve   # serving sweep -> results/BENCH_serve.json
+#   scripts/bench.sh multinode     # distributed  -> results/BENCH_multinode.json
 #
 # Extra arguments after the binary name are forwarded to it.
 set -euo pipefail
@@ -12,4 +13,10 @@ cd "$(dirname "$0")/.."
 
 BIN="${1:-bench_train}"
 if [ "$#" -gt 0 ]; then shift; fi
+# Shorthand aliases for the bench_* binaries.
+case "$BIN" in
+  train) BIN=bench_train ;;
+  serve) BIN=bench_serve ;;
+  multinode) BIN=bench_multinode ;;
+esac
 cargo run --release --locked -q -p fae-bench --bin "$BIN" -- "$@"

@@ -8,19 +8,29 @@
 //! fae compare    --workload <name> [--inputs N] [--gpus G] [...]  # baseline vs FAE
 //! fae serve      --workload <name> [--checkpoint-dir D] [...]      # inference serving
 //! fae bench-serve [--workload <name>] [--requests N]               # saturation sweep
+//! fae node       --connect ADDR --node-id K --workers N [...]     # join a distributed run
 //! fae report     <journal.jsonl>                                  # phase-breakdown table
 //! ```
+//!
+//! `fae train --distributed N` promotes a training run to multi-process:
+//! it binds a localhost coordinator port, spawns `N` `fae node` children
+//! against it, and trains through the fault-tolerant wire protocol in
+//! `fae-net` — bit-identical to the in-process engine with the same
+//! worker count.
 //!
 //! Argument parsing is deliberately dependency-free (flag pairs only).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use fae::core::input_processor::Preprocessed;
 use fae::core::{
-    artifacts, latest_in, pipeline, CalibratorConfig, FaultInjector, FaultPlan, PreprocessConfig,
-    ResilienceOptions, RetryPolicy, TrainCheckpoint, TrainConfig,
+    artifacts, latest_in, pipeline, train_fae_with_engine, CalibratorConfig, FaultInjector,
+    FaultPlan, PreprocessConfig, ResilienceOptions, RetryPolicy, TrainCheckpoint, TrainConfig,
+    TrainReport,
 };
 use fae::data::{generate, Dataset, GenOptions, WorkloadSpec};
+use fae::net::{run_node, NetConfig, NodeConfig, RemoteEngine};
 use fae::serve::{
     calibrate_partitions, open_loop_requests, saturation_sweep, sweep_json, RequestTrace,
     ServeConfig, ServeEngine, ServeLoad,
@@ -234,13 +244,16 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     }
     let inputs: usize = args.num("test-inputs", 5_000)?;
     let test = generate(&spec, &GenOptions::sized(args.num("seed", 2u64)?, inputs));
-    let report = fae::core::train_fae_resilient(
-        &spec,
-        &art.preprocessed,
-        &test,
-        &train_config(args, &spec)?,
-        &opts,
-    );
+    let distributed: usize = args.num("distributed", 0usize)?;
+    let mut cfg = train_config(args, &spec)?;
+    let report = if distributed > 0 {
+        // One worker process per shard: the engine worker count and the
+        // node count are the same knob in a distributed run.
+        cfg.workers = distributed;
+        train_distributed(args, &spec, &art.preprocessed, &test, &cfg, distributed, &opts)?
+    } else {
+        fae::core::train_fae_resilient(&spec, &art.preprocessed, &test, &cfg, &opts)
+    };
     println!(
         "test accuracy {:.2}% | loss {:.4} | simulated {:.1}s | {} syncs | final rate R({})",
         report.final_test.accuracy * 100.0,
@@ -249,6 +262,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         report.transitions,
         report.final_rate.unwrap_or(0)
     );
+    println!("model digest {:08x}", report.model_digest);
     if report.interrupted {
         println!("run interrupted by --halt-after (resume with --resume true)");
     }
@@ -272,6 +286,81 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         println!("journal written to {p} (summarize with `fae report {p}`)");
     }
     Ok(())
+}
+
+/// Multi-process training: binds a coordinator port on loopback, spawns
+/// `workers` copies of this binary running `fae node` against it, and
+/// trains through [`RemoteEngine`]. The fault plan (if any) is forwarded
+/// to every node so both sides derive the same crash victims.
+fn train_distributed(
+    args: &Args,
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    workers: usize,
+    opts: &ResilienceOptions,
+) -> Result<TrainReport, String> {
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("--distributed: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+    let exe = std::env::current_exe().map_err(|e| format!("--distributed: {e}"))?;
+    let mut children = Vec::new();
+    for k in 0..workers {
+        let mut c = std::process::Command::new(&exe);
+        c.arg("node")
+            .arg("--connect")
+            .arg(&addr)
+            .arg("--node-id")
+            .arg(k.to_string())
+            .arg("--workers")
+            .arg(workers.to_string());
+        if let Some(p) = args.get("fault-plan") {
+            c.arg("--fault-plan").arg(p);
+            c.arg("--fault-seed").arg(args.get("fault-seed").unwrap_or("0"));
+        }
+        children.push(c.spawn().map_err(|e| format!("spawn node {k}: {e}"))?);
+    }
+    println!("coordinator on {addr}, {workers} node processes spawned");
+    let seed = cfg.seed;
+    let num_gpus = cfg.num_gpus;
+    let plan = opts.plan.clone();
+    let report = train_fae_with_engine(spec, pre, test, cfg, opts, move |model| {
+        RemoteEngine::new(
+            model,
+            spec,
+            seed,
+            workers,
+            num_gpus,
+            listener,
+            NetConfig::default(),
+            plan,
+        )
+        .expect("coordinator start: all nodes must join within the initial wait")
+    });
+    for (k, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().map_err(|e| format!("node {k}: {e}"))?;
+        if !status.success() {
+            return Err(format!("node {k} exited with {status}"));
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_node(args: &Args) -> Result<(), String> {
+    let addr = args.get("connect").ok_or("--connect required")?.to_string();
+    let node_id: u32 = args.num("node-id", 0u32)?;
+    let workers: u32 = args.num("workers", 1u32)?;
+    if node_id >= workers {
+        return Err(format!("--node-id {node_id} out of range for --workers {workers}"));
+    }
+    let plan = match args.get("fault-plan") {
+        Some(spec) => FaultPlan::parse_seeded(spec, args.num("fault-seed", 0u64)?)
+            .map_err(|e| format!("--fault-plan: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    run_node(NodeConfig { addr, node_id, workers, net: NetConfig::default(), plan })
+        .map_err(|e| format!("node {node_id}: {e}"))
 }
 
 fn cmd_report(path: &str) -> Result<(), String> {
@@ -536,7 +625,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: fae <gen|calibrate|preprocess|train|compare|serve|bench-serve|report> [--flag value]...
+    "usage: fae <gen|calibrate|preprocess|train|compare|serve|bench-serve|node|report> [--flag value]...
   common flags: --workload tiny|kaggle|taobao|terabyte | --spec-file FILE.json
                 --inputs N  --seed S
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
@@ -550,6 +639,11 @@ const USAGE: &str =
                 --resume true|false   --halt-after STEPS
                 --metrics-out FILE.json  --journal FILE.jsonl
                 --trace-out FILE.json    --progress true  --progress-every N
+                --distributed N   (spawn N `fae node` processes and train
+                                   over the fae-net wire protocol; also
+                                   accepts worker-crash/net-* fault kinds)
+  node:         --connect HOST:PORT  --node-id K  --workers N
+                --fault-plan 'kind@step,...'  --fault-seed S
   serve:        --stream FILE | (in-process calibration)
                 --checkpoint-dir DIR | --checkpoint FILE  (else untrained)
                 --max-batch B  --max-delay-us U  --queue-cap Q
@@ -586,6 +680,7 @@ fn main() -> ExitCode {
             "compare" => cmd_compare(&args),
             "serve" => cmd_serve(&args),
             "bench-serve" => cmd_bench_serve(&args),
+            "node" => cmd_node(&args),
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
         }
     };

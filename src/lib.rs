@@ -18,6 +18,7 @@
 //! | [`core`] | `fae-core` | calibrator, classifier, input processor, scheduler, trainer |
 //! | [`telemetry`] | `fae-telemetry` | metrics registry, spans, step journal, Chrome-trace export |
 //! | [`serve`] | `fae-serve` | inference: micro-batcher, frequency-aware cache, load generator |
+//! | [`net`] | `fae-net` | multi-node training: wire protocol, failure detector, elastic membership |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use fae_core as core;
 pub use fae_data as data;
 pub use fae_embed as embed;
 pub use fae_models as models;
+pub use fae_net as net;
 pub use fae_nn as nn;
 pub use fae_serve as serve;
 pub use fae_sysmodel as sysmodel;

@@ -62,12 +62,10 @@ where
         // sending, so Disconnected means "finished by panicking" — join
         // and re-raise. Only an actual timeout is a hang.
         match done_rx.recv_timeout(WATCHDOG) {
-            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                match handle.join() {
-                    Ok(()) => {}
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
+            Ok(()) | Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+                Ok(()) => {}
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => panic!(
                 "loom model iteration {iter} hung for {WATCHDOG:?} — \
                  deadlock or lost wakeup in the modelled code"
