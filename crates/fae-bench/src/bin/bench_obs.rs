@@ -1,0 +1,197 @@
+//! Observability overhead benchmark: what journal shipping costs.
+//!
+//! Two 2-worker distributed runs of the tiny workload over real
+//! loopback TCP, identical except for the observability plane: shipping
+//! OFF (telemetry disabled — the wire carries zero telemetry frames) vs
+//! ON (journal + per-node sidecars + alert engine). Throughput is
+//! reported two ways:
+//!
+//! * **simulated** steps per simulated second — deterministic, because
+//!   shipping's only simulated cost is the `Phase::Framework` charge per
+//!   admitted batch; this is the number the < 10% overhead gate holds;
+//! * **wall-clock** steps per real second — honest but noisy, recorded
+//!   for context only.
+//!
+//! The model digest must match between the two runs bit for bit:
+//! observability must observe, never perturb.
+//!
+//! Output: `results/BENCH_obs.json` (via `scripts/bench.sh obs`); its
+//! top-level `steps_per_sec` key is the baseline `fae train
+//! --alert-baseline` consumes.
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Instant;
+
+use fae_bench::{print_table, save_json};
+use fae_core::input_processor::{PreprocessConfig, Preprocessed};
+use fae_core::{
+    pipeline, train_fae_with_engine, CalibratorConfig, FaultPlan, ResilienceOptions, Telemetry,
+    TrainConfig, TrainReport,
+};
+use fae_data::{generate, Dataset, GenOptions, WorkloadSpec};
+use fae_net::{run_node, NetConfig, NodeConfig, RemoteEngine};
+use fae_telemetry::AlertEngine;
+
+const WORKERS: usize = 2;
+
+/// Same shrunken-calibrator tiny workload as tests/distributed.rs.
+fn setup() -> (WorkloadSpec, Preprocessed, Dataset, TrainConfig) {
+    let spec = WorkloadSpec::tiny_test();
+    let ds = generate(&spec, &GenOptions::sized(131, 6_000));
+    let (train, test) = ds.split(0.2);
+    let artifacts = pipeline::prepare(
+        &train,
+        CalibratorConfig {
+            gpu_budget_bytes: 40 << 10,
+            small_table_bytes: 2 << 10,
+            ..Default::default()
+        },
+        &PreprocessConfig { minibatch_size: 64, seed: 3 },
+    );
+    let cfg = TrainConfig {
+        epochs: 1,
+        minibatch_size: 64,
+        initial_rate: 25,
+        workers: WORKERS,
+        ..Default::default()
+    };
+    (spec, artifacts.preprocessed, test, cfg)
+}
+
+/// One 2-worker distributed run with the given telemetry sink.
+fn run(
+    spec: &WorkloadSpec,
+    pre: &Preprocessed,
+    test: &Dataset,
+    cfg: &TrainConfig,
+    telemetry: Telemetry,
+) -> (TrainReport, f64) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind coordinator");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|k| {
+            let node = NodeConfig {
+                addr: addr.clone(),
+                node_id: k as u32,
+                workers: WORKERS as u32,
+                net: NetConfig::default(),
+                plan: FaultPlan::default(),
+            };
+            thread::spawn(move || run_node(node))
+        })
+        .collect();
+    let seed = cfg.seed;
+    let num_gpus = cfg.num_gpus;
+    let opts = ResilienceOptions { telemetry, ..Default::default() };
+    let t0 = Instant::now();
+    let report = train_fae_with_engine(spec, pre, test, cfg, &opts, move |model| {
+        RemoteEngine::new(
+            model,
+            spec,
+            seed,
+            WORKERS,
+            num_gpus,
+            listener,
+            NetConfig::default(),
+            FaultPlan::default(),
+        )
+        .expect("coordinator start")
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    for h in handles {
+        h.join().expect("node thread").expect("node exit");
+    }
+    (report, wall_s)
+}
+
+fn steps(r: &TrainReport) -> u64 {
+    (r.hot_steps + r.cold_steps) as u64
+}
+
+fn main() {
+    let (spec, pre, test, cfg) = setup();
+    let dir = std::env::temp_dir().join(format!("fae-bench-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let (off, off_wall_s) = run(&spec, &pre, &test, &cfg, Telemetry::disabled());
+
+    let journal = dir.join("run.jsonl");
+    let telem = Telemetry::builder()
+        .journal_path(&journal)
+        .alerts(AlertEngine::parse("heartbeat-gap>0").expect("rules"))
+        .retain_events(true)
+        .try_build()
+        .expect("telemetry");
+    let (on, on_wall_s) = run(&spec, &pre, &test, &cfg, telem.clone());
+
+    assert_eq!(
+        off.model_digest, on.model_digest,
+        "observability must observe, never perturb — digest diverged"
+    );
+
+    let sps_sim_off = steps(&off) as f64 / off.simulated_seconds;
+    let sps_sim_on = steps(&on) as f64 / on.simulated_seconds;
+    let overhead = (sps_sim_off - sps_sim_on) / sps_sim_off;
+    assert!(
+        overhead < 0.10,
+        "journal shipping costs {:.1}% simulated throughput (gate: < 10%)",
+        overhead * 100.0
+    );
+    let shipped_lines: u64 = telem
+        .sidecar_paths()
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map(|s| s.lines().count() as u64).unwrap_or(0))
+        .sum();
+
+    print_table(
+        "Observability overhead (tiny workload, 2 workers, loopback TCP)",
+        &["shipping", "steps", "steps/s (sim)", "steps/s (wall)", "digest match"],
+        &[
+            vec![
+                "off".to_string(),
+                steps(&off).to_string(),
+                format!("{sps_sim_off:.2}"),
+                format!("{:.0}", steps(&off) as f64 / off_wall_s.max(1e-9)),
+                "yes".to_string(),
+            ],
+            vec![
+                "on".to_string(),
+                steps(&on).to_string(),
+                format!("{sps_sim_on:.2}"),
+                format!("{:.0}", steps(&on) as f64 / on_wall_s.max(1e-9)),
+                "yes".to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nshipping overhead: {:.3}% simulated throughput ({} sidecar lines shipped) — gate < 10%",
+        overhead * 100.0,
+        shipped_lines
+    );
+
+    save_json(
+        "BENCH_obs",
+        &serde_json::json!({
+            "workers": WORKERS,
+            "steps_per_sec": sps_sim_on,
+            "shipping_off": {
+                "steps": steps(&off),
+                "simulated_seconds": off.simulated_seconds,
+                "steps_per_sim_sec": sps_sim_off,
+                "wall_s": off_wall_s,
+            },
+            "shipping_on": {
+                "steps": steps(&on),
+                "simulated_seconds": on.simulated_seconds,
+                "steps_per_sim_sec": sps_sim_on,
+                "wall_s": on_wall_s,
+                "sidecar_lines": shipped_lines,
+            },
+            "overhead_frac": overhead,
+            "overhead_gate": 0.10,
+            "digest_match": true,
+        }),
+    );
+}

@@ -1064,6 +1064,14 @@ where
     });
     telem.gauge_set("train.simulated_seconds", timeline.total());
     telem.gauge_set("train.final_accuracy", final_test.accuracy);
+    telem.gauge_set(
+        "train.steps_per_sec",
+        if timeline.total() > 0.0 { steps as f64 / timeline.total() } else { 0.0 },
+    );
+    telem.gauge_set(
+        "train.hot_step_share",
+        if steps > 0 { hot_steps as f64 / steps as f64 } else { 0.0 },
+    );
     span_train.add_sim(timeline.total() - sim_at_start);
     drop(span_train);
     let mut final_dense = Vec::new();

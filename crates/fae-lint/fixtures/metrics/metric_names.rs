@@ -1,0 +1,19 @@
+//! Seeded metric-name violations: every flagged site below mints a name
+//! the Prometheus exposition (`fae_*`, non-alphanumerics -> `_`) would
+//! mangle or collide.
+pub fn emit(t: &Telemetry, name: &str) {
+    t.counter_add("Train.Steps", 1); // uppercase
+
+    t.gauge_set("serve hit rate", 0.5); // spaces
+
+    t.observe("serve-latency", 0.1); // dashes collapse into `_` collisions
+
+    t.counter_add("net..joins", 1); // doubled separator
+
+    // A dynamic name (the telemetry crate's own forwarding layer) is out
+    // of lexical reach — documented gap, must not fire.
+    t.counter_add(name, 1);
+
+    // fae-lint: allow(metric-name, reason = "migration shim keeps the legacy dashed name one release")
+    t.counter_add("legacy-name", 1);
+}

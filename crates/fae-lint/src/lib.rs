@@ -10,7 +10,11 @@
 //! * **no-panic** (`no-panic`) in library code of every first-party
 //!   crate (binary targets are exempt);
 //! * **net-deadline** (`net-deadline`) in the networking crate
-//!   (`fae-net`): blocking socket I/O must carry an explicit deadline.
+//!   (`fae-net`): blocking socket I/O must carry an explicit deadline;
+//! * **metric-name** (`metric-name`) in every first-party crate except
+//!   fae-lint itself: metric names at telemetry emission sites must be
+//!   stable lowercase dotted literals, so the Prometheus exposition's
+//!   `fae_*` mapping stays collision-free.
 //!
 //! Violations are suppressed site-by-site with an explicit pragma:
 //!
@@ -95,6 +99,11 @@ pub struct FileClass {
     /// Apply the [`Scope::Net`] rules (the fae-net crate: blocking
     /// socket I/O must carry a deadline).
     pub net: bool,
+    /// Apply the [`Scope::Metrics`] rule (every first-party crate
+    /// except fae-lint itself, whose matchers quote the trigger
+    /// tokens): metric names at emission sites must be stable
+    /// lowercase dotted literals.
+    pub metrics: bool,
 }
 
 /// Lints one file's source text. `label` is used in diagnostics.
@@ -126,7 +135,11 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
 
     let mut used_pragmas: BTreeSet<usize> = BTreeSet::new();
     let mut offset = 0usize;
-    for (idx, line) in scrubbed.text.lines().enumerate() {
+    // The scrubber preserves byte offsets exactly, so scrubbed and raw
+    // lines pair up one-to-one; the metric-name rule needs both (the
+    // scrubbed line to locate real call sites, the raw line to read the
+    // literal's body, which scrubbing blanks).
+    for (idx, (line, raw_line)) in scrubbed.text.lines().zip(source.lines()).enumerate() {
         let line_no = idx + 1;
         let mut matches = Vec::new();
         if class.deterministic {
@@ -137,6 +150,9 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
         }
         if class.net {
             rules::net_deadline_matches(line, &mut matches);
+        }
+        if class.metrics {
+            rules::metric_name_matches(line, raw_line, &mut matches);
         }
         for m in matches {
             if regions.contains(offset + m.col) {
@@ -221,6 +237,7 @@ pub fn classify(rel: &Path) -> Option<FileClass> {
         deterministic: DET_CRATES.contains(&crate_name.as_str()),
         binary,
         net: crate_name == "fae-net",
+        metrics: crate_name != "fae-lint",
     })
 }
 
@@ -299,7 +316,8 @@ pub fn lint_tree(dir: &Path, class: FileClass) -> Result<Vec<Diagnostic>, WalkEr
 mod tests {
     use super::*;
 
-    const LIB: FileClass = FileClass { deterministic: true, binary: false, net: false };
+    const LIB: FileClass =
+        FileClass { deterministic: true, binary: false, net: false, metrics: true };
 
     #[test]
     fn clean_source_is_clean() {
@@ -333,7 +351,7 @@ mod tests {
 
     #[test]
     fn binary_skips_no_panic_keeps_determinism() {
-        let bin = FileClass { deterministic: true, binary: true, net: false };
+        let bin = FileClass { deterministic: true, binary: true, net: false, metrics: true };
         let src = "fn main() { args.next().unwrap(); let t = Instant::now(); }\n";
         let d = lint_source(Path::new("bin.rs"), src, bin);
         assert_eq!(d.len(), 1);
@@ -342,7 +360,7 @@ mod tests {
 
     #[test]
     fn net_rule_applies_only_with_the_net_classification() {
-        let net = FileClass { deterministic: false, binary: false, net: true };
+        let net = FileClass { deterministic: false, binary: false, net: true, metrics: false };
         let src = "fn f(s: &mut TcpStream) { s.read_exact(&mut b).ok(); }\n";
         let d = lint_source(Path::new("x.rs"), src, net);
         assert_eq!(d.len(), 1);
@@ -351,11 +369,31 @@ mod tests {
     }
 
     #[test]
+    fn metric_name_rule_applies_only_with_the_metrics_classification() {
+        let src = "pub fn f(t: &T) { t.counter_add(\"Bad Name\", 1); }\n";
+        let d = lint_source(Path::new("x.rs"), src, LIB);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "metric-name");
+        let unmetered = FileClass { metrics: false, ..LIB };
+        assert!(
+            lint_source(Path::new("x.rs"), src, unmetered).is_empty(),
+            "metric-name must stay inside its scope"
+        );
+    }
+
+    #[test]
     fn classify_paths() {
-        assert!(classify(Path::new("crates/fae-core/src/trainer.rs"))
-            .is_some_and(|c| c.deterministic && !c.binary && !c.net));
+        assert!(classify(Path::new("crates/fae-core/src/trainer.rs")).is_some_and(|c| c
+            .deterministic
+            && !c.binary
+            && !c.net
+            && c.metrics));
         assert!(classify(Path::new("crates/fae-telemetry/src/lib.rs"))
-            .is_some_and(|c| !c.deterministic && !c.binary));
+            .is_some_and(|c| !c.deterministic && !c.binary && c.metrics));
+        assert!(
+            classify(Path::new("crates/fae-lint/src/rules.rs")).is_some_and(|c| !c.metrics),
+            "fae-lint's own matchers quote the trigger tokens; exempt"
+        );
         assert!(classify(Path::new("crates/fae-net/src/deadline.rs"))
             .is_some_and(|c| c.net && !c.deterministic && !c.binary));
         assert!(classify(Path::new("src/bin/fae.rs")).is_some_and(|c| c.binary));

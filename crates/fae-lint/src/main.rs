@@ -3,7 +3,7 @@
 //! ```text
 //! fae-lint                      lint the workspace (root auto-detected)
 //! fae-lint --root DIR           lint the workspace rooted at DIR
-//! fae-lint --tree DIR [--det] [--lib] [--net]
+//! fae-lint --tree DIR [--det] [--lib] [--net] [--metrics]
 //!                               lint a bare directory of .rs files with a
 //!                               fixed classification (fixture testing)
 //! fae-lint --list-rules         print the rule table
@@ -18,7 +18,7 @@ use fae_lint::{lint_tree, lint_workspace, FileClass, DET_CRATES, RULES};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fae-lint [--root DIR] [--tree DIR [--det] [--lib] [--net]] [--list-rules]\n\
+        "usage: fae-lint [--root DIR] [--tree DIR [--det] [--lib] [--net] [--metrics]] [--list-rules]\n\
          see DESIGN.md §11 for the rule table and pragma syntax"
     );
     ExitCode::from(2)
@@ -44,6 +44,7 @@ fn main() -> ExitCode {
     let mut det = false;
     let mut lib = false;
     let mut net = false;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -68,6 +69,10 @@ fn main() -> ExitCode {
                 net = true;
                 i += 1;
             }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
             "--list-rules" => {
                 println!("determinism-critical crates: {}", DET_CRATES.join(", "));
                 for r in RULES {
@@ -80,7 +85,7 @@ fn main() -> ExitCode {
     }
 
     let result = if let Some(dir) = tree {
-        lint_tree(&dir, FileClass { deterministic: det, binary: !lib, net })
+        lint_tree(&dir, FileClass { deterministic: det, binary: !lib, net, metrics })
     } else {
         let root = match root {
             Some(r) => r,

@@ -17,6 +17,11 @@ pub enum Scope {
     /// Only the networking crate (fae-net): socket I/O must never block
     /// without a deadline.
     Net,
+    /// Every first-party crate except fae-lint itself (whose matchers
+    /// quote the trigger tokens): telemetry emission sites must name
+    /// their metric with a stable lowercase dotted literal, so the
+    /// Prometheus exposition's `fae_*` name mapping stays collision-free.
+    Metrics,
 }
 
 /// Static description of one rule.
@@ -60,6 +65,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "net-deadline",
         scope: Scope::Net,
         summary: "blocking socket I/O (read_exact/write_all/connect/...) must carry a deadline",
+    },
+    RuleInfo {
+        id: "metric-name",
+        scope: Scope::Metrics,
+        summary: "metric names at emission sites must be lowercase dotted literals ([a-z0-9._])",
     },
 ];
 
@@ -223,6 +233,58 @@ pub fn net_deadline_matches(line: &str, out: &mut Vec<Match>) {
     }
 }
 
+/// Runs the metric-name rule over one line. Call sites are located on
+/// the *scrubbed* line (so names quoted in comments or strings never
+/// fire), but the literal's body is blanked there — the name itself is
+/// read back out of the *raw* line at the same byte offsets, which the
+/// scrubber guarantees to preserve.
+///
+/// The contract: a name passed to `counter_add`/`gauge_set`/`observe`
+/// becomes a Prometheus series `fae_<name>` with every non-alphanumeric
+/// byte mapped to `_`. Names outside `[a-z0-9._]` (or with leading /
+/// trailing / doubled separators) can collide after that mapping or
+/// churn the exposition schema, so they are rejected at the source.
+///
+/// Lexical gap, documented: a *dynamic* first argument (a variable,
+/// as in the telemetry crate's own forwarding layer) is not checked —
+/// the rule audits the literal emission sites, which is where names
+/// are actually minted.
+pub fn metric_name_matches(line: &str, raw: &str, out: &mut Vec<Match>) {
+    for tok in [".counter_add(", ".gauge_set(", ".observe("] {
+        for col in token_positions(line, tok) {
+            let start = col + tok.len();
+            let rest = line.get(start..).unwrap_or("");
+            let arg_at = start + (rest.len() - rest.trim_start().len());
+            // Dynamic (non-literal) name: out of lexical reach, skip.
+            if line.as_bytes().get(arg_at) != Some(&b'"') {
+                continue;
+            }
+            let Some(raw_rest) = raw.get(arg_at + 1..) else { continue };
+            // A literal that does not close on this line is already
+            // suspicious formatting; skip rather than misreport.
+            let Some(end) = raw_rest.find('"') else { continue };
+            let name = &raw_rest[..end];
+            let charset_ok = name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'_');
+            let shape_ok = name.as_bytes().first().is_some_and(|b| b.is_ascii_lowercase())
+                && !name.ends_with(['.', '_'])
+                && !name.contains("..");
+            if !(charset_ok && shape_ok) {
+                out.push(Match {
+                    col,
+                    rule: "metric-name",
+                    message: format!(
+                        "metric name \"{name}\" is not a stable lowercase dotted identifier \
+                         ([a-z0-9._], starting with a letter); the Prometheus exposition maps \
+                         non-alphanumerics to `_`, so loose names collide or churn the schema"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// The accounting rule: a charge on a receiver that is lexically a
 /// timeline (its last path segment contains "timeline") must name its
 /// phase — either a `Phase::X` constant or a binding whose name contains
@@ -333,6 +395,37 @@ mod tests {
         assert_eq!(net("stream.set_read_timeout(Some(dur(ms)))?;"), 0);
         assert_eq!(net("stream.flush()?;"), 0);
         assert_eq!(net("let reconnect = true;"), 0);
+    }
+
+    #[test]
+    fn metric_name_hits_and_misses() {
+        // The matcher sees the scrubbed line (literal bodies blanked,
+        // quotes kept) plus the raw line; build both the way scrub does.
+        let check = |raw: &str| {
+            let scrubbed = crate::scrub::scrub(raw);
+            let mut m = Vec::new();
+            metric_name_matches(scrubbed.text.lines().next().unwrap_or(""), raw, &mut m);
+            m.len()
+        };
+        assert_eq!(check("t.counter_add(\"train.steps_hot\", 1);"), 0);
+        assert_eq!(check("t.gauge_set(\"serve.hit_rate\", r);"), 0);
+        assert_eq!(check("t.observe(\"serve.latency_s\", v);"), 0);
+        assert_eq!(check("t.counter_add( \"net.joins\", 1);"), 0, "leading space before literal");
+        // Dynamic names (the forwarding layer) are out of lexical reach.
+        assert_eq!(check("m.counter_add(name, v);"), 0);
+        // Numeric observe (a histogram value, not a telemetry name).
+        assert_eq!(check("window.observe(loss);"), 0);
+        // Names quoted in comments never fire: the site is located on
+        // the scrubbed line, where comments are blank.
+        assert_eq!(check("let x = 1; // call t.counter_add(\"Bad Name\", 1)"), 0);
+        // Violations: uppercase, spaces, dashes, separators misused.
+        assert_eq!(check("t.counter_add(\"Train.Steps\", 1);"), 1);
+        assert_eq!(check("t.gauge_set(\"serve hit rate\", r);"), 1);
+        assert_eq!(check("t.observe(\"serve-latency\", v);"), 1);
+        assert_eq!(check("t.counter_add(\"\", 1);"), 1);
+        assert_eq!(check("t.counter_add(\".joins\", 1);"), 1);
+        assert_eq!(check("t.counter_add(\"net..joins\", 1);"), 1);
+        assert_eq!(check("t.counter_add(\"net.joins_\", 1);"), 1);
     }
 
     #[test]

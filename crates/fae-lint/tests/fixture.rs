@@ -7,8 +7,11 @@ use std::path::{Path, PathBuf};
 
 use fae_lint::{lint_tree, FileClass};
 
-const STRICT: FileClass = FileClass { deterministic: true, binary: false, net: false };
-const NET: FileClass = FileClass { deterministic: false, binary: false, net: true };
+const STRICT: FileClass =
+    FileClass { deterministic: true, binary: false, net: false, metrics: false };
+const NET: FileClass = FileClass { deterministic: false, binary: false, net: true, metrics: false };
+const METRICS: FileClass =
+    FileClass { deterministic: false, binary: false, net: false, metrics: true };
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
@@ -66,7 +69,7 @@ fn every_diagnostic_renders_file_line_rule() {
 
 #[test]
 fn binary_classification_exempts_no_panic_only() {
-    let bin = FileClass { deterministic: true, binary: true, net: false };
+    let bin = FileClass { deterministic: true, binary: true, net: false, metrics: false };
     let diags = lint_tree(&fixture("violations"), bin).expect("fixture tree readable");
     assert!(diags.iter().all(|d| d.rule != "no-panic"), "no-panic must not fire on binaries");
     assert!(
@@ -101,6 +104,30 @@ fn net_fixture_is_silent_outside_the_net_scope() {
     assert!(diags.iter().all(|d| d.rule != "net-deadline"), "scope leak: {diags:?}");
     let got: Vec<(usize, String)> = diags.iter().map(|d| (d.line, d.rule.clone())).collect();
     assert_eq!(got, vec![(37, "unused-pragma".to_string())], "unexpected residue");
+}
+
+#[test]
+fn metrics_fixture_catches_loose_names() {
+    let diags = lint_tree(&fixture("metrics"), METRICS).expect("fixture tree readable");
+    let got: Vec<(usize, String)> = diags.iter().map(|d| (d.line, d.rule.clone())).collect();
+    let want: &[(usize, &str)] = &[
+        (5, "metric-name"),  // uppercase
+        (7, "metric-name"),  // spaces
+        (9, "metric-name"),  // dashes
+        (11, "metric-name"), // doubled separator
+    ];
+    let want: Vec<(usize, String)> = want.iter().map(|(l, r)| (*l, r.to_string())).collect();
+    assert_eq!(got, want, "metrics fixture diagnostics drifted");
+}
+
+#[test]
+fn metrics_fixture_is_silent_outside_the_metrics_scope() {
+    // Under a non-metrics classification the only residue is the
+    // now-pointless pragma, which unused-pragma rightly calls out.
+    let diags = lint_tree(&fixture("metrics"), STRICT).expect("fixture tree readable");
+    assert!(diags.iter().all(|d| d.rule != "metric-name"), "scope leak: {diags:?}");
+    let got: Vec<(usize, String)> = diags.iter().map(|d| (d.line, d.rule.clone())).collect();
+    assert_eq!(got, vec![(17, "unused-pragma".to_string())], "unexpected residue");
 }
 
 #[test]

@@ -52,7 +52,7 @@ use fae_data::{MiniBatch, WorkloadSpec};
 use fae_embed::{HotColdPartition, SparseGrad};
 use fae_models::{forward_backward, EmbeddingSource, MasterEmbeddings, RecModel};
 use fae_sysmodel::{reshard_cost, sync_cost, Phase, SystemConfig, Timeline};
-use fae_telemetry::{JournalEvent, PhaseSeconds, StepMode, Telemetry};
+use fae_telemetry::{JournalEvent, PhaseSeconds, ShipLedger, StepMode, Telemetry};
 
 use crate::deadline::{recv_frame, send_bytes, send_frame};
 use crate::detector::FailureDetector;
@@ -98,7 +98,14 @@ pub struct RemoteEngine {
     pending_drop: Option<usize>,
     pending_dup: Option<usize>,
     telemetry: Telemetry,
+    ship: ShipLedger,
+    last_step: u64,
 }
+
+/// Modeled wire bandwidth for journal shipping: the JSONL batches ride
+/// the control plane, so their simulated transfer time is charged to
+/// `Phase::Framework` at this rate rather than the data-plane model.
+const TELEMETRY_WIRE_BYTES_PER_S: f64 = 1e9;
 
 impl RemoteEngine {
     /// Builds the engine around an already-bound listener, then waits up
@@ -143,6 +150,8 @@ impl RemoteEngine {
             pending_drop: None,
             pending_dup: None,
             telemetry: Telemetry::disabled(),
+            ship: ShipLedger::new(workers),
+            last_step: 0,
         };
         let deadline = Instant::now() + initial_wait;
         while eng.live_count() < eng.workers && Instant::now() < deadline {
@@ -368,6 +377,36 @@ impl RemoteEngine {
         self.events.faults.push(f);
     }
 
+    /// Drains every live worker's buffered journal events into per-node
+    /// sidecar journals. The ship ledger's ack cursor plus the worker's
+    /// resend-from-ack reply make delivery exactly-once even when a
+    /// poll is retried or a reply is lost; the batch's simulated
+    /// transfer time is charged to `Phase::Framework`.
+    fn poll_telemetry(&mut self, step: u64) {
+        for k in 0..self.workers {
+            if !matches!(self.slots[k], Slot::Live(_)) {
+                continue;
+            }
+            let ack = self.ship.ack(k);
+            let Ok(reply) = self.send_rpc(k, Message::TelemetryPoll { ack }, step) else {
+                continue;
+            };
+            let Message::Telemetry { from, events_jsonl } = reply.msg else { continue };
+            let lines: Vec<&str> = events_jsonl.lines().filter(|l| !l.trim().is_empty()).collect();
+            let Some(skip) = self.ship.admit(k, from, lines.len() as u64) else { continue };
+            let fresh = &lines[(skip as usize).min(lines.len())..];
+            if fresh.is_empty() {
+                continue;
+            }
+            let batch = fresh.join("\n");
+            self.events
+                .step_charges
+                .add(Phase::Framework, batch.len() as f64 / TELEMETRY_WIRE_BYTES_PER_S);
+            self.telemetry.ship_lines(k as u64, &batch);
+            self.telemetry.counter_add("net.telemetry_lines", fresh.len() as u64);
+        }
+    }
+
     /// Probes every live worker; misses feed the failure detector.
     fn heartbeat(&mut self, step: u64) {
         for k in 0..self.workers {
@@ -485,9 +524,14 @@ impl StepEngine for RemoteEngine {
     {
         self.drain_joins(step);
         self.fire_net_faults(step);
+        self.last_step = step;
         let hb = self.cfg.heartbeat_every_steps;
         if hb > 0 && step > 0 && step.is_multiple_of(hb) {
             self.heartbeat(step);
+        }
+        let tp = self.cfg.telemetry_every_steps;
+        if tp > 0 && self.telemetry.enabled() && step > 0 && step.is_multiple_of(tp) {
+            self.poll_telemetry(step);
         }
         let (loss, dense, sparse) = if self.workers == 1 {
             self.step_single(emb, batch, step, mode)
@@ -570,6 +614,11 @@ impl StepEngine for RemoteEngine {
 
 impl Drop for RemoteEngine {
     fn drop(&mut self) {
+        // Last drain: marks buffered since the final in-step poll (end
+        // of run tasks, a late rejoin) would otherwise be lost.
+        if self.cfg.telemetry_every_steps > 0 && self.telemetry.enabled() {
+            self.poll_telemetry(self.last_step);
+        }
         for k in 0..self.workers {
             self.next_seq += 1;
             let frame = Frame {

@@ -46,7 +46,7 @@ pub use coordinator::RemoteEngine;
 pub use detector::FailureDetector;
 pub use ledger::{Admit, Ledger};
 pub use wire::{Frame, HotEntry, Message, NetError};
-pub use worker::{run_node, run_worker, NodeConfig, WorkerExit};
+pub use worker::{run_node, run_worker, NodeConfig, NodeJournal, WorkerExit};
 
 use fae_core::faults::RetryPolicy;
 
@@ -67,6 +67,10 @@ pub struct NetConfig {
     pub welcome_timeout_ms: u64,
     /// Heartbeat every N steps (0 disables).
     pub heartbeat_every_steps: u64,
+    /// Poll workers for journal events every N steps (0 disables).
+    /// Polls only happen when the coordinator's telemetry is enabled,
+    /// so plain runs carry zero shipping traffic.
+    pub telemetry_every_steps: u64,
     /// Consecutive missed deadlines before a node is declared dead.
     pub suspicion_threshold: u32,
     /// Per-RPC retry/backoff schedule; failed attempts charge their
@@ -93,6 +97,7 @@ impl Default for NetConfig {
             write_timeout_ms: 1_000,
             welcome_timeout_ms: 4_000,
             heartbeat_every_steps: 8,
+            telemetry_every_steps: 4,
             suspicion_threshold: 3,
             retry: RetryPolicy {
                 max_attempts: 3,

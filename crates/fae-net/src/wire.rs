@@ -175,6 +175,25 @@ pub enum Message {
     HeartbeatAck,
     /// Coordinator → worker: the run is over, exit cleanly.
     Shutdown,
+    /// Coordinator → worker: ship your journal events from sequence
+    /// `ack` on. Strictly coordinator-initiated, like every other RPC —
+    /// workers never push.
+    TelemetryPoll {
+        /// The coordinator's acknowledged cursor: the first per-node
+        /// event sequence number it has *not* yet persisted.
+        ack: u64,
+    },
+    /// Worker → coordinator: a batch of tagged journal lines (JSONL,
+    /// one event per line) starting at sequence `from`. Retried polls
+    /// re-ship from the same cursor; the coordinator's ship ledger
+    /// drops the duplicated prefix, making delivery exactly-once.
+    Telemetry {
+        /// Per-node sequence number of the first line in the batch
+        /// (echoes the poll's `ack`).
+        from: u64,
+        /// The events, newline-separated; empty when caught up.
+        events_jsonl: String,
+    },
 }
 
 impl Message {
@@ -191,6 +210,8 @@ impl Message {
             Message::Heartbeat => 7,
             Message::HeartbeatAck => 8,
             Message::Shutdown => 9,
+            Message::TelemetryPoll { .. } => 10,
+            Message::Telemetry { .. } => 11,
         }
     }
 
@@ -207,6 +228,8 @@ impl Message {
             Message::Heartbeat => "heartbeat",
             Message::HeartbeatAck => "heartbeat-ack",
             Message::Shutdown => "shutdown",
+            Message::TelemetryPoll { .. } => "telemetry-poll",
+            Message::Telemetry { .. } => "telemetry",
         }
     }
 
@@ -329,6 +352,13 @@ fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
         | Message::Heartbeat
         | Message::HeartbeatAck
         | Message::Shutdown => {}
+        Message::TelemetryPoll { ack } => {
+            put_u64(out, *ack);
+        }
+        Message::Telemetry { from, events_jsonl } => {
+            put_u64(out, *from);
+            put_str(out, events_jsonl);
+        }
         Message::Welcome { workers, seed, spec_json, partitions_json, dense, hot } => {
             put_u32(out, *workers);
             put_u64(out, *seed);
@@ -392,6 +422,8 @@ fn decode_payload(kind: u8, rd: &mut Rd<'_>) -> Result<Message, NetError> {
         7 => Message::Heartbeat,
         8 => Message::HeartbeatAck,
         9 => Message::Shutdown,
+        10 => Message::TelemetryPoll { ack: rd.u64()? },
+        11 => Message::Telemetry { from: rd.u64()?, events_jsonl: rd.str_()? },
         other => return Err(NetError::Corrupt(format!("unknown message kind {other}"))),
     })
 }
@@ -741,6 +773,31 @@ mod tests {
         assert!(partitions_json.is_empty());
         assert_eq!(dense, vec![0.125; 16]);
         assert_eq!(hot, vec![HotEntry { table: 1, row: 9, values: vec![1.0, 2.0] }]);
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip_and_never_mutate_state() {
+        let poll =
+            Frame { node: 1, epoch: 2, seq: 3, step: 4, msg: Message::TelemetryPoll { ack: 17 } };
+        let back = roundtrip(&poll);
+        let Message::TelemetryPoll { ack } = back.msg else { panic!("wrong kind") };
+        assert_eq!(ack, 17);
+        assert!(!poll.msg.mutates_state());
+
+        let lines = "{\"type\":\"mark\",\"node_id\":2,\"seq\":0}\n{\"type\":\"mark\",\"node_id\":2,\"seq\":1}";
+        let batch = Frame {
+            node: 1,
+            epoch: 2,
+            seq: 3,
+            step: 4,
+            msg: Message::Telemetry { from: 17, events_jsonl: lines.into() },
+        };
+        let back = roundtrip(&batch);
+        let Message::Telemetry { from, events_jsonl } = back.msg else { panic!("wrong kind") };
+        assert_eq!(from, 17);
+        assert_eq!(events_jsonl, lines);
+        assert!(!batch.msg.mutates_state());
+        assert_eq!(batch.msg.kind_name(), "telemetry");
     }
 
     #[test]

@@ -36,7 +36,7 @@ use fae_core::trainer::AnyModel;
 use fae_data::WorkloadSpec;
 use fae_embed::HotColdPartition;
 use fae_models::{MasterEmbeddings, RecModel};
-use fae_telemetry::StepMode;
+use fae_telemetry::{JournalEvent, StepMode, TaggedEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -69,6 +69,40 @@ pub struct NodeConfig {
     /// The same seeded fault plan the coordinator runs: both sides
     /// derive the same crash victims without any extra coordination.
     pub plan: FaultPlan,
+}
+
+/// The worker's own journal: zero-charge `Mark` events tagged with the
+/// node's journal identity (wire id + 1 — the coordinator is journal
+/// node 0), encoded to JSONL lines at emission time. The buffer lives
+/// in the [`run_node`] supervisor, not the serve loop, so marks survive
+/// injected crashes and reconnects; the coordinator drains it with
+/// `TelemetryPoll` and the per-line sequence numbers make retried
+/// batches idempotent.
+pub struct NodeJournal {
+    node_id: u64,
+    lines: Vec<String>,
+}
+
+impl NodeJournal {
+    /// An empty journal for wire node `wire_node`.
+    pub fn new(wire_node: u32) -> Self {
+        Self { node_id: u64::from(wire_node) + 1, lines: Vec::new() }
+    }
+
+    /// Records one mark. Marks carry no simulated-time charge: all
+    /// simulated seconds stay coordinator-charged, which is what keeps
+    /// the merged per-phase invariant a pure node-0 property.
+    fn mark(&mut self, step: u64, label: &str, detail: String) {
+        let event = JournalEvent::Mark { step, label: label.into(), detail };
+        let tagged = TaggedEvent { node_id: self.node_id, seq: self.lines.len() as u64, event };
+        self.lines.push(tagged.to_line());
+    }
+
+    /// The reply to a poll asking for everything from `ack` on.
+    fn batch_from(&self, ack: u64) -> (u64, String) {
+        let start = (ack as usize).min(self.lines.len());
+        (start as u64, self.lines[start..].join("\n"))
+    }
 }
 
 /// The worker's replicated training state, built from a `Welcome`.
@@ -129,14 +163,16 @@ pub fn run_worker(
     cfg: &NodeConfig,
     injector: &mut FaultInjector,
     joined: &mut bool,
+    journal: &mut NodeJournal,
 ) -> Result<WorkerExit, NetError> {
     let mut stream = dial(&cfg.addr, cfg.net.connect_timeout_ms)?;
     let hello = Frame { node: cfg.node_id, epoch: 0, seq: 0, step: 0, msg: Message::Hello };
     send_frame(&mut stream, &hello, cfg.net.write_timeout_ms)?;
     let welcome = recv_frame(&mut stream, cfg.net.welcome_timeout_ms)?;
     let mut replica = Replica::bootstrap(&welcome)?;
+    journal.mark(welcome.step, if *joined { "rejoin" } else { "join" }, String::new());
     *joined = true;
-    serve(cfg, injector, &mut stream, &mut replica)
+    serve(cfg, injector, &mut stream, &mut replica, journal)
 }
 
 /// The request/reply serve loop.
@@ -145,7 +181,9 @@ fn serve(
     injector: &mut FaultInjector,
     stream: &mut TcpStream,
     replica: &mut Replica,
+    journal: &mut NodeJournal,
 ) -> Result<WorkerExit, NetError> {
+    let mut tasks: u64 = 0;
     loop {
         let frame = match recv_frame(stream, cfg.net.read_timeout_ms) {
             Ok(f) => f,
@@ -162,10 +200,17 @@ fn serve(
         // and only on the deterministically chosen victim.
         if let Some(f) = injector.fire(FaultKind::WorkerCrash, frame.step) {
             if injector.variation(&f, u64::from(cfg.workers.max(1))) == u64::from(cfg.node_id) {
+                journal.mark(frame.step, "crash-inject", String::new());
                 return Ok(WorkerExit::CrashInjected);
             }
         }
-        let msg = handle(&frame, replica);
+        if matches!(frame.msg, Message::Task { .. }) {
+            tasks += 1;
+            if tasks.is_multiple_of(8) {
+                journal.mark(frame.step, "task", format!("served={tasks}"));
+            }
+        }
+        let msg = handle(&frame, replica, journal);
         if let Some(msg) = msg {
             // A failed reply means the link is gone mid-exchange; the
             // supervisor reconnects and the coordinator's retry path
@@ -176,9 +221,16 @@ fn serve(
 }
 
 /// Computes the reply for one admitted frame; `None` means drop it.
-fn handle(frame: &Frame, replica: &mut Replica) -> Option<Message> {
+fn handle(frame: &Frame, replica: &mut Replica, journal: &NodeJournal) -> Option<Message> {
     match &frame.msg {
         Message::Heartbeat => Some(Message::HeartbeatAck),
+        Message::TelemetryPoll { ack } => {
+            // Pure read: resend-from-ack means a retried poll re-ships
+            // the same suffix, and the coordinator's ship ledger drops
+            // the duplicated prefix. No ledger gating needed.
+            let (from, events_jsonl) = journal.batch_from(*ack);
+            Some(Message::Telemetry { from, events_jsonl })
+        }
         Message::Task { total, mode, shard } => {
             if shard.is_empty() {
                 return Some(Message::Ack);
@@ -293,8 +345,9 @@ pub fn run_node(cfg: NodeConfig) -> Result<(), NetError> {
     let mut injector = FaultInjector::new(cfg.plan.clone());
     let mut attempt: u32 = 0;
     let mut joined = false;
+    let mut journal = NodeJournal::new(cfg.node_id);
     loop {
-        match run_worker(&cfg, &mut injector, &mut joined) {
+        match run_worker(&cfg, &mut injector, &mut joined, &mut journal) {
             Ok(WorkerExit::Finished) => return Ok(()),
             Ok(WorkerExit::CrashInjected) => {
                 // The crash has happened; a restarted node must not

@@ -265,6 +265,32 @@ pub enum JournalEvent {
         /// Simulated seconds charged by this batch, per phase.
         phases: PhaseSeconds,
     },
+    /// A node-local informational marker (no simulated-time charge):
+    /// worker lifecycle points (`join`, `task`, `crash-inject`, ...)
+    /// shipped to the coordinator by the observability plane.
+    Mark {
+        /// Step count the marker is anchored to (coordinator clock).
+        step: u64,
+        /// What happened (`join`, `task`, `crash-inject`, `rejoin`).
+        label: String,
+        /// Free-form detail (epoch, shard, batch counts, ...).
+        detail: String,
+    },
+    /// An alert rule fired. Alert firings are journal events themselves,
+    /// so merged journals and traces carry the SLO story inline.
+    Alert {
+        /// Step at which the rule fired.
+        step: u64,
+        /// Rule id (`heartbeat-gap`, `reshard-storm`, `hit-rate`,
+        /// `steps-per-sec`).
+        rule: String,
+        /// Human-readable firing message.
+        message: String,
+        /// The observed value that crossed the threshold.
+        value: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
     /// Serve-run trailer: totals, emitted once, last.
     ServeEnd {
         /// Requests completed.
@@ -303,6 +329,8 @@ impl JournalEvent {
             JournalEvent::RunEnd { .. } => "run_end",
             JournalEvent::ServeStart { .. } => "serve_start",
             JournalEvent::ServeBatch { .. } => "serve_batch",
+            JournalEvent::Mark { .. } => "mark",
+            JournalEvent::Alert { .. } => "alert",
             JournalEvent::ServeEnd { .. } => "serve_end",
         }
     }
@@ -435,6 +463,18 @@ impl JournalEvent {
                 m.insert("max_batch".into(), serde_json::to_value(max_batch));
                 m.insert("max_delay_us".into(), serde_json::to_value(max_delay_us));
                 m.insert("queue_cap".into(), serde_json::to_value(queue_cap));
+            }
+            JournalEvent::Mark { step, label, detail } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("label".into(), Value::String(label.clone()));
+                m.insert("detail".into(), Value::String(detail.clone()));
+            }
+            JournalEvent::Alert { step, rule, message, value, threshold } => {
+                m.insert("step".into(), serde_json::to_value(step));
+                m.insert("rule".into(), Value::String(rule.clone()));
+                m.insert("message".into(), Value::String(message.clone()));
+                m.insert("value".into(), serde_json::to_value(value));
+                m.insert("threshold".into(), serde_json::to_value(threshold));
             }
             JournalEvent::ServeBatch { batch, worker, size, start_s, hits, misses, phases } => {
                 m.insert("batch".into(), serde_json::to_value(batch));
@@ -584,6 +624,18 @@ impl JournalEvent {
                 max_delay_us: get_u64("max_delay_us")?,
                 queue_cap: get_u64("queue_cap")? as usize,
             },
+            "mark" => JournalEvent::Mark {
+                step: get_u64("step")?,
+                label: get_str("label")?,
+                detail: get_str("detail")?,
+            },
+            "alert" => JournalEvent::Alert {
+                step: get_u64("step")?,
+                rule: get_str("rule")?,
+                message: get_str("message")?,
+                value: get_f64("value")?,
+                threshold: get_f64("threshold")?,
+            },
             "serve_batch" => JournalEvent::ServeBatch {
                 batch: get_u64("batch")?,
                 worker: get_u64("worker")? as usize,
@@ -608,30 +660,93 @@ impl JournalEvent {
     }
 }
 
+/// One journal event with its origin coordinates: which node emitted it
+/// (`node_id`) and where it sits in that node's emission order (`seq`).
+///
+/// The origin tag is distinct from the *subject* `node` field of
+/// membership events (`node_join`, `node_lost`, `reshard`): those name
+/// the wire node the event is about; `node_id` names the journal that
+/// produced the line. Convention: the coordinator (and any
+/// single-process run) is `node_id` 0, wire worker `k` is `node_id`
+/// `k + 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaggedEvent {
+    /// Originating journal (0 = coordinator / single-process).
+    pub node_id: u64,
+    /// Position in the originating journal's emission order.
+    pub seq: u64,
+    /// The event itself.
+    pub event: JournalEvent,
+}
+
+impl TaggedEvent {
+    /// Serializes to the single-line JSON object the journal stores:
+    /// the event's own object plus `node_id` and `seq` keys.
+    pub fn to_json(&self) -> Value {
+        let mut v = self.event.to_json();
+        if let Value::Object(m) = &mut v {
+            m.insert("node_id".into(), serde_json::to_value(&self.node_id));
+            m.insert("seq".into(), serde_json::to_value(&self.seq));
+        }
+        v
+    }
+
+    /// The one-line JSONL form (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(&self.to_json()).unwrap_or_default()
+    }
+
+    /// Parses a tagged line's value tree. Legacy lines without the tag
+    /// fall back to `node_id` 0 and `seq = fallback_seq`, so pre-plane
+    /// journals keep parsing.
+    pub fn from_json(v: &Value, fallback_seq: u64) -> Result<Self, String> {
+        let event = JournalEvent::from_json(v)?;
+        let node_id = v.get("node_id").and_then(Value::as_u64).unwrap_or(0);
+        let seq = v.get("seq").and_then(Value::as_u64).unwrap_or(fallback_seq);
+        Ok(TaggedEvent { node_id, seq, event })
+    }
+}
+
 /// An incremental JSONL writer. Every [`write`](JournalWriter::write)
 /// appends one line and flushes, so the file on disk is always a valid
 /// prefix of the journal — a crash costs at most the line being written.
+/// Every line is tagged with the writer's `node_id` and a running `seq`.
 #[derive(Debug)]
 pub struct JournalWriter {
     out: BufWriter<File>,
+    node_id: u64,
     lines: u64,
 }
 
 impl JournalWriter {
-    /// Creates (truncates) the journal file at `path`.
+    /// Creates (truncates) the journal file at `path`, tagging lines as
+    /// node 0 (the single-process / coordinator convention).
     pub fn create(path: &Path) -> io::Result<Self> {
+        Self::create_for_node(path, 0)
+    }
+
+    /// Creates (truncates) the journal file at `path`, tagging lines
+    /// with `node_id`.
+    pub fn create_for_node(path: &Path, node_id: u64) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        Ok(Self { out: BufWriter::new(File::create(path)?), lines: 0 })
+        Ok(Self { out: BufWriter::new(File::create(path)?), node_id, lines: 0 })
     }
 
-    /// Appends one event and flushes it to disk.
+    /// Appends one event (tagged with this writer's node id and the next
+    /// sequence number) and flushes it to disk.
     pub fn write(&mut self, event: &JournalEvent) -> io::Result<()> {
-        let line =
-            serde_json::to_string(&event.to_json()).map_err(|e| io::Error::other(e.to_string()))?;
+        let tagged = TaggedEvent { node_id: self.node_id, seq: self.lines, event: event.clone() };
+        self.write_raw_line(&tagged.to_line())
+    }
+
+    /// Appends one pre-serialized JSONL line verbatim (already tagged at
+    /// its origin — used when the coordinator persists shipped worker
+    /// events without re-tagging them).
+    pub fn write_raw_line(&mut self, line: &str) -> io::Result<()> {
         self.out.write_all(line.as_bytes())?;
         self.out.write_all(b"\n")?;
         self.out.flush()?;
@@ -674,6 +789,39 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEvent>, String> {
 pub fn read_journal(path: &Path) -> Result<Vec<JournalEvent>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     parse_journal(&text)
+}
+
+/// Parses a journal text keeping origin tags. Same torn-final-line
+/// tolerance as [`parse_journal`]; legacy untagged lines come back as
+/// node 0 with `seq` equal to their position in the file, so pre-plane
+/// journals merge like a single-node stream.
+pub fn parse_tagged_journal(text: &str) -> Result<Vec<TaggedEvent>, String> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!("journal: dropping torn final line: {e}");
+                break;
+            }
+            Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+        };
+        events.push(
+            TaggedEvent::from_json(&value, events.len() as u64)
+                .map_err(|e| format!("journal line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+/// Reads and parses a journal file keeping origin tags.
+pub fn read_tagged_journal(path: &Path) -> Result<Vec<TaggedEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_tagged_journal(&text)
 }
 
 #[cfg(test)]
@@ -777,6 +925,18 @@ mod tests {
                 hit_rate: 0.9375,
                 simulated_seconds: 0.004,
             },
+            JournalEvent::Mark {
+                step: 3,
+                label: "task".into(),
+                detail: "shard=1 batches=8".into(),
+            },
+            JournalEvent::Alert {
+                step: 2,
+                rule: "heartbeat-gap".into(),
+                message: "node 1 lost after 3 missed deadlines".into(),
+                value: 3.0,
+                threshold: 2.0,
+            },
         ]
     }
 
@@ -852,5 +1012,60 @@ mod tests {
     fn unknown_event_type_is_rejected() {
         let v: Value = serde_json::from_str("{\"type\":\"mystery\"}").unwrap();
         assert!(JournalEvent::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn written_lines_carry_node_id_and_seq() {
+        let dir = std::env::temp_dir().join("fae-telemetry-journal-tag");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tagged.jsonl");
+        let mut w = JournalWriter::create_for_node(&path, 3).unwrap();
+        for e in sample_events().iter().take(4) {
+            w.write(e).unwrap();
+        }
+        let tagged = read_tagged_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(tagged.len(), 4);
+        for (i, t) in tagged.iter().enumerate() {
+            assert_eq!(t.node_id, 3);
+            assert_eq!(t.seq, i as u64);
+        }
+        // The plain parser reads the same file, dropping the tags.
+        assert_eq!(tagged[0].event.type_tag(), "run_start");
+    }
+
+    #[test]
+    fn default_writer_tags_node_zero() {
+        let dir = std::env::temp_dir().join("fae-telemetry-journal-tag0");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("n0.jsonl");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.write(&JournalEvent::Fault { step: 1, kind: "device-loss".into() }).unwrap();
+        let tagged = read_tagged_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(tagged[0].node_id, 0);
+        assert_eq!(tagged[0].seq, 0);
+    }
+
+    #[test]
+    fn legacy_untagged_lines_parse_as_node_zero_in_file_order() {
+        let text = "{\"type\":\"fault\",\"step\":1,\"kind\":\"device-loss\"}\n\
+                    {\"type\":\"recovery\",\"step\":1,\"action\":\"a\",\"detail\":\"d\"}\n";
+        let tagged = parse_tagged_journal(text).unwrap();
+        assert_eq!(tagged.len(), 2);
+        assert_eq!((tagged[0].node_id, tagged[0].seq), (0, 0));
+        assert_eq!((tagged[1].node_id, tagged[1].seq), (0, 1));
+    }
+
+    #[test]
+    fn tagged_round_trip_preserves_origin() {
+        let t = TaggedEvent {
+            node_id: 2,
+            seq: 17,
+            event: JournalEvent::Mark { step: 5, label: "task".into(), detail: "x".into() },
+        };
+        let v: Value = serde_json::from_str(&t.to_line()).unwrap();
+        let back = TaggedEvent::from_json(&v, 0).unwrap();
+        assert_eq!(back, t);
     }
 }

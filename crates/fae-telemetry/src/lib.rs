@@ -21,28 +21,47 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod journal;
+pub mod merge;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod top;
 pub mod trace;
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+pub use alerts::{steps_floor_from_baseline, AlertEngine, AlertRule};
 pub use journal::{
-    parse_journal, read_journal, JournalEvent, JournalWriter, PhaseSeconds, StepMode,
+    parse_journal, parse_tagged_journal, read_journal, read_tagged_journal, JournalEvent,
+    JournalWriter, PhaseSeconds, StepMode, TaggedEvent,
 };
+pub use merge::{check_invariant, merge_tagged, MergeStats, MergedInvariant, ShipLedger};
 pub use metrics::{Histogram, MetricsRegistry, SpanStat};
-pub use report::{render, summarize, PhaseBreakdown, RunSummary, ServeSummary};
+pub use report::{render, summarize, summarize_tagged, PhaseBreakdown, RunSummary, ServeSummary};
 pub use span::SpanGuard;
-pub use trace::chrome_trace;
+pub use top::render_top;
+pub use trace::{chrome_trace, merged_chrome_trace};
 
 struct Inner {
     metrics: Mutex<MetricsRegistry>,
     journal: Mutex<Option<JournalWriter>>,
+    journal_path: Option<PathBuf>,
+    /// Per-wire-node sidecar writers for shipped worker journals,
+    /// created lazily next to the main journal file.
+    sidecars: Mutex<BTreeMap<u64, JournalWriter>>,
+    alerts: Mutex<AlertEngine>,
     events: Mutex<Vec<JournalEvent>>,
+    /// Tagged JSONL lines of everything this handle saw (own emissions
+    /// plus shipped worker lines), retained when `retain_events` is on —
+    /// the source for live observers and in-process merged traces.
+    lines: Mutex<Vec<String>>,
+    seq: Mutex<u64>,
+    node_id: u64,
     retain_events: bool,
     progress: bool,
     progress_every: u64,
@@ -129,16 +148,29 @@ impl Telemetry {
         SpanGuard::open(self.clone(), path)
     }
 
-    /// Emits one journal event: appended (and flushed) to the journal
-    /// file if one is attached, retained in memory when configured, and
-    /// echoed as a progress line when `--progress` is on. Journal write
-    /// errors are reported to stderr once per event, never fatal — losing
-    /// telemetry must not kill training.
+    /// Emits one journal event: tagged with this handle's node id and
+    /// the next sequence number, appended (and flushed) to the journal
+    /// file if one is attached, retained in memory when configured,
+    /// echoed as a progress line when `--progress` is on, and fed to the
+    /// alert engine — any rule that fires is emitted right behind it as
+    /// an [`JournalEvent::Alert`]. Journal write errors are reported to
+    /// stderr once per event, never fatal — losing telemetry must not
+    /// kill training.
     pub fn emit(&self, event: &JournalEvent) {
         let Some(inner) = &self.0 else { return };
+        let seq = match inner.seq.lock() {
+            Ok(mut s) => {
+                let v = *s;
+                *s += 1;
+                v
+            }
+            Err(_) => 0,
+        };
+        let tagged = TaggedEvent { node_id: inner.node_id, seq, event: event.clone() };
+        let line = tagged.to_line();
         if let Ok(mut j) = inner.journal.lock() {
             if let Some(w) = j.as_mut() {
-                if let Err(e) = w.write(event) {
+                if let Err(e) = w.write_raw_line(&line) {
                     eprintln!("telemetry: journal write failed: {e}");
                 }
             }
@@ -147,9 +179,63 @@ impl Telemetry {
             if let Ok(mut ev) = inner.events.lock() {
                 ev.push(event.clone());
             }
+            if let Ok(mut ls) = inner.lines.lock() {
+                ls.push(line);
+            }
         }
         if inner.progress {
             self.progress_line(inner, event);
+        }
+        // Evaluate alert rules last, with every lock released: firings
+        // re-enter emit() as first-class journal events. Alerts never
+        // trigger rules themselves, so this recursion is one level deep.
+        let fired = match inner.alerts.lock() {
+            Ok(mut engine) => engine.observe(event),
+            Err(_) => Vec::new(),
+        };
+        for a in &fired {
+            self.emit(a);
+        }
+    }
+
+    /// Persists a batch of shipped worker journal lines (already tagged
+    /// at their origin): appended verbatim to the per-node sidecar file
+    /// `<journal>.node<k>.jsonl` next to the main journal, and retained
+    /// for live observers when `retain_events` is on. `wire_node` is the
+    /// worker's wire id (its journal tag is `wire_node + 1`).
+    pub fn ship_lines(&self, wire_node: u64, batch: &str) {
+        let Some(inner) = &self.0 else { return };
+        let lines: Vec<&str> = batch.lines().filter(|l| !l.trim().is_empty()).collect();
+        if lines.is_empty() {
+            return;
+        }
+        if let Some(path) = sidecar_path(inner.journal_path.as_deref(), wire_node) {
+            if let Ok(mut sidecars) = inner.sidecars.lock() {
+                let writer = match sidecars.entry(wire_node) {
+                    std::collections::btree_map::Entry::Occupied(e) => Some(e.into_mut()),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        match JournalWriter::create_for_node(&path, wire_node + 1) {
+                            Ok(w) => Some(e.insert(w)),
+                            Err(err) => {
+                                eprintln!("telemetry: sidecar {} failed: {err}", path.display());
+                                None
+                            }
+                        }
+                    }
+                };
+                if let Some(w) = writer {
+                    for l in &lines {
+                        if let Err(e) = w.write_raw_line(l) {
+                            eprintln!("telemetry: sidecar write failed: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        if inner.retain_events {
+            if let Ok(mut ls) = inner.lines.lock() {
+                ls.extend(lines.iter().map(|l| l.to_string()));
+            }
         }
     }
 
@@ -181,6 +267,9 @@ impl Telemetry {
             JournalEvent::Recovery { step, action, detail } => {
                 eprintln!("[fae] recovery @{step}: {action} ({detail})");
             }
+            JournalEvent::Alert { step, rule, message, .. } => {
+                eprintln!("[fae] ALERT @{step}: {rule}: {message}");
+            }
             JournalEvent::RunEnd { steps, hot_steps, cold_steps, simulated_seconds, .. } => {
                 eprintln!(
                     "[fae] done: {steps} steps ({hot_steps} hot / {cold_steps} cold), {simulated_seconds:.3} simulated s"
@@ -207,27 +296,68 @@ impl Telemetry {
         }
     }
 
+    /// The retained tagged JSONL lines — this handle's own emissions
+    /// plus every shipped worker line, in arrival order. Empty unless
+    /// [`TelemetryBuilder::retain_events`] was set. This is what a live
+    /// observer (`fae top <addr>`) is served.
+    pub fn tagged_lines(&self) -> Vec<String> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => inner.lines.lock().map(|l| l.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Paths of the per-node sidecar journals written so far (empty when
+    /// no journal is attached or nothing was shipped).
+    pub fn sidecar_paths(&self) -> Vec<PathBuf> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(inner) => match inner.sidecars.lock() {
+                Ok(s) => s
+                    .keys()
+                    .filter_map(|k| sidecar_path(inner.journal_path.as_deref(), *k))
+                    .collect(),
+                Err(_) => Vec::new(),
+            },
+        }
+    }
+
     /// Serializes the metrics snapshot as pretty JSON.
     pub fn metrics_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(&self.metrics().to_json())
     }
 
-    /// Writes the metrics snapshot to `path`.
+    /// Writes the metrics snapshot to `path`: Prometheus text
+    /// exposition when the extension is `.prom`, pretty JSON otherwise.
     pub fn write_metrics(&self, path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let json = self.metrics_json().map_err(io::Error::other)?;
-        std::fs::write(path, json)
+        let text = if path.extension().is_some_and(|e| e == "prom") {
+            self.metrics().to_prometheus()
+        } else {
+            self.metrics_json().map_err(io::Error::other)?
+        };
+        std::fs::write(path, text)
     }
+}
+
+/// The sidecar journal path for shipped worker `wire_node` next to the
+/// main journal: `dist.jsonl` → `dist.node0.jsonl`.
+fn sidecar_path(journal: Option<&Path>, wire_node: u64) -> Option<PathBuf> {
+    let journal = journal?;
+    let stem = journal.file_stem()?.to_string_lossy().into_owned();
+    Some(journal.with_file_name(format!("{stem}.node{wire_node}.jsonl")))
 }
 
 /// Configures and builds an enabled [`Telemetry`] handle.
 #[derive(Debug, Default)]
 pub struct TelemetryBuilder {
     journal_path: Option<PathBuf>,
+    node_id: u64,
+    alerts: Option<AlertEngine>,
     retain_events: bool,
     progress: bool,
     progress_every: Option<u64>,
@@ -237,6 +367,20 @@ impl TelemetryBuilder {
     /// Attaches a JSONL journal at `path` (created/truncated on build).
     pub fn journal_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Tags every emitted event with this originating node id (default
+    /// 0, the single-process / coordinator convention).
+    pub fn node_id(mut self, node_id: u64) -> Self {
+        self.node_id = node_id;
+        self
+    }
+
+    /// Attaches an alert engine; rule firings are emitted as
+    /// `alert` journal events.
+    pub fn alerts(mut self, engine: AlertEngine) -> Self {
+        self.alerts = Some(engine);
         self
     }
 
@@ -264,12 +408,18 @@ impl TelemetryBuilder {
     pub fn try_build(self) -> io::Result<Telemetry> {
         let journal = match &self.journal_path {
             None => None,
-            Some(p) => Some(JournalWriter::create(p)?),
+            Some(p) => Some(JournalWriter::create_for_node(p, self.node_id)?),
         };
         Ok(Telemetry(Some(Arc::new(Inner {
             metrics: Mutex::new(MetricsRegistry::new()),
             journal: Mutex::new(journal),
+            journal_path: self.journal_path,
+            sidecars: Mutex::new(BTreeMap::new()),
+            alerts: Mutex::new(self.alerts.unwrap_or_else(AlertEngine::empty)),
             events: Mutex::new(Vec::new()),
+            lines: Mutex::new(Vec::new()),
+            seq: Mutex::new(0),
+            node_id: self.node_id,
             retain_events: self.retain_events,
             progress: self.progress,
             progress_every: self.progress_every.unwrap_or(100),
@@ -320,6 +470,48 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0], JournalEvent::Fault { step: 1, kind: "device-loss".into() });
+    }
+
+    #[test]
+    fn alert_firings_are_emitted_as_events() {
+        let engine = AlertEngine::parse("heartbeat-gap>0").expect("spec");
+        let t = Telemetry::builder().retain_events(true).alerts(engine).try_build().unwrap();
+        t.emit(&JournalEvent::NodeLost { step: 4, node: 1, suspicion: 2 });
+        let events = t.events();
+        assert_eq!(events.len(), 2, "the loss plus the alert it fired");
+        assert!(matches!(&events[1], JournalEvent::Alert { rule, .. } if rule == "heartbeat-gap"));
+        // Tagged lines carry both, with consecutive seqs.
+        let lines = t.tagged_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"seq\":1"));
+    }
+
+    #[test]
+    fn shipped_lines_land_in_sidecars_and_retained_stream() {
+        let dir = std::env::temp_dir().join("fae-telemetry-ship");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dist.jsonl");
+        let t = Telemetry::builder()
+            .journal_path(&path)
+            .retain_events(true)
+            .try_build()
+            .expect("telemetry");
+        let worker_line = TaggedEvent {
+            node_id: 2,
+            seq: 0,
+            event: JournalEvent::Mark { step: 1, label: "join".into(), detail: "".into() },
+        }
+        .to_line();
+        t.ship_lines(1, &format!("{worker_line}\n"));
+        let sidecars = t.sidecar_paths();
+        assert_eq!(sidecars.len(), 1);
+        assert!(sidecars[0].ends_with("dist.node1.jsonl"));
+        let shipped = read_tagged_journal(&sidecars[0]).unwrap();
+        assert_eq!(shipped.len(), 1);
+        assert_eq!(shipped[0].node_id, 2);
+        assert_eq!(t.tagged_lines(), vec![worker_line]);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sidecars[0]).ok();
     }
 
     #[test]

@@ -280,6 +280,84 @@ impl MetricsRegistry {
         root.insert("spans".into(), Value::Object(spans));
         Value::Object(root)
     }
+
+    /// Snapshots the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Dot-separated fae names map to underscore form
+    /// (`net.nodes_lost` → `fae_net_nodes_lost`); histograms expose
+    /// cumulative `_bucket{le=...}` series over the non-empty log₂
+    /// buckets plus `_sum`/`_count`; spans expose `_count`, `_real
+    /// _seconds` and `_sim_seconds` series. Output order is the maps'
+    /// deterministic BTreeMap order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", prom_f64(*v)));
+        }
+        for (k, h) in &self.histograms {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let (_, hi) = Histogram::bucket_bounds(i);
+                out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", prom_f64(hi)));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", prom_f64(h.sum)));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        for (k, s) in &self.spans {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name}_count counter\n{name}_count {}\n", s.count));
+            out.push_str(&format!(
+                "# TYPE {name}_real_seconds counter\n{name}_real_seconds {}\n",
+                prom_f64(s.real_s)
+            ));
+            out.push_str(&format!(
+                "# TYPE {name}_sim_seconds counter\n{name}_sim_seconds {}\n",
+                prom_f64(s.sim_s)
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a fae metric name to a valid Prometheus metric name: the `fae_`
+/// namespace prefix, with every character outside `[a-zA-Z0-9_]`
+/// (dots, dashes, slashes) folded to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("fae_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way Prometheus expects (no exponent surprises for
+/// integral values, `+Inf`/`-Inf`/`NaN` spellings).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +489,46 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(7.0));
         assert_eq!(a.histogram("h").unwrap().count, 2);
         assert_eq!(a.span("s").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_all_kinds() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("net.joins", 2);
+        r.gauge_set("scheduler.rate", 25.0);
+        r.observe("serve.latency", 0.5);
+        r.observe("serve.latency", 0.25);
+        r.span_record("pipeline/train", 1.5, 100.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE fae_net_joins counter\nfae_net_joins 2\n"));
+        assert!(text.contains("# TYPE fae_scheduler_rate gauge\nfae_scheduler_rate 25\n"));
+        assert!(text.contains("# TYPE fae_serve_latency histogram\n"));
+        assert!(text.contains("fae_serve_latency_bucket{le=\"0.5\"} 1\n"));
+        assert!(text.contains("fae_serve_latency_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("fae_serve_latency_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("fae_serve_latency_sum 0.75\n"));
+        assert!(text.contains("fae_serve_latency_count 2\n"));
+        assert!(text.contains("fae_pipeline_train_count 1\n"));
+        assert!(text.contains("fae_pipeline_train_sim_seconds 100\n"));
+        // No raw dots or slashes survive in metric names.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad prom name in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("b", 1);
+        r.counter_add("a", 1);
+        let a = r.to_prometheus();
+        let b = r.clone().to_prometheus();
+        assert_eq!(a, b);
+        assert!(a.find("fae_a").unwrap() < a.find("fae_b").unwrap());
     }
 
     #[test]

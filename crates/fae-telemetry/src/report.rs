@@ -9,7 +9,7 @@
 
 use fae_sysmodel::Phase;
 
-use crate::journal::{JournalEvent, StepMode};
+use crate::journal::{JournalEvent, StepMode, TaggedEvent};
 
 /// Per-phase simulated seconds split by spend category. Arrays are
 /// indexed in `Phase::ALL` order.
@@ -84,6 +84,30 @@ pub struct ServeSummary {
     pub phase_seconds: [f64; 8],
 }
 
+/// One alert firing extracted from the journal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertRow {
+    /// Step at which the rule fired.
+    pub step: u64,
+    /// Rule id.
+    pub rule: String,
+    /// Firing message.
+    pub message: String,
+}
+
+/// Per-originating-node activity in a merged stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeSummary {
+    /// Originating journal node id (0 = coordinator).
+    pub node_id: u64,
+    /// Events this node emitted.
+    pub events: u64,
+    /// Informational marks among them.
+    pub marks: u64,
+    /// Simulated seconds this node's events charged.
+    pub charged_seconds: f64,
+}
+
 /// Everything `fae report` prints, extracted from one journal.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunSummary {
@@ -123,6 +147,11 @@ pub struct RunSummary {
     pub interrupted: bool,
     /// Serving metrics, present when the journal carries serve events.
     pub serve: Option<ServeSummary>,
+    /// Alert firings in journal order.
+    pub alerts: Vec<AlertRow>,
+    /// Per-node activity, populated by [`summarize_tagged`] (empty for
+    /// plain single-journal summaries).
+    pub per_node: Vec<NodeSummary>,
 }
 
 impl RunSummary {
@@ -229,8 +258,39 @@ pub fn summarize(events: &[JournalEvent]) -> RunSummary {
                 serve.hit_rate = *hit_rate;
                 serve.simulated_seconds = *simulated_seconds;
             }
+            JournalEvent::Mark { .. } => {}
+            JournalEvent::Alert { step, rule, message, .. } => {
+                s.alerts.push(AlertRow {
+                    step: *step,
+                    rule: rule.clone(),
+                    message: message.clone(),
+                });
+            }
         }
     }
+    s
+}
+
+/// Folds a tagged (usually merged, multi-node) stream into a
+/// [`RunSummary`] whose `per_node` section breaks activity down by
+/// originating node.
+pub fn summarize_tagged(tagged: &[TaggedEvent]) -> RunSummary {
+    let events: Vec<JournalEvent> = tagged.iter().map(|t| t.event.clone()).collect();
+    let mut s = summarize(&events);
+    let mut nodes: std::collections::BTreeMap<u64, NodeSummary> = Default::default();
+    for t in tagged {
+        let n = nodes
+            .entry(t.node_id)
+            .or_insert_with(|| NodeSummary { node_id: t.node_id, ..Default::default() });
+        n.events += 1;
+        if matches!(t.event, JournalEvent::Mark { .. }) {
+            n.marks += 1;
+        }
+        if let Some(p) = t.event.phases() {
+            n.charged_seconds += p.total();
+        }
+    }
+    s.per_node = nodes.into_values().collect();
     s
 }
 
@@ -360,6 +420,34 @@ pub fn render(s: &RunSummary) -> String {
     }
     if let Some(acc) = s.final_accuracy {
         push(&mut out, format!("final accuracy: {acc:.5}"));
+    }
+
+    if !s.per_node.is_empty() {
+        push(&mut out, String::new());
+        push(&mut out, "per node".into());
+        push(
+            &mut out,
+            format!("{:<10} {:>8} {:>8} {:>14}", "node", "events", "marks", "charged (s)"),
+        );
+        for n in &s.per_node {
+            let label = if n.node_id == 0 {
+                "0 (coord)".to_string()
+            } else {
+                format!("{} (w{})", n.node_id, n.node_id - 1)
+            };
+            push(
+                &mut out,
+                format!("{:<10} {:>8} {:>8} {:>14.6}", label, n.events, n.marks, n.charged_seconds,),
+            );
+        }
+    }
+
+    if !s.alerts.is_empty() {
+        push(&mut out, String::new());
+        push(&mut out, format!("alerts ({} fired)", s.alerts.len()));
+        for a in &s.alerts {
+            push(&mut out, format!("  @{:<8} [{}] {}", a.step, a.rule, a.message));
+        }
     }
 
     if let Some(serve) = &s.serve {
@@ -555,6 +643,46 @@ mod tests {
         assert!(text.contains("hit rate 0.9423"));
         assert!(text.contains("p50 1.200 ms"));
         assert!(text.contains("embed-forward"));
+    }
+
+    #[test]
+    fn tagged_summary_breaks_down_per_node_and_collects_alerts() {
+        let mut tagged: Vec<TaggedEvent> = sample()
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TaggedEvent { node_id: 0, seq: i as u64, event })
+            .collect();
+        tagged.push(TaggedEvent {
+            node_id: 2,
+            seq: 0,
+            event: JournalEvent::Mark { step: 1, label: "task".into(), detail: "".into() },
+        });
+        tagged.push(TaggedEvent {
+            node_id: 0,
+            seq: 99,
+            event: JournalEvent::Alert {
+                step: 2,
+                rule: "heartbeat-gap".into(),
+                message: "node 1 lost".into(),
+                value: 3.0,
+                threshold: 2.0,
+            },
+        });
+        let s = summarize_tagged(&tagged);
+        assert_eq!(s.per_node.len(), 2);
+        assert_eq!(s.per_node[0].node_id, 0);
+        assert!((s.per_node[0].charged_seconds - s.journalled_seconds()).abs() < 1e-12);
+        assert_eq!(s.per_node[1].node_id, 2);
+        assert_eq!(s.per_node[1].marks, 1);
+        assert_eq!(s.per_node[1].charged_seconds, 0.0);
+        assert_eq!(s.alerts.len(), 1);
+        let text = render(&s);
+        assert!(text.contains("per node"));
+        assert!(text.contains("2 (w1)"));
+        assert!(text.contains("alerts (1 fired)"));
+        assert!(text.contains("[heartbeat-gap]"));
+        // Plain summaries carry no per-node section.
+        assert!(summarize(&sample()).per_node.is_empty());
     }
 
     #[test]

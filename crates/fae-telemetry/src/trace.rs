@@ -18,9 +18,12 @@
 use fae_sysmodel::Phase;
 use serde_json::{Map, Value};
 
-use crate::journal::{JournalEvent, StepMode};
+use crate::journal::{JournalEvent, StepMode, TaggedEvent};
 
-/// The fixed pid under which all tracks are emitted.
+/// The fixed pid under which all tracks are emitted. The merged
+/// cross-node exporter uses one pid per originating node —
+/// `node_id + 1`, so the coordinator keeps this pid — which Perfetto
+/// renders as one track group per node.
 pub const TRACE_PID: u64 = 1;
 
 /// Tid of the CPU-resident track. Device tracks occupy
@@ -52,16 +55,20 @@ fn track_for(phase: Phase, mode: Option<StepMode>) -> Track {
     }
 }
 
-fn meta_event(tid: u64, name: &str, arg: &str) -> Value {
+fn meta_event_pid(pid: u64, tid: u64, name: &str, arg: &str) -> Value {
     let mut args = Map::new();
     args.insert("name".into(), Value::String(arg.into()));
     let mut m = Map::new();
     m.insert("ph".into(), Value::String("M".into()));
-    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+    m.insert("pid".into(), serde_json::to_value(&pid));
     m.insert("tid".into(), serde_json::to_value(&tid));
     m.insert("name".into(), Value::String(name.into()));
     m.insert("args".into(), Value::Object(args));
     Value::Object(m)
+}
+
+fn meta_event(tid: u64, name: &str, arg: &str) -> Value {
+    meta_event_pid(TRACE_PID, tid, name, arg)
 }
 
 fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: Map) -> Value {
@@ -77,10 +84,10 @@ fn slice_event(tid: u64, name: &str, cat: &str, ts_us: f64, dur_us: f64, args: M
     Value::Object(m)
 }
 
-fn instant_event(tid: u64, name: &str, cat: &str, ts_us: f64, args: Map) -> Value {
+fn instant_event_pid(pid: u64, tid: u64, name: &str, cat: &str, ts_us: f64, args: Map) -> Value {
     let mut m = Map::new();
     m.insert("ph".into(), Value::String("i".into()));
-    m.insert("pid".into(), serde_json::to_value(&TRACE_PID));
+    m.insert("pid".into(), serde_json::to_value(&pid));
     m.insert("tid".into(), serde_json::to_value(&tid));
     m.insert("name".into(), Value::String(name.into()));
     m.insert("cat".into(), Value::String(cat.into()));
@@ -90,12 +97,26 @@ fn instant_event(tid: u64, name: &str, cat: &str, ts_us: f64, args: Map) -> Valu
     Value::Object(m)
 }
 
+fn instant_event(tid: u64, name: &str, cat: &str, ts_us: f64, args: Map) -> Value {
+    instant_event_pid(TRACE_PID, tid, name, cat, ts_us, args)
+}
+
 /// Renders a journal as a Chrome trace-event JSON document.
 ///
 /// The output is a complete `{"traceEvents": [...]}` object; write it to
 /// a file and load it in Perfetto's JSON importer or `chrome://tracing`.
 /// Errs only if the assembled in-memory `Value` fails to serialize.
 pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error> {
+    let out = trace_events(events);
+    let mut root = Map::new();
+    root.insert("traceEvents".into(), Value::Array(out));
+    root.insert("displayTimeUnit".into(), Value::String("ms".into()));
+    serde_json::to_string(&Value::Object(root))
+}
+
+/// The event array of [`chrome_trace`], reused by the merged exporter
+/// for the coordinator's (pid [`TRACE_PID`]) track group.
+fn trace_events(events: &[JournalEvent]) -> Vec<Value> {
     let (num_gpus, workers) = events
         .iter()
         .find_map(|e| match e {
@@ -207,6 +228,37 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error
                     m.insert("s".into(), Value::String("p".into()));
                     m.insert("args".into(), Value::Object(args));
                     out.push(Value::Object(m));
+                    continue;
+                }
+                JournalEvent::Mark { step, label, detail } => {
+                    // Node-local markers carry no charge: instant on the
+                    // framework track (the merged exporter re-renders
+                    // them on their own node's track group instead).
+                    let mut args = Map::new();
+                    args.insert("step".into(), serde_json::to_value(step));
+                    args.insert("detail".into(), Value::String(detail.clone()));
+                    out.push(instant_event(
+                        tid_framework,
+                        &format!("mark:{label}"),
+                        "mark",
+                        cursor_us,
+                        args,
+                    ));
+                    continue;
+                }
+                JournalEvent::Alert { step, rule, message, value, threshold } => {
+                    let mut args = Map::new();
+                    args.insert("step".into(), serde_json::to_value(step));
+                    args.insert("message".into(), Value::String(message.clone()));
+                    args.insert("value".into(), serde_json::to_value(value));
+                    args.insert("threshold".into(), serde_json::to_value(threshold));
+                    out.push(instant_event(
+                        tid_framework,
+                        &format!("alert:{rule}"),
+                        "alert",
+                        cursor_us,
+                        args,
+                    ));
                     continue;
                 }
                 JournalEvent::NodeJoin { step, node, epoch, state_bytes } => {
@@ -349,6 +401,60 @@ pub fn chrome_trace(events: &[JournalEvent]) -> Result<String, serde_json::Error
             local_us += dur_us;
         }
         cursor_us = local_us;
+    }
+    out
+}
+
+/// Renders a merged cross-node stream (from
+/// [`merge_tagged`](crate::merge::merge_tagged)) as a Chrome trace-event
+/// document with **one track group per node**: the coordinator's full
+/// simulated timeline keeps pid [`TRACE_PID`], and every worker node
+/// `k` gets its own process (pid `k + 2`) carrying its shipped marks
+/// plus a `heartbeat-gap` instant at the moment the coordinator
+/// declared it dead. Deterministic for a fixed input, byte for byte.
+pub fn merged_chrome_trace(merged: &[TaggedEvent]) -> Result<String, serde_json::Error> {
+    let times = crate::merge::event_times(merged);
+    let coordinator: Vec<JournalEvent> =
+        merged.iter().filter(|t| t.node_id == 0).map(|t| t.event.clone()).collect();
+    let mut out = trace_events(&coordinator);
+
+    // One process per worker node, in node order. Pid is the journal
+    // node id + 1 so the coordinator keeps TRACE_PID (= 0 + 1).
+    let mut worker_nodes: Vec<u64> = merged.iter().map(|t| t.node_id).filter(|n| *n > 0).collect();
+    worker_nodes.sort_unstable();
+    worker_nodes.dedup();
+    for node in &worker_nodes {
+        let wire = node - 1;
+        out.push(meta_event_pid(node + 1, 0, "process_name", &format!("fae-node{wire}")));
+        out.push(meta_event_pid(node + 1, 1, "thread_name", "events"));
+    }
+
+    for (t, ts) in merged.iter().zip(&times) {
+        let ts_us = ts * 1e6;
+        match (&t.event, t.node_id) {
+            // Shipped worker marks land on their node's own track group.
+            (JournalEvent::Mark { step, label, detail }, node) if node > 0 => {
+                let mut args = Map::new();
+                args.insert("step".into(), serde_json::to_value(step));
+                args.insert("detail".into(), Value::String(detail.clone()));
+                out.push(instant_event_pid(
+                    node + 1,
+                    1,
+                    &format!("mark:{label}"),
+                    "mark",
+                    ts_us,
+                    args,
+                ));
+            }
+            // A declared-dead worker shows the gap on its own group.
+            (JournalEvent::NodeLost { step, node, suspicion }, 0) => {
+                let mut args = Map::new();
+                args.insert("step".into(), serde_json::to_value(step));
+                args.insert("suspicion".into(), serde_json::to_value(suspicion));
+                out.push(instant_event_pid(node + 2, 1, "heartbeat-gap", "alert", ts_us, args));
+            }
+            _ => {}
+        }
     }
 
     let mut root = Map::new();
@@ -559,5 +665,97 @@ mod tests {
         // A journal with no serve events must not grow serve lanes.
         let text = chrome_trace(&sample()).expect("render");
         assert!(!text.contains("serve-worker"));
+    }
+
+    fn merged_sample() -> Vec<TaggedEvent> {
+        let mut tagged: Vec<TaggedEvent> = sample()
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TaggedEvent { node_id: 0, seq: i as u64, event })
+            .collect();
+        // Shipped worker mark, anchored at step 1; coordinator declares
+        // node (wire id) 1 lost at step 2.
+        tagged.push(TaggedEvent {
+            node_id: 2,
+            seq: 0,
+            event: JournalEvent::Mark { step: 1, label: "task".into(), detail: "t=8".into() },
+        });
+        tagged.push(TaggedEvent {
+            node_id: 0,
+            seq: 6,
+            event: JournalEvent::NodeLost { step: 2, node: 1, suspicion: 3 },
+        });
+        crate::merge::merge_tagged(&[tagged]).0
+    }
+
+    #[test]
+    fn merged_trace_has_one_process_group_per_node() {
+        let text = merged_chrome_trace(&merged_sample()).expect("render");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let processes: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("name").and_then(Value::as_str) == Some("process_name")
+            })
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Value::as_u64).unwrap(),
+                    e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str).unwrap(),
+                )
+            })
+            .collect();
+        assert!(processes.contains(&(TRACE_PID, "fae-simulated-timeline")));
+        assert!(processes.contains(&(3, "fae-node1")), "{processes:?}");
+    }
+
+    #[test]
+    fn merged_trace_places_worker_marks_and_heartbeat_gaps_on_node_pids() {
+        let text = merged_chrome_trace(&merged_sample()).expect("render");
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let mark = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("mark:task"))
+            .expect("shipped mark present");
+        assert_eq!(mark.get("pid").and_then(Value::as_u64), Some(3));
+        // Anchored at the clock of coordinator step 1 = 0.5 (initial
+        // sync) + step 1's total charge laid before it... the anchor is
+        // the clock BEFORE step 1's own charge, i.e. 0.5 s.
+        let ts = mark.get("ts").and_then(Value::as_f64).unwrap();
+        assert!((ts - 0.5e6).abs() < 1e-3, "mark ts {ts}");
+        let gap = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("heartbeat-gap"))
+            .expect("heartbeat-gap instant present");
+        assert_eq!(gap.get("pid").and_then(Value::as_u64), Some(3));
+        assert_eq!(gap.get("cat").and_then(Value::as_str), Some("alert"));
+    }
+
+    #[test]
+    fn merged_trace_coordinator_slices_match_single_node_export() {
+        // The coordinator's own track group must be exactly the
+        // single-journal export — merging adds groups, never perturbs.
+        let single = chrome_trace(&sample()).expect("render");
+        let merged = merged_chrome_trace(&merged_sample()).expect("render");
+        let slices = |text: &str| -> Vec<Value> {
+            let v: Value = serde_json::from_str(text).unwrap();
+            v.get("traceEvents")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(slices(&single), slices(&merged));
+    }
+
+    #[test]
+    fn merged_export_is_deterministic() {
+        let a = merged_chrome_trace(&merged_sample()).expect("render");
+        let b = merged_chrome_trace(&merged_sample()).expect("render");
+        assert_eq!(a, b);
     }
 }

@@ -18,5 +18,6 @@ case "$BIN" in
   train) BIN=bench_train ;;
   serve) BIN=bench_serve ;;
   multinode) BIN=bench_multinode ;;
+  obs) BIN=bench_obs ;;
 esac
 cargo run --release --locked -q -p fae-bench --bin "$BIN" -- "$@"

@@ -35,7 +35,7 @@ use fae::serve::{
     calibrate_partitions, open_loop_requests, saturation_sweep, sweep_json, RequestTrace,
     ServeConfig, ServeEngine, ServeLoad,
 };
-use fae::telemetry::{self, Telemetry};
+use fae::telemetry::{self, AlertEngine, TaggedEvent, Telemetry};
 
 struct Args {
     flags: Vec<(String, String)>,
@@ -169,22 +169,50 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
     })
 }
 
+/// Parses `--alerts` / `--alert-baseline` into a rule engine. The
+/// baseline JSON (a bench result with a top-level `steps_per_sec`)
+/// appends a `steps-per-sec` floor at `(1 - --alert-regression)` of the
+/// recorded throughput.
+fn alerts_from(args: &Args) -> Result<AlertEngine, String> {
+    let mut engine = match args.get("alerts") {
+        Some(spec) => AlertEngine::parse(spec).map_err(|e| format!("--alerts: {e}"))?,
+        None => AlertEngine::empty(),
+    };
+    if let Some(p) = args.get("alert-baseline") {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("--alert-baseline: {e}"))?;
+        let regression: f64 = args.num("alert-regression", 0.2f64)?;
+        let floor = telemetry::steps_floor_from_baseline(&text, regression)
+            .map_err(|e| format!("--alert-baseline: {e}"))?;
+        engine.push(telemetry::AlertRule::StepsPerSecFloor { floor });
+    }
+    Ok(engine)
+}
+
 /// Builds the telemetry handle from `--metrics-out` / `--journal` /
-/// `--trace-out` / `--progress`. Disabled when none of them is given, so
-/// the hot loops keep their zero-overhead path.
+/// `--trace-out` / `--progress` / `--alerts`. Disabled when none of
+/// them is given, so the hot loops keep their zero-overhead path.
 fn telemetry_from(args: &Args) -> Result<Telemetry, String> {
     let metrics_out = args.get("metrics-out");
     let journal = args.get("journal");
     let trace_out = args.get("trace-out");
     let progress: bool = args.num("progress", false)?;
-    if metrics_out.is_none() && journal.is_none() && trace_out.is_none() && !progress {
+    let alerts = alerts_from(args)?;
+    let have_alerts = !alerts.is_empty();
+    if metrics_out.is_none()
+        && journal.is_none()
+        && trace_out.is_none()
+        && !progress
+        && !have_alerts
+    {
         return Ok(Telemetry::disabled());
     }
     let mut b = Telemetry::builder()
         .progress(progress)
         .progress_every(args.num("progress-every", 100u64)?)
-        // The Chrome-trace exporter replays the in-memory event stream.
-        .retain_events(trace_out.is_some());
+        .alerts(alerts)
+        // The Chrome-trace exporter replays the in-memory event stream;
+        // alert firings are surfaced from it after the run.
+        .retain_events(trace_out.is_some() || have_alerts);
     if let Some(p) = journal {
         b = b.journal_path(p);
     }
@@ -272,20 +300,48 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     for r in &report.recoveries {
         println!("recovery: {r}");
     }
+    for event in telem.events() {
+        if let telemetry::JournalEvent::Alert { step, rule, message, .. } = event {
+            println!("alert fired @{step} [{rule}]: {message}");
+        }
+    }
     if let Some(p) = args.get("metrics-out") {
         telem.write_metrics(std::path::Path::new(p)).map_err(|e| format!("--metrics-out: {e}"))?;
         println!("metrics written to {p}");
     }
     if let Some(p) = args.get("trace-out") {
-        let trace =
-            telemetry::chrome_trace(&telem.events()).map_err(|e| format!("--trace-out: {e}"))?;
+        // Distributed runs with a journal get the cross-node merged
+        // trace (one track group per node); everything else renders the
+        // single-timeline export from the retained event stream.
+        let sidecars = telem.sidecar_paths();
+        let trace = if distributed > 0 && args.get("journal").is_some() && !sidecars.is_empty() {
+            let mut paths = vec![PathBuf::from(args.get("journal").expect("checked"))];
+            paths.extend(sidecars);
+            let merged = merge_journals(&paths)?;
+            telemetry::merged_chrome_trace(&merged).map_err(|e| format!("--trace-out: {e}"))?
+        } else {
+            telemetry::chrome_trace(&telem.events()).map_err(|e| format!("--trace-out: {e}"))?
+        };
         std::fs::write(p, trace).map_err(|e| format!("--trace-out: {e}"))?;
         println!("chrome trace written to {p} (open in Perfetto / chrome://tracing)");
     }
     if let Some(p) = args.get("journal") {
+        for s in telem.sidecar_paths() {
+            println!("node journal written to {}", s.display());
+        }
         println!("journal written to {p} (summarize with `fae report {p}`)");
     }
     Ok(())
+}
+
+/// Reads each journal as a tagged stream and merges them on the
+/// simulated clock.
+fn merge_journals(paths: &[PathBuf]) -> Result<Vec<TaggedEvent>, String> {
+    let mut streams = Vec::new();
+    for p in paths {
+        streams.push(telemetry::read_tagged_journal(p)?);
+    }
+    Ok(telemetry::merge_tagged(&streams).0)
 }
 
 /// Multi-process training: binds a coordinator port on loopback, spawns
@@ -325,18 +381,13 @@ fn train_distributed(
     let seed = cfg.seed;
     let num_gpus = cfg.num_gpus;
     let plan = opts.plan.clone();
+    let net = NetConfig {
+        telemetry_every_steps: args.num("telemetry-every", 4u64)?,
+        ..NetConfig::default()
+    };
     let report = train_fae_with_engine(spec, pre, test, cfg, opts, move |model| {
-        RemoteEngine::new(
-            model,
-            spec,
-            seed,
-            workers,
-            num_gpus,
-            listener,
-            NetConfig::default(),
-            plan,
-        )
-        .expect("coordinator start: all nodes must join within the initial wait")
+        RemoteEngine::new(model, spec, seed, workers, num_gpus, listener, net, plan)
+            .expect("coordinator start: all nodes must join within the initial wait")
     });
     for (k, mut child) in children.into_iter().enumerate() {
         let status = child.wait().map_err(|e| format!("node {k}: {e}"))?;
@@ -363,14 +414,114 @@ fn cmd_node(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("node {node_id}: {e}"))
 }
 
-fn cmd_report(path: &str) -> Result<(), String> {
-    let events = telemetry::read_journal(std::path::Path::new(path))?;
-    if events.is_empty() {
-        return Err(format!("{path}: journal contains no events"));
+/// `fae report J1 [J2 ...] [--merged]`: one journal renders directly;
+/// several (or `--merged`) are merged on the simulated clock first,
+/// with the cross-node per-phase invariant checked and reported.
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let merged_flag = rest.iter().any(|a| a == "--merged");
+    let paths: Vec<PathBuf> = rest.iter().filter(|a| *a != "--merged").map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err("usage: fae report JOURNAL.jsonl [MORE.jsonl ...] [--merged]".into());
     }
-    let summary = telemetry::summarize(&events);
+    let tagged = if paths.len() > 1 || merged_flag {
+        let merged = merge_journals(&paths)?;
+        match telemetry::check_invariant(&merged) {
+            Ok(inv) => println!(
+                "merged invariant: {:.6}s across {} nodes == reported {:.6}s",
+                inv.global,
+                inv.per_node.len(),
+                inv.reported.unwrap_or(inv.global)
+            ),
+            Err(e) => println!("merged invariant VIOLATED: {e}"),
+        }
+        merged
+    } else {
+        telemetry::read_tagged_journal(&paths[0])?
+    };
+    if tagged.is_empty() {
+        return Err(format!("{}: journal contains no events", paths[0].display()));
+    }
+    let summary = telemetry::summarize_tagged(&tagged);
     print!("{}", telemetry::render(&summary));
     Ok(())
+}
+
+/// `fae top JOURNAL [MORE ...] [--refresh-ms N] [--iterations N]`:
+/// re-reads the journals (the coordinator's live stream *is* its
+/// journal file — every event is flushed as it happens) and repaints a
+/// plain-text dashboard. Sidecar journals next to the first path
+/// (`stem.nodeK.jsonl`) are picked up automatically as they appear.
+/// `--iterations 0` refreshes until interrupted.
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut refresh_ms: u64 = 1000;
+    let mut iterations: u64 = 0;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--refresh-ms" | "--iterations" => {
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
+                let n: u64 = v.parse().map_err(|_| format!("{a}: cannot parse '{v}'"))?;
+                if a == "--refresh-ms" {
+                    refresh_ms = n.max(50);
+                } else {
+                    iterations = n;
+                }
+            }
+            _ => paths.push(PathBuf::from(a)),
+        }
+    }
+    if paths.is_empty() {
+        return Err("usage: fae top JOURNAL.jsonl [--refresh-ms N] [--iterations N]".into());
+    }
+    let mut done: u64 = 0;
+    loop {
+        let mut all = paths.clone();
+        for s in discover_sidecars(&paths[0]) {
+            if !all.contains(&s) {
+                all.push(s);
+            }
+        }
+        let mut streams = Vec::new();
+        for p in &all {
+            // A journal that does not exist yet (worker not polled) is
+            // an empty stream, not an error — the run may still produce it.
+            streams.push(telemetry::read_tagged_journal(p).unwrap_or_default());
+        }
+        let (merged, _) = telemetry::merge_tagged(&streams);
+        // Repaint: clear screen, home the cursor, render one frame.
+        print!("\x1b[2J\x1b[H{}", telemetry::render_top(&merged));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            return Ok(());
+        }
+        if merged.iter().any(|t| matches!(t.event, telemetry::JournalEvent::RunEnd { .. }))
+            && iterations == 0
+        {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms));
+    }
+}
+
+/// Sidecar journals already on disk next to `journal`:
+/// `stem.nodeK.jsonl` for K = 0, 1, ... (stops at the first gap).
+fn discover_sidecars(journal: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Some(stem) = journal.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+        return out;
+    };
+    for k in 0..64u64 {
+        let p = journal.with_file_name(format!("{stem}.node{k}.jsonl"));
+        if p.exists() {
+            out.push(p);
+        } else {
+            break;
+        }
+    }
+    out
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
@@ -625,7 +776,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: fae <gen|calibrate|preprocess|train|compare|serve|bench-serve|node|report> [--flag value]...
+    "usage: fae <gen|calibrate|preprocess|train|compare|serve|bench-serve|node|report|top> [--flag value]...
   common flags: --workload tiny|kaggle|taobao|terabyte | --spec-file FILE.json
                 --inputs N  --seed S
   calibrate:    --budget-mb M  --small-table-kb K  --sample-rate R
@@ -642,6 +793,12 @@ const USAGE: &str =
                 --distributed N   (spawn N `fae node` processes and train
                                    over the fae-net wire protocol; also
                                    accepts worker-crash/net-* fault kinds)
+                --telemetry-every N  (poll workers for journal events
+                                      every N steps; 0 disables shipping)
+                --alerts 'heartbeat-gap>G,reshard-storm>K,hit-rate<X,steps-per-sec<S'
+                --alert-baseline BENCH.json  --alert-regression FRAC
+                  (derive a steps-per-sec floor from a recorded bench)
+                (--metrics-out FILE.prom writes Prometheus text exposition)
   node:         --connect HOST:PORT  --node-id K  --workers N
                 --fault-plan 'kind@step,...'  --fault-seed S
   serve:        --stream FILE | (in-process calibration)
@@ -653,7 +810,13 @@ const USAGE: &str =
                 --min-completed N  --min-hit-rate F   (CI gates)
                 --metrics-out FILE.json  --journal FILE.jsonl  --trace-out FILE.json
   bench-serve:  [--workload W] --requests N  --out FILE.json   (saturation sweep)
-  report:       fae report JOURNAL.jsonl   (phase-breakdown table)
+  report:       fae report JOURNAL.jsonl [MORE.jsonl ...] [--merged]
+                  (phase-breakdown table; several journals — or --merged —
+                   merge on the simulated clock and check the cross-node
+                   per-phase invariant)
+  top:          fae top JOURNAL.jsonl [--refresh-ms N] [--iterations N]
+                  (refreshing dashboard tailing a live journal; sidecar
+                   node journals next to it are picked up automatically)
   compare:      --batch B  --epochs E  --gpus G  --workers W";
 
 fn main() -> ExitCode {
@@ -663,13 +826,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let run = || -> Result<(), String> {
-        // `report` takes a positional journal path, unlike the --flag
-        // pairs every other subcommand parses.
+        // `report` and `top` take positional journal paths, unlike the
+        // --flag pairs every other subcommand parses.
         if cmd == "report" {
-            return match rest {
-                [path] => cmd_report(path),
-                _ => Err(format!("usage: fae report JOURNAL.jsonl\n{USAGE}")),
-            };
+            return cmd_report(rest);
+        }
+        if cmd == "top" {
+            return cmd_top(rest);
         }
         let args = Args::parse(rest)?;
         match cmd.as_str() {
