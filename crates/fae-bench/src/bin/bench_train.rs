@@ -1,25 +1,28 @@
 //! `BENCH_train` — end-to-end training throughput benchmark.
 //!
 //! Runs the full pipeline (calibrate → classify → preprocess → train) on
-//! the scaled Kaggle workload under the baseline and FAE, then sweeps
-//! the execution engine's worker count over the FAE run, and records
-//! wall-clock throughput (steps/sec), the simulated speedup at paper
-//! scale, and memory high-water marks. The JSON record lands in
-//! `results/BENCH_train.json` so successive checkouts can be compared.
+//! the scaled Kaggle workload under the baseline and FAE, sweeps the
+//! execution engine's worker count, and runs FAE once more with the int8
+//! cold tier (`quantize_cold`). Wall-clock throughput (steps/sec), the
+//! simulated speedup at paper scale, accuracy, and memory are recorded
+//! to `results/BENCH_train.json` so successive checkouts can be
+//! compared.
 //!
-//! Memory caveat: `VmHWM` is a *process-lifetime* high-water mark — it
-//! only ever rises. The per-phase values recorded here are therefore
-//! "peak RSS observed by the end of that phase", not independent
-//! per-phase peaks; the first phase to touch the most memory dominates
-//! every later reading. The schema names them `rss_hwm_after_bytes` to
-//! keep that explicit.
+//! Memory methodology: `VmHWM` is a *process-lifetime* high-water mark —
+//! it only ever rises, so sampling it between phases of one process
+//! makes every later reading echo the largest earlier one. Each
+//! configuration therefore runs in its own child process (`--phase`),
+//! and the `rss_hwm_bytes` it reports is that configuration's own peak.
+//! In particular the f32-vs-int8 master footprint difference shows up as
+//! an honest RSS delta between the `fae-w1` and `fae-quant` children.
 
 use fae_bench::{print_table, save_json, timed};
 use fae_core::{pipeline, CalibratorConfig, PreprocessConfig, TrainConfig};
 use fae_data::{generate, GenOptions, WorkloadSpec};
 
 /// Peak resident set size in bytes so far, from `/proc/self/status`
-/// (`VmHWM`). Monotone over the process lifetime. Returns 0 where
+/// (`VmHWM`). Monotone over the process lifetime — which is exactly why
+/// each benchmark configuration gets its own process. Returns 0 where
 /// procfs is unavailable (non-Linux).
 fn rss_hwm_bytes() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
@@ -32,13 +35,21 @@ fn rss_hwm_bytes() -> u64 {
     0
 }
 
-fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+/// The shared workload/config every phase rebuilds deterministically.
+fn workload() -> (WorkloadSpec, TrainConfig) {
     let mut spec = WorkloadSpec::rmc2_kaggle();
     spec.num_inputs = 60_000;
+    let cfg = TrainConfig { epochs: 1, minibatch_size: 256, num_gpus: 2, ..Default::default() };
+    (spec, cfg)
+}
+
+/// Runs one benchmark configuration and returns its record. Called in a
+/// child process so the reported `rss_hwm_bytes` belongs to this
+/// configuration alone.
+fn run_phase(phase: &str) -> serde_json::Value {
+    let (spec, cfg) = workload();
     let ds = generate(&spec, &GenOptions::sized(0xBE9C, spec.num_inputs));
     let (train, test) = ds.split(0.15);
-    let cfg = TrainConfig { epochs: 1, minibatch_size: 256, num_gpus: 2, ..Default::default() };
 
     let (art, prep_secs) = timed(|| {
         pipeline::prepare(
@@ -51,85 +62,164 @@ fn main() {
             &PreprocessConfig { minibatch_size: cfg.minibatch_size, seed: 7 },
         )
     });
-    let rss_after_prepare = rss_hwm_bytes();
 
-    let (base, base_secs) = timed(|| fae_core::train_baseline(&spec, &train, &test, &cfg));
-    let rss_after_baseline = rss_hwm_bytes();
-    let (fae, fae_secs) = timed(|| fae_core::train_fae(&spec, &art.preprocessed, &test, &cfg));
-    let rss_after_fae = rss_hwm_bytes();
+    let run_cfg = match phase {
+        "baseline" | "fae" => cfg.clone(),
+        "fae-w1" => TrainConfig { workers: 1, ..cfg.clone() },
+        "fae-w2" => TrainConfig { workers: 2, ..cfg.clone() },
+        "fae-w4" => TrainConfig { workers: 4, ..cfg.clone() },
+        "fae-quant" => TrainConfig { workers: 1, quantize_cold: true, ..cfg.clone() },
+        other => panic!("unknown phase `{other}`"),
+    };
+    let (report, secs) = timed(|| {
+        if phase == "baseline" {
+            fae_core::train_baseline(&spec, &train, &test, &run_cfg)
+        } else {
+            fae_core::train_fae(&spec, &art.preprocessed, &test, &run_cfg)
+        }
+    });
 
-    let base_steps = base.hot_steps + base.cold_steps;
-    let fae_steps = fae.hot_steps + fae.cold_steps;
-    let base_sps = base_steps as f64 / base_secs.max(1e-9);
-    let fae_sps = fae_steps as f64 / fae_secs.max(1e-9);
-    let sim_speedup = base.simulated_seconds / fae.simulated_seconds;
+    let steps = report.hot_steps + report.cold_steps;
+    let mut out = serde_json::json!({
+        "phase": phase,
+        "workers": run_cfg.workers,
+        "steps": steps,
+        "wall_seconds": secs,
+        "steps_per_sec": steps as f64 / secs.max(1e-9),
+        "simulated_seconds": report.simulated_seconds,
+        "accuracy": report.final_test.accuracy,
+        "prepare_seconds": prep_secs,
+        "hot_input_fraction": art.preprocessed.hot_input_fraction,
+        "rss_hwm_bytes": rss_hwm_bytes(),
+    });
+    if phase == "fae-quant" {
+        // Exact master footprints (arithmetic, not sampled): f32 tables
+        // vs hot-f32 + cold-int8 + per-row metadata (DESIGN.md §14).
+        let dim = spec.embedding_dim;
+        let f32_bytes: usize = spec.embedding_bytes();
+        let tiered_bytes: usize = art
+            .preprocessed
+            .partitions
+            .iter()
+            .map(|p| {
+                let hot = p.hot_count();
+                let cold = p.rows() - hot;
+                hot * dim * 4 + cold * dim + cold * 8 + p.rows() * 4
+            })
+            .sum();
+        if let serde_json::Value::Object(m) = &mut out {
+            m.insert("master_bytes_f32".to_string(), serde_json::json!(f32_bytes));
+            m.insert("master_bytes_tiered".to_string(), serde_json::json!(tiered_bytes));
+        }
+    }
+    out
+}
 
+/// Spawns this binary as `--phase <name>` and parses its JSON line.
+fn spawn_phase(name: &str) -> serde_json::Value {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .args(["--phase", name])
+        .output()
+        .unwrap_or_else(|e| panic!("spawning phase {name}: {e}"));
+    assert!(out.status.success(), "phase {name} failed:\n{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().last().unwrap_or_else(|| panic!("phase {name}: empty output"));
+    serde_json::from_value_str(line)
+        .unwrap_or_else(|e| panic!("phase {name}: bad JSON ({e}): {line}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--phase" {
+        let record = run_phase(&args[2]);
+        println!("{}", serde_json::to_string(&record).expect("phase record serializes"));
+        return;
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let (spec, cfg) = workload();
+
+    let base = spawn_phase("baseline");
+    let fae = spawn_phase("fae");
+    let f = |v: &serde_json::Value, k: &str| {
+        v.get(k).and_then(serde_json::Value::as_f64).unwrap_or(f64::NAN)
+    };
+    let u =
+        |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let mib = |v: &serde_json::Value| f(v, "rss_hwm_bytes") / (1 << 20) as f64;
+    let sim_speedup = f(&base, "simulated_seconds") / f(&fae, "simulated_seconds");
+
+    let mode_row = |name: &str, v: &serde_json::Value| {
+        vec![
+            name.to_string(),
+            u(v, "steps").to_string(),
+            format!("{:.2}", f(v, "wall_seconds")),
+            format!("{:.1}", f(v, "steps_per_sec")),
+            format!("{:.2}", f(v, "simulated_seconds")),
+            format!("{:.4}", f(v, "accuracy")),
+            format!("{:.1}", mib(v)),
+        ]
+    };
     print_table(
         "BENCH_train: end-to-end training throughput (scaled Kaggle, 2 GPUs)",
-        &["mode", "steps", "wall (s)", "steps/sec", "sim (s)", "accuracy"],
-        &[
-            vec![
-                "baseline".into(),
-                base_steps.to_string(),
-                format!("{base_secs:.2}"),
-                format!("{base_sps:.1}"),
-                format!("{:.2}", base.simulated_seconds),
-                format!("{:.4}", base.final_test.accuracy),
-            ],
-            vec![
-                "fae".into(),
-                fae_steps.to_string(),
-                format!("{fae_secs:.2}"),
-                format!("{fae_sps:.1}"),
-                format!("{:.2}", fae.simulated_seconds),
-                format!("{:.4}", fae.final_test.accuracy),
-            ],
-        ],
+        &["mode", "steps", "wall (s)", "steps/sec", "sim (s)", "accuracy", "RSS (MiB)"],
+        &[mode_row("baseline", &base), mode_row("fae", &fae)],
     );
 
-    // Worker sweep over the FAE run: real threads, real wall clock. On a
-    // single-core container the sweep measures engine overhead rather
-    // than speedup — the `cores` field records which regime produced
-    // these numbers.
+    // Worker sweep: each point is its own process, so wall clock and RSS
+    // are per-configuration. On a single-core container the sweep
+    // measures engine overhead rather than speedup — the `cores` field
+    // records which regime produced these numbers.
     let mut sweep_rows = Vec::new();
     let mut sweep_json = Vec::new();
     let mut w1_sps = f64::NAN;
-    for workers in [1usize, 2, 4] {
-        let wcfg = TrainConfig { workers, ..cfg.clone() };
-        let (run, secs) = timed(|| fae_core::train_fae(&spec, &art.preprocessed, &test, &wcfg));
-        let steps = run.hot_steps + run.cold_steps;
-        let sps = steps as f64 / secs.max(1e-9);
-        if workers == 1 {
+    for phase in ["fae-w1", "fae-w2", "fae-w4"] {
+        let mut v = spawn_phase(phase);
+        let sps = f(&v, "steps_per_sec");
+        if phase == "fae-w1" {
             w1_sps = sps;
         }
         let scaling = sps / w1_sps;
+        if let serde_json::Value::Object(m) = &mut v {
+            m.insert("scaling_vs_1_worker".to_string(), serde_json::json!(scaling));
+        }
         sweep_rows.push(vec![
-            workers.to_string(),
-            steps.to_string(),
-            format!("{secs:.2}"),
+            u(&v, "workers").to_string(),
+            u(&v, "steps").to_string(),
+            format!("{:.2}", f(&v, "wall_seconds")),
             format!("{sps:.1}"),
             format!("{scaling:.2}x"),
-            format!("{:.4}", run.final_test.accuracy),
+            format!("{:.4}", f(&v, "accuracy")),
+            format!("{:.1}", mib(&v)),
         ]);
-        sweep_json.push(serde_json::json!({
-            "workers": workers,
-            "steps": steps,
-            "wall_seconds": secs,
-            "steps_per_sec": sps,
-            "scaling_vs_1_worker": scaling,
-            "accuracy": run.final_test.accuracy,
-            "rss_hwm_after_bytes": rss_hwm_bytes(),
-        }));
+        sweep_json.push(v);
     }
-    let rss_after_sweep = rss_hwm_bytes();
     print_table(
         &format!("FAE worker sweep ({cores} host core(s) available)"),
-        &["workers", "steps", "wall (s)", "steps/sec", "vs W=1", "accuracy"],
+        &["workers", "steps", "wall (s)", "steps/sec", "vs W=1", "accuracy", "RSS (MiB)"],
         &sweep_rows,
     );
+
+    // Quantized cold tier: same run as fae-w1 but with the int8 master.
+    let quant = spawn_phase("fae-quant");
+    let w1 = &sweep_json[0];
+    let rss_saved_mib = mib(w1) - mib(&quant);
+    print_table(
+        "FAE with int8 cold tier (quantize_cold, W=1)",
+        &["config", "steps/sec", "accuracy", "RSS (MiB)", "master f32 (MiB)", "master int8 (MiB)"],
+        &[vec![
+            "fae-quant".into(),
+            format!("{:.1}", f(&quant, "steps_per_sec")),
+            format!("{:.4}", f(&quant, "accuracy")),
+            format!("{:.1}", mib(&quant)),
+            format!("{:.1}", f(&quant, "master_bytes_f32") / (1 << 20) as f64),
+            format!("{:.1}", f(&quant, "master_bytes_tiered") / (1 << 20) as f64),
+        ]],
+    );
     println!(
-        "\nstatic phase {prep_secs:.2}s | simulated speedup {sim_speedup:.2}x | peak RSS {:.1} MiB",
-        rss_after_sweep as f64 / (1 << 20) as f64
+        "\nstatic phase {:.2}s | simulated speedup {sim_speedup:.2}x | int8 tier saves {rss_saved_mib:.1} MiB RSS vs f32 (W=1)",
+        f(&fae, "prepare_seconds"),
     );
 
     save_json(
@@ -140,30 +230,16 @@ fn main() {
             "minibatch_size": cfg.minibatch_size,
             "num_gpus": cfg.num_gpus,
             "cores": cores,
-            "prepare_seconds": prep_secs,
-            "baseline": {
-                "steps": base_steps,
-                "wall_seconds": base_secs,
-                "steps_per_sec": base_sps,
-                "simulated_seconds": base.simulated_seconds,
-                "accuracy": base.final_test.accuracy,
-                "rss_hwm_after_bytes": rss_after_baseline,
-            },
-            "fae": {
-                "steps": fae_steps,
-                "wall_seconds": fae_secs,
-                "steps_per_sec": fae_sps,
-                "simulated_seconds": fae.simulated_seconds,
-                "accuracy": fae.final_test.accuracy,
-                "rss_hwm_after_bytes": rss_after_fae,
-            },
+            "prepare_seconds": f(&fae, "prepare_seconds"),
+            "baseline": base,
+            "fae": fae,
             "worker_sweep": sweep_json,
+            "quantized": quant,
+            "quantized_rss_saved_bytes":
+                (f(w1, "rss_hwm_bytes") - f(&quant, "rss_hwm_bytes")) as i64,
             "simulated_speedup": sim_speedup,
-            "hot_input_fraction": art.preprocessed.hot_input_fraction,
-            "rss_hwm_after_prepare_bytes": rss_after_prepare,
-            // Kept for older tooling: the final process-lifetime peak.
-            "peak_rss_bytes": rss_after_sweep,
-            "rss_note": "VmHWM is a process-lifetime high-water mark; per-phase values are peaks observed by the end of that phase, not independent per-phase peaks",
+            "hot_input_fraction": f(&fae, "hot_input_fraction"),
+            "rss_note": "each configuration runs in its own child process, so rss_hwm_bytes is that configuration's own peak (VmHWM is monotone per process)",
         }),
     );
 }

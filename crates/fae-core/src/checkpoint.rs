@@ -134,11 +134,15 @@ pub struct TrainCheckpoint {
 }
 
 impl TrainCheckpoint {
-    /// Flattens the master embedding tables into snapshots.
+    /// Flattens the master embedding tables into snapshots. A quantized
+    /// (tiered) master is snapshot *dequantized*: hot rows are exact, and
+    /// cold rows carry the values of their int8 grid, so restoring and
+    /// re-quantizing with the same partitions reproduces the tiered state
+    /// to within one code step per element.
     pub fn snapshot_master(master: &MasterEmbeddings) -> Vec<TableSnapshot> {
         master
-            .tables()
-            .iter()
+            .snapshot_tables()
+            .into_iter()
             .map(|t| TableSnapshot {
                 rows: t.rows() as u32,
                 dim: t.dim() as u32,

@@ -18,7 +18,7 @@
 
 use fae_nn::Tensor;
 
-use fae_embed::{HotColdPartition, HotEmbeddingBag, ShardedEmbeddingTable, SparseGrad};
+use fae_embed::{EmbeddingTable, HotColdPartition, ShardedEmbeddingTable, SparseGrad};
 use fae_models::{EmbeddingSource, MasterEmbeddings};
 use fae_telemetry::Telemetry;
 
@@ -40,16 +40,25 @@ pub struct HotEmbeddings {
 
 impl HotEmbeddings {
     /// Extracts the hot rows of every master table per the partitions.
+    /// Rows are read through the master's row-level accessors, so a
+    /// quantized (tiered) master works too — its hot rows are stored
+    /// exact f32, so the extracted bags carry no quantization error.
     pub fn build(master: &MasterEmbeddings, partitions: Vec<HotColdPartition>) -> Self {
         assert_eq!(partitions.len(), master.num_tables(), "one partition per table");
+        let dim = master.dim();
         let mut tables = Vec::with_capacity(partitions.len());
         let mut global_ids = Vec::with_capacity(partitions.len());
-        for (t, p) in master.tables().iter().zip(&partitions) {
-            let bag = HotEmbeddingBag::extract(t, p.hot_ids().to_vec());
-            tables.push(ShardedEmbeddingTable::from_table(bag.table(), HOT_SHARDS));
-            global_ids.push(p.hot_ids().to_vec());
+        for (t, p) in partitions.iter().enumerate() {
+            let ids = p.hot_ids().to_vec();
+            let mut weights = Tensor::zeros(ids.len().max(1), dim);
+            for (local, &g) in ids.iter().enumerate() {
+                master.copy_row_into(t, g, weights.row_mut(local));
+            }
+            let bag = EmbeddingTable::from_weights(weights);
+            tables.push(ShardedEmbeddingTable::from_table(&bag, HOT_SHARDS));
+            global_ids.push(ids);
         }
-        Self { tables, global_ids, partitions, dim: master.dim(), telemetry: Telemetry::disabled() }
+        Self { tables, global_ids, partitions, dim, telemetry: Telemetry::disabled() }
     }
 
     /// Attaches a telemetry handle: refreshes and write-backs are counted
@@ -80,12 +89,10 @@ impl HotEmbeddings {
     /// Hot→cold transition: pushes trained hot rows back into the master
     /// tables so cold batches (and evaluation) see them.
     pub fn write_back(&self, master: &mut MasterEmbeddings) {
-        for ((sharded, ids), table) in
-            self.tables.iter().zip(&self.global_ids).zip(master.tables_mut())
-        {
+        for (t, (sharded, ids)) in self.tables.iter().zip(&self.global_ids).enumerate() {
             let snapshot = sharded.to_table();
             for (local, &g) in ids.iter().enumerate() {
-                table.set_row(g, snapshot.row(local as u32));
+                master.set_row(t, g, snapshot.row(local as u32));
             }
         }
         self.telemetry.counter_add("replicator.write_backs", 1);
@@ -95,10 +102,11 @@ impl HotEmbeddings {
     /// Cold→hot transition: pulls rows updated by cold batches back into
     /// the bags.
     pub fn refresh_from(&mut self, master: &MasterEmbeddings) {
-        for ((sharded, ids), table) in self.tables.iter().zip(&self.global_ids).zip(master.tables())
-        {
+        let mut buf = vec![0.0f32; self.dim];
+        for (t, (sharded, ids)) in self.tables.iter().zip(&self.global_ids).enumerate() {
             for (local, &g) in ids.iter().enumerate() {
-                sharded.set_row(local as u32, table.row(g));
+                master.copy_row_into(t, g, &mut buf);
+                sharded.set_row(local as u32, &buf);
             }
         }
         self.telemetry.counter_add("replicator.refreshes", 1);
@@ -126,7 +134,8 @@ impl HotEmbeddings {
     pub fn apply_shared(&self, grads: &[SparseGrad], lr: f32) {
         assert_eq!(grads.len(), self.tables.len(), "one gradient per table");
         for ((sharded, p), g) in self.tables.iter().zip(&self.partitions).zip(grads) {
-            let local = g.clone().remap(|global| {
+            // remap_ref borrows: no clone of the gradient arena per step.
+            let local = g.remap_ref(|global| {
                 p.hot_local(global)
                     // fae-lint: allow(no-panic, reason = "classifier routing corruption: continuing would train on garbage rows, so fail fast")
                     .unwrap_or_else(|| panic!("cold row {global} updated through the hot source"))

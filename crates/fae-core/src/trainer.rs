@@ -89,6 +89,14 @@ pub struct TrainConfig {
     /// runs the serial fast path, bit-identical to the pre-engine
     /// trainer; any fixed value is bit-identical run to run.
     pub workers: usize,
+    /// Store the cold rows of the master tables as int8 (per-row affine
+    /// scale+min, DESIGN.md §14), shrinking the cold majority ~4× while
+    /// the calibrator-pinned hot rows stay exact f32. Off by default;
+    /// unsupported for the distributed (multi-process) paths, which need
+    /// whole-table f32 views. (The vendored serde shim has no field
+    /// attributes, so absent-field defaulting is not available; no
+    /// persisted `TrainConfig` JSON exists, only `config_seed`.)
+    pub quantize_cold: bool,
 }
 
 impl Default for TrainConfig {
@@ -103,6 +111,7 @@ impl Default for TrainConfig {
             eval_interval: 50,
             seed: 0xF00D,
             workers: 1,
+            quantize_cold: false,
         }
     }
 }
@@ -523,7 +532,15 @@ where
 {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut model = AnyModel::from_spec(spec, &mut rng);
-    let mut master = MasterEmbeddings::from_spec(spec, &mut rng);
+    // The tiered constructor draws the RNG in the same order as the
+    // untiered one, so the model stream and the hot rows are bit-identical
+    // either way; only cold rows differ (quantized at init, never
+    // materialized in f32).
+    let mut master = if cfg.quantize_cold {
+        MasterEmbeddings::from_spec_tiered(spec, &pre.partitions, &mut rng)
+    } else {
+        MasterEmbeddings::from_spec(spec, &mut rng)
+    };
 
     let mut scheduler = ShuffleScheduler::new(Rate::new(cfg.initial_rate));
     let mut timeline = Timeline::new();
@@ -553,6 +570,9 @@ where
                         );
                         model.read_params(&ck.dense_params);
                         master = ck.restore_master();
+                        if cfg.quantize_cold {
+                            master.quantize_cold_tier(&pre.partitions);
+                        }
                         scheduler = ShuffleScheduler::from_state(&ck.scheduler);
                         timeline = ck.timeline.clone();
                         history = ck.history.clone();
@@ -1198,6 +1218,26 @@ mod tests {
             allreduce_delta > 0.6 * extra,
             "coordination cost should dominate the 4-GPU overhead: {allreduce_delta} of {extra}"
         );
+    }
+
+    #[test]
+    fn quantized_cold_tier_matches_f32_accuracy() {
+        // Fig 12-style parity: the int8 cold tier must not cost accuracy.
+        // Hot rows are exact f32 in both runs; only cold rows carry
+        // quantization error, bounded by half an affine step per touch.
+        let (spec, _train, test, pre, cfg) = small_run();
+        let f32_run = train_fae(&spec, &pre, &test, &cfg);
+        let q_cfg = TrainConfig { quantize_cold: true, ..cfg };
+        let q_run = train_fae(&spec, &pre, &test, &q_cfg);
+        assert!(
+            (q_run.final_test.accuracy - f32_run.final_test.accuracy).abs() < 0.02,
+            "quantized accuracy diverged: {} vs {}",
+            q_run.final_test.accuracy,
+            f32_run.final_test.accuracy
+        );
+        // The simulated schedule does not depend on the numeric tier.
+        assert_eq!(q_run.hot_steps, f32_run.hot_steps);
+        assert_eq!(q_run.cold_steps, f32_run.cold_steps);
     }
 
     #[test]

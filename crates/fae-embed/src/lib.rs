@@ -24,6 +24,7 @@
 
 pub mod half;
 pub mod partition;
+pub mod quant;
 pub mod replica;
 pub mod sharded;
 pub mod sparse;
@@ -32,6 +33,7 @@ pub mod table;
 
 pub use half::Bf16EmbeddingTable;
 pub use partition::{HotColdPartition, RowClass};
+pub use quant::{dequantize, quantize_row, TieredTable};
 pub use replica::ReplicatedHotEmbedding;
 pub use sharded::ShardedEmbeddingTable;
 pub use sparse::{RowwiseAdagrad, SparseGrad};

@@ -48,6 +48,14 @@ pub struct ShardedEmbeddingTable {
     starts: Vec<usize>,
     rows: usize,
     dim: usize,
+    /// Precomputed row-range math for `shard_of`: the first `shard_extra`
+    /// shards are `shard_base + 1` rows wide (ending at row `shard_cut`),
+    /// the rest `shard_base` wide. Computing these once at construction
+    /// keeps the per-index translation on the lookup path to one compare
+    /// and one division.
+    shard_base: usize,
+    shard_extra: usize,
+    shard_cut: usize,
 }
 
 impl ShardedEmbeddingTable {
@@ -74,7 +82,15 @@ impl ShardedEmbeddingTable {
             start += len;
         }
         starts.push(rows);
-        Self { shards, starts, rows, dim }
+        Self {
+            shards,
+            starts,
+            rows,
+            dim,
+            shard_base: base,
+            shard_extra: extra,
+            shard_cut: (base + 1) * extra,
+        }
     }
 
     /// Number of shards.
@@ -101,18 +117,17 @@ impl ShardedEmbeddingTable {
     #[inline]
     fn shard_of(&self, row: usize) -> usize {
         debug_assert!(row < self.rows, "row {row} out of range {}", self.rows);
-        // Shards are ⌈rows/n⌉ wide for the first `extra`, ⌊rows/n⌋ after.
-        let n = self.shards.len();
-        let base = self.rows / n;
-        let extra = self.rows % n;
-        let cut = (base + 1) * extra;
-        if row < cut {
-            row / (base + 1)
+        // Shards are ⌈rows/n⌉ wide for the first `shard_extra`, ⌊rows/n⌋
+        // after; the widths were precomputed at construction.
+        if row < self.shard_cut {
+            row / (self.shard_base + 1)
         } else {
-            // base == 0 only when n > rows; then every row sits in the
-            // `row < cut` range above and this branch is unreachable,
-            // but clippy wants the division guarded anyway.
-            (row - cut).checked_div(base).map_or(n - 1, |d| extra + d)
+            // shard_base == 0 only when n > rows; then every row sits in
+            // the `row < shard_cut` range above and this branch is
+            // unreachable, but clippy wants the division guarded anyway.
+            (row - self.shard_cut)
+                .checked_div(self.shard_base)
+                .map_or(self.shards.len() - 1, |d| self.shard_extra + d)
         }
     }
 
@@ -157,10 +172,9 @@ impl ShardedEmbeddingTable {
             let dst = out.row_mut(b);
             for &idx in &indices[offsets[b]..offsets[b + 1]] {
                 let s = self.shard_of(idx as usize);
-                let src = guards[s].row(idx as usize - self.starts[s]);
-                for (d, &v) in dst.iter_mut().zip(src) {
-                    *d += v;
-                }
+                // Elementwise 8-wide add: same accumulation order as the
+                // scalar loop it replaced (bag order is preserved).
+                fae_nn::lanes::add_assign(dst, guards[s].row(idx as usize - self.starts[s]));
             }
         }
         out
@@ -217,10 +231,7 @@ impl ShardedEmbeddingTable {
         let mut guard = self.shards[s].write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let start = self.starts[s];
         for &(idx, g) in rows {
-            let row = guard.row_mut(idx as usize - start);
-            for (p, &gv) in row.iter_mut().zip(g) {
-                *p -= lr * gv;
-            }
+            fae_nn::lanes::axpy(guard.row_mut(idx as usize - start), -lr, g);
         }
     }
 

@@ -5,20 +5,32 @@
 //! are accumulated in a row-keyed map and iterated in sorted row order for
 //! determinism.
 
+use fae_nn::lanes;
 use std::collections::BTreeMap;
 
-/// Sparse gradient: a map from global row id to a dense `dim`-length
-/// gradient, with duplicate contributions summed.
+/// Sparse gradient: duplicate contributions to a row are summed into one
+/// dense `dim`-length slice.
+///
+/// Storage is a flat arena — one contiguous `Vec<f32>` holding every
+/// touched row back to back, plus a `BTreeMap` from global row id to slot
+/// index. Compared to the former map-of-`Vec` layout this does one
+/// allocation per *step* (amortised) instead of one per touched row, and
+/// accumulation/merge/scale run over contiguous memory with the 8-wide
+/// [`lanes`] kernels. The map keeps iteration in ascending row order,
+/// which the determinism contract requires (DESIGN.md §14).
 #[derive(Clone, Debug, Default)]
 pub struct SparseGrad {
     dim: usize,
-    rows: BTreeMap<u32, Vec<f32>>,
+    /// Global row id → slot index; row `id`'s gradient lives at
+    /// `data[slot * dim .. (slot + 1) * dim]`.
+    slots: BTreeMap<u32, u32>,
+    data: Vec<f32>,
 }
 
 impl SparseGrad {
     /// Creates an empty gradient for rows of width `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, rows: BTreeMap::new() }
+        Self { dim, slots: BTreeMap::new(), data: Vec::new() }
     }
 
     /// Gradient row width.
@@ -29,64 +41,74 @@ impl SparseGrad {
     /// Adds `grad` into row `idx`.
     pub fn accumulate(&mut self, idx: u32, grad: &[f32]) {
         assert_eq!(grad.len(), self.dim, "sparse grad width mismatch");
-        let row = self.rows.entry(idx).or_insert_with(|| vec![0.0; self.dim]);
-        for (r, &g) in row.iter_mut().zip(grad) {
-            *r += g;
+        let next = self.slots.len() as u32;
+        let slot = *self.slots.entry(idx).or_insert(next);
+        if slot == next {
+            self.data.resize(self.data.len() + self.dim, 0.0);
         }
+        let off = slot as usize * self.dim;
+        lanes::add_assign(&mut self.data[off..off + self.dim], grad);
     }
 
     /// Merges another sparse gradient into this one (used when averaging
     /// data-parallel replicas).
     pub fn merge(&mut self, other: &SparseGrad) {
         assert_eq!(self.dim, other.dim, "sparse grad dim mismatch");
-        for (&idx, g) in &other.rows {
+        for (idx, g) in other.iter() {
             self.accumulate(idx, g);
         }
     }
 
     /// Scales every gradient in place (e.g. 1/num_replicas after a merge).
     pub fn scale(&mut self, s: f32) {
-        for g in self.rows.values_mut() {
-            for v in g.iter_mut() {
-                *v *= s;
-            }
-        }
+        lanes::scale_assign(&mut self.data, s);
     }
 
     /// Number of distinct rows with gradient mass.
     pub fn nnz_rows(&self) -> usize {
-        self.rows.len()
+        self.slots.len()
     }
 
     /// True when no rows carry gradient.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.slots.is_empty()
     }
 
     /// Bytes this gradient occupies on the wire (row ids + values) — used
     /// by the cost model for gradient-transfer terms.
     pub fn wire_bytes(&self) -> usize {
-        self.rows.len() * (std::mem::size_of::<u32>() + self.dim * std::mem::size_of::<f32>())
+        self.slots.len() * (std::mem::size_of::<u32>() + self.dim * std::mem::size_of::<f32>())
     }
 
     /// Iterates `(row_id, grad)` in ascending row order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
-        self.rows.iter().map(|(&i, g)| (i, g.as_slice()))
+        self.slots
+            .iter()
+            .map(|(&i, &s)| (i, &self.data[s as usize * self.dim..(s as usize + 1) * self.dim]))
     }
 
     /// Gradient for one row, if present.
     pub fn get(&self, idx: u32) -> Option<&[f32]> {
-        self.rows.get(&idx).map(|v| v.as_slice())
+        self.slots
+            .get(&idx)
+            .map(|&s| &self.data[s as usize * self.dim..(s as usize + 1) * self.dim])
+    }
+
+    /// Like [`remap`](SparseGrad::remap) but borrowing, for callers that
+    /// still need the original afterwards (saves the former clone-then-remap
+    /// round trip in the hot training loop).
+    pub fn remap_ref(&self, f: impl Fn(u32) -> u32) -> SparseGrad {
+        let mut out = SparseGrad::new(self.dim);
+        for (idx, g) in self.iter() {
+            out.accumulate(f(idx), g);
+        }
+        out
     }
 
     /// Remaps row ids through `f` (e.g. hot-local → global), preserving
     /// accumulation semantics if two ids collide.
     pub fn remap(self, f: impl Fn(u32) -> u32) -> SparseGrad {
-        let mut out = SparseGrad::new(self.dim);
-        for (idx, g) in self.rows {
-            out.accumulate(f(idx), &g);
-        }
-        out
+        self.remap_ref(f)
     }
 }
 
@@ -149,6 +171,31 @@ mod tests {
     }
 
     #[test]
+    fn remap_ref_keeps_original() {
+        let mut sg = SparseGrad::new(2);
+        sg.accumulate(5, &[1.0, 2.0]);
+        sg.accumulate(9, &[3.0, 4.0]);
+        let g = sg.remap_ref(|i| i + 100);
+        assert_eq!(g.get(105), Some(&[1.0, 2.0][..]));
+        assert_eq!(g.get(109), Some(&[3.0, 4.0][..]));
+        // Original untouched (no clone needed at the call site).
+        assert_eq!(sg.get(5), Some(&[1.0, 2.0][..]));
+        assert_eq!(sg.nnz_rows(), 2);
+    }
+
+    #[test]
+    fn arena_slots_are_insertion_ordered_but_iter_is_sorted() {
+        // Rows inserted out of order land in arbitrary arena slots; the
+        // slot map must still hand them back by ascending row id.
+        let mut sg = SparseGrad::new(2);
+        sg.accumulate(7, &[7.0, 7.0]);
+        sg.accumulate(2, &[2.0, 2.0]);
+        sg.accumulate(7, &[1.0, 1.0]);
+        let rows: Vec<(u32, Vec<f32>)> = sg.iter().map(|(i, g)| (i, g.to_vec())).collect();
+        assert_eq!(rows, vec![(2, vec![2.0, 2.0]), (7, vec![8.0, 8.0])]);
+    }
+
+    #[test]
     #[should_panic(expected = "width mismatch")]
     fn accumulate_rejects_wrong_width() {
         let mut sg = SparseGrad::new(3);
@@ -180,14 +227,13 @@ impl RowwiseAdagrad {
     pub fn step(&mut self, table: &mut crate::table::EmbeddingTable, grad: &SparseGrad) {
         assert_eq!(grad.dim(), table.dim(), "gradient width mismatch");
         for (idx, g) in grad.iter() {
-            let mean_sq: f32 = g.iter().map(|&v| v * v).sum::<f32>() / g.len() as f32;
+            // 8-lane sum_squares reorders the f32 sum (DESIGN.md §14).
+            let mean_sq: f32 = lanes::sum_squares(g) / g.len() as f32;
             let s = &mut self.accum[idx as usize];
             *s += mean_sq;
             let scale = self.lr / (s.sqrt() + self.eps);
             let row = table.weights_mut().row_mut(idx as usize);
-            for (p, &gv) in row.iter_mut().zip(g) {
-                *p -= scale * gv;
-            }
+            lanes::axpy(row, -scale, g);
         }
     }
 

@@ -92,10 +92,9 @@ impl EmbeddingTable {
         for b in 0..batch {
             let dst = out.row_mut(b);
             for &idx in &indices[offsets[b]..offsets[b + 1]] {
-                let src = self.weights.row(idx as usize);
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
+                // Elementwise 8-wide add: same accumulation order as the
+                // scalar loop it replaced (bag order is preserved).
+                fae_nn::lanes::add_assign(dst, self.weights.row(idx as usize));
             }
         }
         out
@@ -123,13 +122,12 @@ impl EmbeddingTable {
         sg
     }
 
-    /// Sparse SGD update: `row -= lr * grad` for each touched row.
+    /// Sparse SGD update: `row -= lr * grad` for each touched row. The
+    /// gradient is already coalesced (duplicates summed in the arena), so
+    /// each touched row is read and written exactly once per step.
     pub fn sgd_step_sparse(&mut self, grad: &SparseGrad, lr: f32) {
         for (idx, g) in grad.iter() {
-            let row = self.weights.row_mut(idx as usize);
-            for (p, &gv) in row.iter_mut().zip(g) {
-                *p -= lr * gv;
-            }
+            fae_nn::lanes::axpy(self.weights.row_mut(idx as usize), -lr, g);
         }
     }
 }

@@ -25,6 +25,13 @@ pub fn safe_first(v: &[u32]) -> u32 {
     v.first().copied().unwrap_or(0)
 }
 
+pub fn unrolled_scale(dst: &mut [f32], s: f32) {
+    // fae-lint: allow(float-fuse, reason = "elementwise, no f32 reassociation; DESIGN.md §14")
+    for c in dst.chunks_exact_mut(8) {
+        c[0] *= s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

@@ -1,0 +1,14 @@
+//! Seeded float-fuse violations: 8-lane unroll sites without their
+//! bit-identity pragma, and a pragma that fails to cite the contract.
+
+pub fn naked_unroll(dst: &mut [f32]) {
+    for c in dst.chunks_exact_mut(8) {
+        c[0] += 1.0;
+    }
+}
+
+pub fn uncited_pragma(src: &[f32]) -> f32 {
+    // fae-lint: allow(float-fuse, reason = "trust me, the sums are fine")
+    let it = src.chunks_exact(8);
+    it.remainder().len() as f32
+}

@@ -9,6 +9,10 @@
 //!   (`fae-core`, `fae-embed`, `fae-models`, `fae-serve`, `fae-sysmodel`);
 //! * **no-panic** (`no-panic`) in library code of every first-party
 //!   crate (binary targets are exempt);
+//! * **float-fuse** (`float-fuse`) in library code of every first-party
+//!   crate: 8-lane f32 unroll sites (`chunks_exact(8)`) must pragma
+//!   their bit-identity contract, and the pragma's reason must cite
+//!   `DESIGN.md §14` (else it is a `bad-pragma`);
 //! * **net-deadline** (`net-deadline`) in the networking crate
 //!   (`fae-net`): blocking socket I/O must carry an explicit deadline;
 //! * **metric-name** (`metric-name`) in every first-party crate except
@@ -129,6 +133,17 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
                     rule: "bad-pragma".to_string(),
                     message: format!("unknown rule `{r}` in pragma"),
                 });
+            } else if r == "float-fuse" && !p.reason.contains("DESIGN.md §14") {
+                // The unroll carve-out is a documented numeric contract;
+                // every suppression must point readers at its anchor.
+                diags.push(Diagnostic {
+                    file: label.to_path_buf(),
+                    line: p.line,
+                    rule: "bad-pragma".to_string(),
+                    message: "float-fuse pragma reason must cite the bit-identity \
+                              contract anchor `DESIGN.md §14`"
+                        .to_string(),
+                });
             }
         }
     }
@@ -147,6 +162,7 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
         }
         if !class.binary {
             rules::no_panic_matches(line, &mut matches);
+            rules::float_fuse_matches(line, &mut matches);
         }
         if class.net {
             rules::net_deadline_matches(line, &mut matches);
@@ -379,6 +395,28 @@ mod tests {
             lint_source(Path::new("x.rs"), src, unmetered).is_empty(),
             "metric-name must stay inside its scope"
         );
+    }
+
+    #[test]
+    fn float_fuse_pragma_must_cite_the_design_anchor() {
+        // A citing pragma suppresses the unroll site cleanly.
+        let good = "// fae-lint: allow(float-fuse, reason = \"elementwise; DESIGN.md §14\")\nlet mut d = dst.chunks_exact_mut(8);\n";
+        assert!(lint_source(Path::new("x.rs"), good, LIB).is_empty());
+        // A pragma without the citation is itself a violation (and the
+        // site stays suppressed, so exactly one diagnostic comes out).
+        let bad = "// fae-lint: allow(float-fuse, reason = \"it is fine\")\nlet mut d = dst.chunks_exact_mut(8);\n";
+        let d = lint_source(Path::new("x.rs"), bad, LIB);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "bad-pragma");
+        assert!(d[0].message.contains("DESIGN.md §14"));
+        // A naked unroll site fires the rule itself.
+        let naked = "let mut d = dst.chunks_exact_mut(8);\n";
+        let d = lint_source(Path::new("x.rs"), naked, LIB);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "float-fuse");
+        // Binary targets are exempt (Scope::AllLibs, like no-panic).
+        let bin = FileClass { binary: true, ..LIB };
+        assert!(lint_source(Path::new("bin.rs"), naked, bin).is_empty());
     }
 
     #[test]

@@ -71,6 +71,12 @@ pub const RULES: &[RuleInfo] = &[
         scope: Scope::Metrics,
         summary: "metric names at emission sites must be lowercase dotted literals ([a-z0-9._])",
     },
+    RuleInfo {
+        id: "float-fuse",
+        scope: Scope::AllLibs,
+        summary: "8-lane f32 unrolls (chunks_exact(8)) must pragma their bit-identity \
+                  contract, citing DESIGN.md §14",
+    },
 ];
 
 /// True if `id` names a suppressible rule (pragma target).
@@ -285,6 +291,35 @@ pub fn metric_name_matches(line: &str, raw: &str, out: &mut Vec<Match>) {
     }
 }
 
+/// Runs the float-fuse rule over one scrubbed line: every fixed-width
+/// 8-lane f32 unroll site (`.chunks_exact(8)` / `.chunks_exact_mut(8)`,
+/// the shape all `fae_nn::lanes` kernels share) must carry a pragma
+/// stating which side of the bit-identity contract it is on —
+/// elementwise (no f32 reassociation) or reduction (reorders addition,
+/// the documented carve-out). The pragma's reason must cite the contract
+/// anchor `DESIGN.md §14`; that citation is validated where pragmas are
+/// parsed (`lint_source`), and a float-fuse pragma without it is a
+/// `bad-pragma`.
+///
+/// Lexical gap, documented: only the literal width-8 call fires. Other
+/// widths (`chunks_exact(4)`) or a variable width are not this
+/// workspace's unroll idiom and stay out of scope.
+pub fn float_fuse_matches(line: &str, out: &mut Vec<Match>) {
+    for tok in [".chunks_exact(8)", ".chunks_exact_mut(8)"] {
+        for col in token_positions(line, tok) {
+            out.push(Match {
+                col,
+                rule: "float-fuse",
+                message: format!(
+                    "`{tok}` is an 8-lane f32 unroll; pragma the site with its \
+                     bit-identity contract (elementwise vs reduction carve-out), \
+                     citing DESIGN.md §14"
+                ),
+            });
+        }
+    }
+}
+
 /// The accounting rule: a charge on a receiver that is lexically a
 /// timeline (its last path segment contains "timeline") must name its
 /// phase — either a `Phase::X` constant or a binding whose name contains
@@ -426,6 +461,22 @@ mod tests {
         assert_eq!(check("t.counter_add(\".joins\", 1);"), 1);
         assert_eq!(check("t.counter_add(\"net..joins\", 1);"), 1);
         assert_eq!(check("t.counter_add(\"net.joins_\", 1);"), 1);
+    }
+
+    #[test]
+    fn float_fuse_hits_and_misses() {
+        let fuse = |l: &str| {
+            let mut m = Vec::new();
+            float_fuse_matches(l, &mut m);
+            m.len()
+        };
+        assert_eq!(fuse("let mut d = dst.chunks_exact_mut(8);"), 1);
+        assert_eq!(fuse("let mut s = src.chunks_exact(8);"), 1);
+        assert_eq!(fuse("for (a, b) in x.chunks_exact(8).zip(y.chunks_exact(8)) {"), 2);
+        // Other widths and dynamic widths are not the unroll idiom.
+        assert_eq!(fuse("let mut d = dst.chunks_exact(4);"), 0);
+        assert_eq!(fuse("let mut d = dst.chunks_exact(width);"), 0);
+        assert_eq!(fuse("let n = dst.len() / 8;"), 0);
     }
 
     #[test]

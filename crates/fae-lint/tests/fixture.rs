@@ -36,6 +36,8 @@ fn seeded_violations_are_all_caught() {
         ("determinism.rs", 19, "hash-container"),
         ("determinism.rs", 21, "hash-container"),
         ("determinism.rs", 30, "timeline-phase"),
+        ("float_fuse.rs", 5, "float-fuse"),
+        ("float_fuse.rs", 11, "bad-pragma"),
         ("panics.rs", 5, "no-panic"),
         ("panics.rs", 10, "no-panic"),
         ("panics.rs", 15, "no-panic"),

@@ -5,7 +5,7 @@
 //! the bottom-MLP output concatenated with the `F·(F-1)/2` pairwise dot
 //! products — the `dot` interaction of the open-source DLRM.
 
-use fae_nn::Tensor;
+use fae_nn::{lanes, Tensor};
 
 /// Differentiable pairwise-dot interaction over `features` tensors of
 /// identical `batch × d` shape. `features[0]` is the bottom-MLP output
@@ -38,13 +38,8 @@ impl Interaction {
             let mut k = d;
             for i in 0..f {
                 for j in (i + 1)..f {
-                    let dot: f32 = features[i]
-                        .row(b)
-                        .iter()
-                        .zip(features[j].row(b))
-                        .map(|(&a, &c)| a * c)
-                        .sum();
-                    row[k] = dot;
+                    // 8-lane dot reorders the f32 sum (DESIGN.md §14).
+                    row[k] = lanes::dot(features[i].row(b), features[j].row(b));
                     k += 1;
                 }
             }
@@ -67,21 +62,20 @@ impl Interaction {
             grads[0].row_mut(b).copy_from_slice(&g[..d]);
             let mut k = d;
             for i in 0..f {
-                for j in (i + 1)..f {
+                // d(vi·vj)/dvi = vj, /dvj = vi — accumulated on whole row
+                // slices (elementwise axpy keeps the per-element addition
+                // order of the scalar loop it replaced).
+                let (left, right) = grads.split_at_mut(i + 1);
+                let gi_t = &mut left[i];
+                for (jo, gj_t) in right.iter_mut().enumerate() {
+                    let j = i + 1 + jo;
                     let gd = g[k];
                     k += 1;
                     if gd == 0.0 {
                         continue;
                     }
-                    // d(vi·vj)/dvi = vj, /dvj = vi.
-                    for c in 0..d {
-                        let vi = features[i].get(b, c);
-                        let vj = features[j].get(b, c);
-                        let gi = grads[i].get(b, c);
-                        grads[i].set(b, c, gi + gd * vj);
-                        let gj = grads[j].get(b, c);
-                        grads[j].set(b, c, gj + gd * vi);
-                    }
+                    lanes::axpy(gi_t.row_mut(b), gd, features[j].row(b));
+                    lanes::axpy(gj_t.row_mut(b), gd, features[i].row(b));
                 }
             }
         }

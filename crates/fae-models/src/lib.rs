@@ -20,6 +20,7 @@
 //! numeric experiments (Fig 12) and the performance model (Figs 13–15).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod attention;
 pub mod bridge;
 pub mod dlrm;

@@ -10,7 +10,7 @@ use fae_nn::Tensor;
 use rand::Rng;
 
 use fae_data::WorkloadSpec;
-use fae_embed::{EmbeddingTable, SparseGrad};
+use fae_embed::{EmbeddingTable, HotColdPartition, SparseGrad, TieredTable};
 
 /// Where embedding rows live and how they are read/updated.
 pub trait EmbeddingSource {
@@ -30,8 +30,22 @@ pub trait EmbeddingSource {
 
 /// The full tables, resident in host memory (the paper's baseline
 /// placement, Fig 3).
+///
+/// Storage has two modes. Untiered (the default): one f32
+/// [`EmbeddingTable`] per spec entry. Tiered (opt-in via
+/// `TrainConfig.quantize_cold`): one [`TieredTable`] per entry, with the
+/// calibrator-pinned hot rows exact f32 and the cold majority int8
+/// (DESIGN.md §14). The row-level accessors ([`MasterEmbeddings::row`],
+/// [`MasterEmbeddings::set_row`], [`MasterEmbeddings::copy_row_into`])
+/// work in both modes; the whole-table views
+/// ([`MasterEmbeddings::tables`] / [`MasterEmbeddings::tables_mut`])
+/// require the untiered mode and are kept for the distributed paths,
+/// which do not support quantized masters.
 pub struct MasterEmbeddings {
+    /// Untiered storage; empty when `tiered` is `Some`.
     tables: Vec<EmbeddingTable>,
+    /// Tiered storage (hot f32 + cold int8), one per table.
+    tiered: Option<Vec<TieredTable>>,
     dim: usize,
 }
 
@@ -43,7 +57,26 @@ impl MasterEmbeddings {
             .iter()
             .map(|t| EmbeddingTable::new(t.rows, spec.embedding_dim, rng))
             .collect();
-        Self { tables, dim: spec.embedding_dim }
+        Self { tables, tiered: None, dim: spec.embedding_dim }
+    }
+
+    /// Initialises tiered storage directly from the RNG: hot rows are
+    /// bit-identical to [`MasterEmbeddings::from_spec`] under the same
+    /// seed (identical draw order), and cold rows are quantized from a
+    /// one-row scratch buffer, so the full f32 footprint is never paid.
+    pub fn from_spec_tiered(
+        spec: &WorkloadSpec,
+        partitions: &[HotColdPartition],
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(partitions.len(), spec.tables.len(), "one partition per table");
+        let tiered = spec
+            .tables
+            .iter()
+            .zip(partitions)
+            .map(|(t, p)| TieredTable::new(t.rows, spec.embedding_dim, p, rng))
+            .collect();
+        Self { tables: Vec::new(), tiered: Some(tiered), dim: spec.embedding_dim }
     }
 
     /// Wraps existing tables.
@@ -51,34 +84,109 @@ impl MasterEmbeddings {
         assert!(!tables.is_empty(), "need at least one table");
         let dim = tables[0].dim();
         assert!(tables.iter().all(|t| t.dim() == dim), "mixed embedding dims");
-        Self { tables, dim }
+        Self { tables, tiered: None, dim }
     }
 
-    /// Immutable view of the tables.
+    /// Converts untiered storage in place: hot rows move into the f32
+    /// arena bit-for-bit, cold rows quantize to int8. Used after a
+    /// checkpoint restore, where the f32 tables already exist.
+    pub fn quantize_cold_tier(&mut self, partitions: &[HotColdPartition]) {
+        assert!(self.tiered.is_none(), "already tiered");
+        assert_eq!(partitions.len(), self.tables.len(), "one partition per table");
+        let tiered = self
+            .tables
+            .drain(..)
+            .zip(partitions)
+            .map(|(t, p)| TieredTable::from_table(&t, p))
+            .collect();
+        self.tiered = Some(tiered);
+    }
+
+    /// True when cold rows are stored quantized.
+    pub fn is_tiered(&self) -> bool {
+        self.tiered.is_some()
+    }
+
+    /// Immutable view of the untiered tables. Panics in tiered mode —
+    /// whole-table f32 views do not exist there; use the row-level
+    /// accessors or [`MasterEmbeddings::snapshot_tables`].
     pub fn tables(&self) -> &[EmbeddingTable] {
+        assert!(self.tiered.is_none(), "tables() requires untiered storage");
         &self.tables
     }
 
     /// Mutable view (used by hot-bag write-back/refresh in `fae-core`).
+    /// Panics in tiered mode, like [`MasterEmbeddings::tables`].
     pub fn tables_mut(&mut self) -> &mut [EmbeddingTable] {
+        assert!(self.tiered.is_none(), "tables_mut() requires untiered storage");
         &mut self.tables
     }
 
-    /// Total bytes of all tables.
+    /// One row of table `t`, dequantized if cold.
+    pub fn row(&self, t: usize, idx: u32) -> Vec<f32> {
+        match &self.tiered {
+            Some(tiered) => tiered[t].row_f32(idx),
+            None => self.tables[t].row(idx).to_vec(),
+        }
+    }
+
+    /// Copies one row of table `t` into `out`, dequantizing if cold.
+    pub fn copy_row_into(&self, t: usize, idx: u32, out: &mut [f32]) {
+        match &self.tiered {
+            Some(tiered) => tiered[t].copy_row_into(idx, out),
+            None => out.copy_from_slice(self.tables[t].row(idx)),
+        }
+    }
+
+    /// Overwrites one row of table `t` (requantizing if cold).
+    pub fn set_row(&mut self, t: usize, idx: u32, values: &[f32]) {
+        match &mut self.tiered {
+            Some(tiered) => tiered[t].set_row(idx, values),
+            None => self.tables[t].set_row(idx, values),
+        }
+    }
+
+    /// Materializes f32 snapshots of every table (checkpointing). In
+    /// tiered mode this transiently pays the full f32 footprint.
+    pub fn snapshot_tables(&self) -> Vec<EmbeddingTable> {
+        match &self.tiered {
+            Some(tiered) => tiered.iter().map(|t| t.to_table()).collect(),
+            None => self.tables.clone(),
+        }
+    }
+
+    /// Total resident bytes of all tables — honest per mode: f32 weights
+    /// when untiered; hot f32 + cold int8 codes + per-row metadata when
+    /// tiered.
     pub fn total_bytes(&self) -> usize {
-        self.tables.iter().map(|t| t.size_bytes()).sum()
+        match &self.tiered {
+            Some(tiered) => tiered.iter().map(|t| t.size_bytes()).sum(),
+            None => self.tables.iter().map(|t| t.size_bytes()).sum(),
+        }
     }
 }
 
 impl EmbeddingSource for MasterEmbeddings {
     fn lookup(&self, t: usize, indices: &[u32], offsets: &[usize]) -> Tensor {
-        self.tables[t].lookup_bag(indices, offsets)
+        match &self.tiered {
+            Some(tiered) => tiered[t].lookup_bag(indices, offsets),
+            None => self.tables[t].lookup_bag(indices, offsets),
+        }
     }
 
     fn apply_sparse_grads(&mut self, grads: &[SparseGrad], lr: f32) {
-        assert_eq!(grads.len(), self.tables.len(), "one gradient per table");
-        for (table, g) in self.tables.iter_mut().zip(grads) {
-            table.sgd_step_sparse(g, lr);
+        assert_eq!(grads.len(), self.num_tables(), "one gradient per table");
+        match &mut self.tiered {
+            Some(tiered) => {
+                for (table, g) in tiered.iter_mut().zip(grads) {
+                    table.sgd_step_sparse(g, lr);
+                }
+            }
+            None => {
+                for (table, g) in self.tables.iter_mut().zip(grads) {
+                    table.sgd_step_sparse(g, lr);
+                }
+            }
         }
     }
 
@@ -87,7 +195,10 @@ impl EmbeddingSource for MasterEmbeddings {
     }
 
     fn num_tables(&self) -> usize {
-        self.tables.len()
+        match &self.tiered {
+            Some(tiered) => tiered.len(),
+            None => self.tables.len(),
+        }
     }
 }
 
@@ -105,6 +216,91 @@ mod tests {
         assert_eq!(m.num_tables(), spec.tables.len());
         assert_eq!(m.dim(), spec.embedding_dim);
         assert_eq!(m.total_bytes(), spec.embedding_bytes());
+    }
+
+    fn tiny_partitions(spec: &WorkloadSpec) -> Vec<HotColdPartition> {
+        use fae_embed::AccessCounter;
+        spec.tables
+            .iter()
+            .map(|t| {
+                let mut c = AccessCounter::new(t.rows);
+                for r in (0..t.rows).step_by(4) {
+                    c.record(r as u32);
+                    c.record(r as u32);
+                }
+                HotColdPartition::from_counts(&c, 2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiered_master_keeps_hot_rows_bit_identical_and_shrinks() {
+        let spec = WorkloadSpec::tiny_test();
+        let parts = tiny_partitions(&spec);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let dense = MasterEmbeddings::from_spec(&spec, &mut r1);
+        let tiered = MasterEmbeddings::from_spec_tiered(&spec, &parts, &mut r2);
+        assert!(tiered.is_tiered() && !dense.is_tiered());
+        assert!(
+            tiered.total_bytes() < dense.total_bytes(),
+            "int8 cold tier must shrink the master: {} vs {}",
+            tiered.total_bytes(),
+            dense.total_bytes()
+        );
+        for (t, p) in parts.iter().enumerate() {
+            for &h in p.hot_ids() {
+                assert_eq!(tiered.row(t, h), dense.row(t, h), "hot row {h} of table {t}");
+            }
+        }
+        // Snapshots dequantize every table back to full f32 shape.
+        let snaps = tiered.snapshot_tables();
+        assert_eq!(snaps.len(), spec.tables.len());
+        for (s, t) in snaps.iter().zip(&spec.tables) {
+            assert_eq!(s.rows(), t.rows);
+        }
+    }
+
+    #[test]
+    fn tiered_master_lookup_and_update_dispatch() {
+        let spec = WorkloadSpec::tiny_test();
+        let parts = tiny_partitions(&spec);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut m = MasterEmbeddings::from_spec_tiered(&spec, &parts, &mut rng);
+        let before = m.lookup(1, &[0], &[0, 1]);
+        let mut grads: Vec<SparseGrad> =
+            (0..m.num_tables()).map(|_| SparseGrad::new(m.dim())).collect();
+        grads[1].accumulate(0, &vec![1.0; m.dim()]);
+        m.apply_sparse_grads(&grads, 0.5);
+        let after = m.lookup(1, &[0], &[0, 1]);
+        // Row 0 is hot (multiple of 4): the update is exact f32.
+        for (b, a) in before.as_slice().iter().zip(after.as_slice()) {
+            assert_eq!(b - 0.5, *a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tables() requires untiered storage")]
+    fn whole_table_view_panics_in_tiered_mode() {
+        let spec = WorkloadSpec::tiny_test();
+        let parts = tiny_partitions(&spec);
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = MasterEmbeddings::from_spec_tiered(&spec, &parts, &mut rng);
+        let _ = m.tables();
+    }
+
+    #[test]
+    fn quantize_cold_tier_converts_in_place() {
+        let spec = WorkloadSpec::tiny_test();
+        let parts = tiny_partitions(&spec);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut m = MasterEmbeddings::from_spec(&spec, &mut rng);
+        let hot_before: Vec<f32> = m.row(0, 0);
+        let bytes_before = m.total_bytes();
+        m.quantize_cold_tier(&parts);
+        assert!(m.is_tiered());
+        assert_eq!(m.row(0, 0), hot_before, "hot rows move bit-for-bit");
+        assert!(m.total_bytes() < bytes_before);
     }
 
     #[test]

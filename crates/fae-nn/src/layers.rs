@@ -105,12 +105,16 @@ impl Layer for Linear {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         // fae-lint: allow(no-panic, reason = "forward-before-backward is a call-order contract; fabricating a gradient here would corrupt training silently")
         let x = self.cached_x.as_ref().expect("Linear::backward called before forward");
-        // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ
-        self.grad_w.add_scaled(&x.transpose().matmul(grad_out), 1.0);
+        // dW = xᵀ · g, db = Σ_rows g, dx = g · Wᵀ. The dW product runs
+        // transpose-free (no per-step copy of the large activation
+        // matrix); the dx product transposes the small weight matrix so
+        // the zero-skip over the post-ReLU-sparse gradient still applies
+        // (see Tensor::matmul_transpose_{lhs,rhs}).
+        self.grad_w.add_scaled(&x.matmul_transpose_lhs(grad_out), 1.0);
         for (gb, s) in self.grad_b.iter_mut().zip(grad_out.sum_rows()) {
             *gb += s;
         }
-        grad_out.matmul(&self.w.transpose())
+        grad_out.matmul_transpose_rhs(&self.w)
     }
 
     fn sgd_step(&mut self, lr: f32) {
@@ -121,7 +125,7 @@ impl Layer for Linear {
     }
 
     fn zero_grad(&mut self) {
-        self.grad_w = Tensor::zeros(self.w.rows(), self.w.cols());
+        self.grad_w.fill_zero();
         self.grad_b.iter_mut().for_each(|g| *g = 0.0);
     }
 

@@ -6,6 +6,9 @@
 //!
 //! * [`Tensor`] — a row-major 2-D `f32` matrix with the linear-algebra ops
 //!   used by MLP training (matmul, transpose, broadcast bias, Hadamard),
+//! * [`lanes`] — manually 8-wide unrolled `f32` kernels (`axpy`, `dot`,
+//!   `sum_squares`, …) shared by the matmul inner loops, the interaction
+//!   head, and the sparse-embedding update path (DESIGN.md §14),
 //! * [`layers`] — differentiable layers ([`layers::Linear`],
 //!   [`layers::Relu`], [`layers::Sigmoid`]) with explicit forward/backward,
 //! * [`Mlp`] — a sequential container mirroring the paper's
@@ -21,8 +24,10 @@
 //! inside matmul for large matrices (via rayon).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 pub mod gradcheck;
 pub mod init;
+pub mod lanes;
 pub mod layers;
 pub mod loss;
 pub mod mlp;

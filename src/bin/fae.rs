@@ -165,6 +165,7 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
         num_gpus: args.num("gpus", 1usize)?,
         workers: args.num("workers", 1usize)?,
         lr: args.num("lr", 0.05f32)?,
+        quantize_cold: args.num("quantize-cold", false)?,
         ..Default::default()
     })
 }
@@ -275,6 +276,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let distributed: usize = args.num("distributed", 0usize)?;
     let mut cfg = train_config(args, &spec)?;
     let report = if distributed > 0 {
+        if cfg.quantize_cold {
+            return Err(
+                "--quantize-cold is unsupported with --distributed: nodes ship whole-table f32 views"
+                    .into(),
+            );
+        }
         // One worker process per shard: the engine worker count and the
         // node count are the same knob in a distributed run.
         cfg.workers = distributed;
@@ -783,6 +790,9 @@ const USAGE: &str =
   preprocess:   --out FILE  --batch B
   train:        --stream FILE  --epochs E  --gpus G  --lr LR
                 --workers W   (execution-engine worker threads; 1 = serial)
+                --quantize-cold true   (int8 cold tier for the master
+                                        tables; hot rows stay exact f32.
+                                        Not valid with --distributed)
                 --fault-plan 'kind@step,...'  --fault-seed S
                   (kinds: device-loss replication-oom sync-failure
                           artifact-corruption transient-io)
