@@ -69,6 +69,16 @@ fn run_phase(phase: &str) -> serde_json::Value {
         "fae-w2" => TrainConfig { workers: 2, ..cfg.clone() },
         "fae-w4" => TrainConfig { workers: 4, ..cfg.clone() },
         "fae-quant" => TrainConfig { workers: 1, quantize_cold: true, ..cfg.clone() },
+        "fae-la" => TrainConfig { lookahead: 32, ..cfg.clone() },
+        "fae-la-skip" => TrainConfig { lookahead: 32, stale_skip: 1e-4, ..cfg.clone() },
+        "fae-q-la" => TrainConfig { workers: 1, quantize_cold: true, lookahead: 32, ..cfg.clone() },
+        "fae-q-la-skip" => TrainConfig {
+            workers: 1,
+            quantize_cold: true,
+            lookahead: 32,
+            stale_skip: 1e-4,
+            ..cfg.clone()
+        },
         other => panic!("unknown phase `{other}`"),
     };
     let (report, secs) = timed(|| {
@@ -80,17 +90,40 @@ fn run_phase(phase: &str) -> serde_json::Value {
     });
 
     let steps = report.hot_steps + report.cold_steps;
+    // Skipped-update fraction: of the cold-row update events that hit the
+    // deferral pool (deferred + threshold flushes), how many individual
+    // optimizer applies were elided — coalesced into one later flush or
+    // dropped outright at end of run. Pool flushes apply one update per
+    // row regardless of how many contributions accumulated.
+    let s = report.skip;
+    let pool_events = s.deferred + s.flushed_threshold;
+    let elided = s.deferred.saturating_sub(s.flushed_access + s.flushed_checkpoint);
+    let skipped_frac = if pool_events > 0 { elided as f64 / pool_events as f64 } else { 0.0 };
     let mut out = serde_json::json!({
         "phase": phase,
         "workers": run_cfg.workers,
+        "lookahead": run_cfg.lookahead,
+        "stale_skip": run_cfg.stale_skip,
         "steps": steps,
         "wall_seconds": secs,
         "steps_per_sec": steps as f64 / secs.max(1e-9),
+        "sim_steps_per_sec": steps as f64 / report.simulated_seconds.max(1e-9),
         "simulated_seconds": report.simulated_seconds,
         "accuracy": report.final_test.accuracy,
         "prepare_seconds": prep_secs,
         "hot_input_fraction": art.preprocessed.hot_input_fraction,
         "rss_hwm_bytes": rss_hwm_bytes(),
+        "skipped_update_fraction": skipped_frac,
+        "skip_deferred": s.deferred,
+        "skip_flushed_threshold": s.flushed_threshold,
+        "skip_flushed_access": s.flushed_access,
+        "skip_flushed_checkpoint": s.flushed_checkpoint,
+        "skip_dropped": s.dropped,
+        "oracle_prefetched_rows": report.oracle.prefetched_rows,
+        "oracle_hits": report.oracle.hits,
+        "oracle_misses": report.oracle.misses,
+        "oracle_moved_bytes": report.oracle.moved_bytes,
+        "oracle_saved_bytes": report.oracle.full_bytes.saturating_sub(report.oracle.moved_bytes),
     });
     if phase == "fae-quant" {
         // Exact master footprints (arithmetic, not sampled): f32 tables
@@ -129,11 +162,121 @@ fn spawn_phase(name: &str) -> serde_json::Value {
         .unwrap_or_else(|e| panic!("phase {name}: bad JSON ({e}): {line}"))
 }
 
+/// The `scripts/bench.sh skip` ablation: plain FAE vs oracle lookahead vs
+/// lookahead + stale-skip on the same workload, each in its own child
+/// process. Writes `results/abl_skip.json`.
+fn run_abl_skip() {
+    let (spec, cfg) = workload();
+    let f = |v: &serde_json::Value, k: &str| {
+        v.get(k).and_then(serde_json::Value::as_f64).unwrap_or(f64::NAN)
+    };
+    let u =
+        |v: &serde_json::Value, k: &str| v.get(k).and_then(serde_json::Value::as_u64).unwrap_or(0);
+
+    // Throughput verdicts live on the simulated timeline, like every
+    // speedup this repo reports (the modeled hardware is the instrument;
+    // at this tiny scale the wall deltas between these modes are a few
+    // milliseconds of elided sparse applies against multi-percent host
+    // noise). Wall steps/s is still recorded honestly: shared hosts
+    // drift, so phases run in interleaved rounds, each phase reports its
+    // best (min-wall) round, and every round's wall rate lands in the
+    // JSON so the spread is visible.
+    const ROUNDS: usize = 3;
+    let phases = ["fae", "fae-la", "fae-la-skip"];
+    let mut best: Vec<Option<serde_json::Value>> = vec![None, None, None];
+    let mut rounds: Vec<Vec<f64>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for (i, name) in phases.iter().enumerate() {
+            let v = spawn_phase(name);
+            println!("round {}: {} {:.1} steps/s", round + 1, name, f(&v, "steps_per_sec"));
+            rounds[i].push(f(&v, "steps_per_sec"));
+            let better =
+                best[i].as_ref().is_none_or(|b| f(&v, "steps_per_sec") > f(b, "steps_per_sec"));
+            if better {
+                best[i] = Some(v);
+            }
+        }
+    }
+    let las = best.pop().flatten().expect("fae-la-skip ran");
+    let la = best.pop().flatten().expect("fae-la ran");
+    let off = best.pop().flatten().expect("fae ran");
+
+    let row = |name: &str, v: &serde_json::Value| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", f(v, "sim_steps_per_sec")),
+            format!("{:.1}", f(v, "steps_per_sec")),
+            format!("{:.2}", f(v, "simulated_seconds")),
+            format!("{:.3}", f(v, "skipped_update_fraction")),
+            u(v, "skip_dropped").to_string(),
+            format!("{:.1}", f(v, "oracle_saved_bytes") / (1 << 20) as f64),
+            format!("{:.4}", f(v, "accuracy")),
+        ]
+    };
+    print_table(
+        "abl_skip: oracle lookahead + stale-skip ablation (scaled Kaggle, 2 GPUs)",
+        &[
+            "mode",
+            "steps/sec (sim)",
+            "steps/sec (wall)",
+            "sim (s)",
+            "skipped frac",
+            "dropped",
+            "saved (MiB)",
+            "accuracy",
+        ],
+        &[row("off", &off), row("lookahead", &la), row("lookahead+skip", &las)],
+    );
+    let sim_speedup = f(&las, "sim_steps_per_sec") / f(&off, "sim_steps_per_sec");
+    println!(
+        "\nlookahead+skip vs off: simulated {:.3}x | wall {:.2}x | accuracy delta {:+.4}",
+        sim_speedup,
+        f(&las, "steps_per_sec") / f(&off, "steps_per_sec"),
+        f(&las, "accuracy") - f(&off, "accuracy"),
+    );
+    // The ablation's contract: on the Zipf workload, lookahead+skip must
+    // out-run plain FAE on the simulated timeline (lookahead moves fewer
+    // bytes, skip elides cold applies — both deterministic there).
+    assert!(
+        sim_speedup > 1.0,
+        "lookahead+skip must beat plain fae in simulated steps/s, got {sim_speedup:.4}x"
+    );
+
+    save_json(
+        "abl_skip",
+        &serde_json::json!({
+            "workload": spec.name,
+            "inputs": spec.num_inputs,
+            "minibatch_size": cfg.minibatch_size,
+            "num_gpus": cfg.num_gpus,
+            "off": off,
+            "lookahead": la,
+            "lookahead_skip": las,
+            "rounds_wall_steps_per_sec": {
+                "off": rounds[0],
+                "lookahead": rounds[1],
+                "lookahead_skip": rounds[2],
+            },
+            "sim_speedup_skip_vs_off": sim_speedup,
+            "wall_speedup_skip_vs_off":
+                f(&las, "steps_per_sec") / f(&off, "steps_per_sec"),
+            "sim_speedup_lookahead_vs_off":
+                f(&off, "simulated_seconds") / f(&la, "simulated_seconds"),
+            "accuracy_delta_skip_vs_off": f(&las, "accuracy") - f(&off, "accuracy"),
+            "methodology": "same prepared workload per phase; throughput verdict is simulated steps/s (the modeled-hardware timeline every speedup in this repo reports on; the wall delta between modes is a few ms of elided sparse applies, below shared-host noise) with the ordering asserted; lookahead=32 covers typical hot blocks so partial refreshes beat full-bag syncs; stale-skip threshold 1e-4 in weight-delta units; phases run as child processes in 3 interleaved rounds, best wall round per phase reported (rounds_wall_steps_per_sec has them all)",
+        }),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.len() == 3 && args[1] == "--phase" {
         let record = run_phase(&args[2]);
         println!("{}", serde_json::to_string(&record).expect("phase record serializes"));
+        return;
+    }
+    if args.len() == 2 && args[1] == "--abl-skip" {
+        run_abl_skip();
         return;
     }
 

@@ -204,6 +204,8 @@ pub fn train_fae_adaptive(
             recoveries: Vec::new(),
             interrupted: false,
             model_digest: digest,
+            oracle: Default::default(),
+            skip: Default::default(),
         },
         recalibrations: recals,
         window_shares,

@@ -747,8 +747,8 @@ mod tests {
         let mut ck = sample();
         ck.tables = TrainCheckpoint::snapshot_master(&master);
         let back = ck.restore_master();
-        assert_eq!(back.tables().len(), master.tables().len());
-        for (a, b) in master.tables().iter().zip(back.tables()) {
+        assert_eq!(back.tables().unwrap().len(), master.tables().unwrap().len());
+        for (a, b) in master.tables().unwrap().iter().zip(back.tables().unwrap()) {
             assert_eq!(a.weights().as_slice(), b.weights().as_slice());
         }
     }

@@ -16,9 +16,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use fae_data::{BatchKind, MiniBatch, WorkloadSpec};
+use fae_embed::EmbeddingTable;
 use fae_models::{train_step, EmbeddingSource, MasterEmbeddings, RecModel};
 
 use crate::trainer::AnyModel;
+
+/// Whole-table view of one replica's embeddings. [`DataParallel`] only
+/// ever builds untiered masters ([`MasterEmbeddings::from_spec`]), so
+/// the view always exists; a tiered master here means replica
+/// construction was corrupted and the math below would be meaningless.
+fn flat(emb: &MasterEmbeddings) -> &[EmbeddingTable] {
+    // fae-lint: allow(no-panic, reason = "DataParallel only constructs untiered masters; a tiered replica is construction corruption")
+    emb.tables().expect("DataParallel replicas are untiered")
+}
+
+/// Mutable counterpart of [`flat`].
+fn flat_mut(emb: &mut MasterEmbeddings) -> &mut [EmbeddingTable] {
+    // fae-lint: allow(no-panic, reason = "DataParallel only constructs untiered masters; a tiered replica is construction corruption")
+    emb.tables_mut().expect("DataParallel replicas are untiered")
+}
 
 /// N model+embedding replicas trained data-parallel with parameter
 /// averaging (SGD-equivalent to gradient all-reduce).
@@ -148,15 +164,15 @@ impl DataParallel {
         // Embedding tables.
         let tables = self.embeddings[0].num_tables();
         for t in 0..tables {
-            let len = self.embeddings[0].tables()[t].weights().len();
+            let len = flat(&self.embeddings[0])[t].weights().len();
             let mut acc = vec![0.0f64; len];
             for (emb, &w) in self.embeddings.iter().zip(weights) {
-                for (a, &v) in acc.iter_mut().zip(emb.tables()[t].weights().as_slice()) {
+                for (a, &v) in acc.iter_mut().zip(flat(emb)[t].weights().as_slice()) {
                     *a += w * v as f64;
                 }
             }
             for emb in &mut self.embeddings {
-                let dst = emb.tables_mut()[t].weights_mut().as_mut_slice();
+                let dst = flat_mut(emb)[t].weights_mut().as_mut_slice();
                 for (d, &a) in dst.iter_mut().zip(&acc) {
                     *d = a as f32;
                 }
@@ -178,9 +194,9 @@ impl DataParallel {
             }
         }
         for t in 0..self.embeddings[0].num_tables() {
-            let w0 = self.embeddings[0].tables()[t].weights();
+            let w0 = flat(&self.embeddings[0])[t].weights();
             for e in &self.embeddings[1..] {
-                max = max.max(e.tables()[t].weights().sub(w0).max_abs());
+                max = max.max(flat(e)[t].weights().sub(w0).max_abs());
             }
         }
         max
@@ -237,9 +253,9 @@ mod tests {
         assert!(max_diff < 5e-4, "dense params diverged by {max_diff}");
         // Embeddings agree too.
         for t in 0..dp4.embeddings(0).num_tables() {
-            let d = dp4.embeddings(0).tables()[t]
+            let d = dp4.embeddings(0).tables().unwrap()[t]
                 .weights()
-                .sub(dp1.embeddings(0).tables()[t].weights())
+                .sub(dp1.embeddings(0).tables().unwrap()[t].weights())
                 .max_abs();
             assert!(d < 5e-4, "table {t} diverged by {d}");
         }
@@ -308,12 +324,12 @@ mod tests {
             dp.train_step(&MiniBatch::gather(&ds, &ids, BatchKind::Unclassified), 0.05);
         }
         let test = vec![full_batch(&ds, 128)];
-        let emb0 = dp.embeddings(0).tables().to_vec();
+        let emb0 = dp.embeddings(0).tables().unwrap().to_vec();
         let r0 = {
             let emb = MasterEmbeddings::from_tables(emb0);
             evaluate(dp.model(0), &emb, &test)
         };
-        let emb2 = dp.embeddings(2).tables().to_vec();
+        let emb2 = dp.embeddings(2).tables().unwrap().to_vec();
         let r2 = {
             let emb = MasterEmbeddings::from_tables(emb2);
             evaluate(dp.model(2), &emb, &test)

@@ -16,6 +16,9 @@
 //!   CPU↔GPU synchronisation at schedule transitions,
 //! * [`exec`] — the parallel execution engine: per-device worker threads
 //!   over contiguous batch shards with deterministic gradient reduction,
+//! * [`oracle`] — the BagPipe-style lookahead cache: exact next-K-batch
+//!   access sets over the known mini-batch stream, driving prefetch and
+//!   eviction of hot rows at the schedule transitions,
 //! * [`scheduler`] — the **Shuffle Scheduler**'s adaptive hot/cold
 //!   interleaving rate (Eq. 7),
 //! * [`trainer`] — baseline and FAE training loops combining real
@@ -42,6 +45,7 @@ pub mod drift;
 pub mod exec;
 pub mod faults;
 pub mod input_processor;
+pub mod oracle;
 pub mod pipeline;
 pub mod replicator;
 pub mod scheduler;
@@ -62,6 +66,7 @@ pub use faults::{
     InjectedFault, RecoveryAction, RetryPolicy,
 };
 pub use input_processor::{preprocess_inputs, PreprocessConfig, Preprocessed};
+pub use oracle::{plan_decisions, AccessSet, LookaheadOracle, OracleStats, StepDecision};
 pub use pipeline::{prefetch_fae_blocks, Prefetcher};
 pub use replicator::HotEmbeddings;
 pub use scheduler::{Rate, SchedulerState, ShuffleScheduler};

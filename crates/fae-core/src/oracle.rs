@@ -1,0 +1,322 @@
+//! Oracle lookahead cache over the known mini-batch stream.
+//!
+//! FAE's premise — popularity is known before training starts — extends
+//! to *exact* future knowledge: the preprocessed mini-batch stream and
+//! every epoch's shuffle order are fixed up front (the order comes from
+//! a seed derived per epoch), so the trainer can look ahead and compute
+//! the *true* next-K-batch access set per embedding table. BagPipe
+//! (arXiv 2202.12429) builds its cache around exactly this oracle.
+//!
+//! The trainer uses the oracle to replace the full-bag hot syncs with
+//! exact partial transfers:
+//!
+//! * at a cold→hot transition it prefetches only the rows the next
+//!   `min(K, block)` hot batches will read (instead of the whole bag),
+//! * while the hot block runs, the window slides: the access set
+//!   entering the window is prefetched K−1 steps before it executes, so
+//!   the transfer overlaps training compute (only the non-hidden excess
+//!   is charged to the timeline),
+//! * rows resident from the previous block but absent from the new plan
+//!   are evicted (free — eviction drops residency, it moves no bytes),
+//! * at the hot→cold transition only *resident* rows are written back.
+//!
+//! Because the master tables are frozen during a hot block (cold steps
+//! and hot steps never interleave within a block), a row fetched
+//! mid-block reads exactly the bytes a full refresh would have copied at
+//! the block start — the oracle changes *transfer* costs only, never
+//! numerics. `--lookahead K` for any K produces the same model digest as
+//! `--lookahead 0`; the trainer's tests enforce this.
+//!
+//! [`plan_decisions`] is the pure planner underneath: decision *i*
+//! depends only on access sets `[0, i+K)`, so decisions already emitted
+//! never change when the stream is extended — the prefix-stability
+//! property the proptests pin down.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use fae_data::MiniBatch;
+
+use crate::pipeline::Prefetcher;
+
+/// The unique rows one mini-batch reads, per table, sorted ascending.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessSet {
+    /// Per table: sorted, deduplicated global row ids.
+    pub per_table: Vec<Vec<u32>>,
+}
+
+impl AccessSet {
+    /// Extracts the access set of one mini-batch.
+    pub fn of(batch: &MiniBatch) -> Self {
+        let per_table = batch
+            .sparse
+            .iter()
+            .map(|csr| {
+                let mut rows = csr.indices.clone();
+                rows.sort_unstable();
+                rows.dedup();
+                rows
+            })
+            .collect();
+        Self { per_table }
+    }
+
+    /// Total unique rows across tables.
+    pub fn rows(&self) -> usize {
+        self.per_table.iter().map(Vec::len).sum()
+    }
+}
+
+/// One emitted oracle decision: the rows to prefetch into the hot cache
+/// immediately before executing the step at the same stream position.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepDecision {
+    /// Per table: rows fetched before this step runs (sorted ascending).
+    pub prefetch: Vec<Vec<u32>>,
+}
+
+/// The pure lookahead planner. With window `K ≥ 1` over the access-set
+/// stream, decision 0 prefetches the union of sets `[0, K)`; decision
+/// `i > 0` prefetches whatever `sets[i+K-1]` adds beyond the rows already
+/// resident. Residency only grows (eviction happens at block boundaries,
+/// outside this planner), so decision `i` is a function of `sets[0..i+K]`
+/// alone — extending the stream never changes decisions already emitted.
+pub fn plan_decisions(sets: &[AccessSet], window: usize) -> Vec<StepDecision> {
+    assert!(window >= 1, "a zero window means the oracle is disabled");
+    let Some(first) = sets.first() else { return Vec::new() };
+    let tables = first.per_table.len();
+    let mut resident: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); tables];
+    let mut out = Vec::with_capacity(sets.len());
+    for i in 0..sets.len() {
+        let mut prefetch = vec![Vec::new(); tables];
+        // The sets that must be resident before step i runs: the whole
+        // first window at i == 0, the set entering the window after.
+        let incoming: &[AccessSet] = if i == 0 {
+            &sets[..window.min(sets.len())]
+        } else if i + window - 1 < sets.len() {
+            &sets[i + window - 1..i + window]
+        } else {
+            &[]
+        };
+        for set in incoming {
+            for (t, rows) in set.per_table.iter().enumerate() {
+                for &r in rows {
+                    if resident[t].insert(r) {
+                        prefetch[t].push(r);
+                    }
+                }
+            }
+        }
+        for rows in &mut prefetch {
+            rows.sort_unstable();
+        }
+        out.push(StepDecision { prefetch });
+    }
+    out
+}
+
+/// The streaming oracle the trainer consumes: per-position access sets
+/// of the epoch's hot stream, computed on a background thread through
+/// the double-buffered [`Prefetcher`] and buffered up to the lookahead
+/// window on the consumer side.
+pub struct LookaheadOracle {
+    window: usize,
+    buf: VecDeque<AccessSet>,
+    feed: Prefetcher<AccessSet>,
+}
+
+impl LookaheadOracle {
+    /// Spawns the access-set producer over `batches` in `order` (the
+    /// epoch's shuffled hot-batch order). `window` is the lookahead K in
+    /// batches and must be ≥ 1 — a window of 0 means "no oracle" and is
+    /// handled by the caller, not here.
+    pub fn spawn(
+        batches: Arc<Vec<MiniBatch>>,
+        order: Vec<usize>,
+        window: usize,
+    ) -> std::io::Result<Self> {
+        assert!(window >= 1, "a zero window means the oracle is disabled");
+        let feed = Prefetcher::spawn(move |tx| {
+            for &b in &order {
+                if tx.send(AccessSet::of(&batches[b])).is_err() {
+                    return; // consumer hung up
+                }
+            }
+        })?;
+        Ok(Self { window, buf: VecDeque::new(), feed })
+    }
+
+    /// The lookahead window size K.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn fill(&mut self, n: usize) {
+        while self.buf.len() < n {
+            match self.feed.next() {
+                Some(s) => self.buf.push_back(s),
+                None => break,
+            }
+        }
+    }
+
+    /// The block-start prefetch plan: per-table union of the access sets
+    /// of the next `min(K, limit)` steps (`limit` = batches left in the
+    /// block about to run).
+    pub fn block_plan(&mut self, limit: usize, num_tables: usize) -> Vec<Vec<u32>> {
+        let n = self.window.min(limit);
+        self.fill(n);
+        let mut union: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); num_tables];
+        for set in self.buf.iter().take(n) {
+            for (t, rows) in set.per_table.iter().enumerate() {
+                union[t].extend(rows.iter().copied());
+            }
+        }
+        union.into_iter().map(|s| s.into_iter().collect()).collect()
+    }
+
+    /// The access set `offset` steps ahead of the step about to execute
+    /// (0 = that step itself). `None` once the epoch stream is exhausted.
+    pub fn peek(&mut self, offset: usize) -> Option<&AccessSet> {
+        self.fill(offset + 1);
+        self.buf.get(offset)
+    }
+
+    /// Consumes the access set of the step about to execute.
+    pub fn advance(&mut self) -> Option<AccessSet> {
+        self.fill(1);
+        self.buf.pop_front()
+    }
+
+    /// Skips `n` positions — the resume path, where the hot cursor starts
+    /// mid-epoch.
+    pub fn skip(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.advance().is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// Lifetime counters of one oracle run (exported as `oracle.*` telemetry
+/// counters and into the `TrainReport`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Rows copied CPU→GPU by block-start plans and window slides.
+    pub prefetched_rows: u64,
+    /// Resident rows dropped at a refresh because the new plan no longer
+    /// needs them.
+    pub evicted_rows: u64,
+    /// Row reads served by resident rows (unique rows per step).
+    pub hits: u64,
+    /// Row reads that demand-fetched — with an exact oracle this stays 0
+    /// and is kept as a self-check.
+    pub misses: u64,
+    /// Bytes actually moved across PCIe by oracle-driven syncs.
+    pub moved_bytes: u64,
+    /// Bytes the full-bag syncs would have moved instead.
+    pub full_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fae_data::{generate, BatchKind, GenOptions, WorkloadSpec};
+
+    fn sets(rows: &[&[u32]]) -> Vec<AccessSet> {
+        rows.iter().map(|r| AccessSet { per_table: vec![r.to_vec()] }).collect()
+    }
+
+    #[test]
+    fn first_decision_prefetches_the_whole_window() {
+        let s = sets(&[&[1, 2], &[2, 3], &[4]]);
+        let d = plan_decisions(&s, 2);
+        assert_eq!(d[0].prefetch, vec![vec![1, 2, 3]]);
+        // Step 1 pulls in set 2; 2 and 3 are already resident.
+        assert_eq!(d[1].prefetch, vec![vec![4]]);
+        // Nothing left beyond the stream.
+        assert_eq!(d[2].prefetch, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn window_larger_than_stream_prefetches_everything_up_front() {
+        let s = sets(&[&[1], &[2], &[3]]);
+        let d = plan_decisions(&s, 10);
+        assert_eq!(d[0].prefetch, vec![vec![1, 2, 3]]);
+        assert!(d[1].prefetch[0].is_empty() && d[2].prefetch[0].is_empty());
+    }
+
+    #[test]
+    fn decisions_are_prefix_stable_on_a_fixed_case() {
+        let full = sets(&[&[1, 5], &[2], &[5, 9], &[3], &[9]]);
+        let short = &full[..3];
+        let window = 2;
+        let d_full = plan_decisions(&full, window);
+        let d_short = plan_decisions(short, window);
+        for i in 0..=(short.len() - window) {
+            assert_eq!(d_full[i], d_short[i], "decision {i} changed when the stream grew");
+        }
+    }
+
+    #[test]
+    fn access_set_dedups_and_sorts() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(3, 200));
+        let mb = MiniBatch::gather(&ds, &(0..64).collect::<Vec<_>>(), BatchKind::Unclassified);
+        let set = AccessSet::of(&mb);
+        assert_eq!(set.per_table.len(), mb.sparse.len());
+        for rows in &set.per_table {
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        }
+        assert!(set.rows() > 0);
+    }
+
+    #[test]
+    fn streaming_oracle_matches_the_pure_planner_unions() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(9, 1_000));
+        let batches: Vec<MiniBatch> = (0..ds.len())
+            .collect::<Vec<_>>()
+            .chunks(64)
+            .map(|c| MiniBatch::gather(&ds, c, BatchKind::Hot))
+            .collect();
+        let order: Vec<usize> = (0..batches.len()).rev().collect();
+        let eager: Vec<AccessSet> = order.iter().map(|&b| AccessSet::of(&batches[b])).collect();
+        let tables = batches[0].sparse.len();
+
+        let mut oracle = LookaheadOracle::spawn(Arc::new(batches), order, 3).expect("spawn oracle");
+        // Block plan == union of the first 3 sets.
+        let plan = oracle.block_plan(usize::MAX, tables);
+        let mut want: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); tables];
+        for s in &eager[..3] {
+            for (t, rows) in s.per_table.iter().enumerate() {
+                want[t].extend(rows.iter().copied());
+            }
+        }
+        let want: Vec<Vec<u32>> = want.into_iter().map(|s| s.into_iter().collect()).collect();
+        assert_eq!(plan, want);
+        // Advancing yields the per-position sets in order.
+        for (i, s) in eager.iter().enumerate() {
+            assert_eq!(oracle.advance().as_ref(), Some(s), "position {i}");
+        }
+        assert!(oracle.advance().is_none());
+    }
+
+    #[test]
+    fn skip_fast_forwards_the_stream() {
+        let spec = WorkloadSpec::tiny_test();
+        let ds = generate(&spec, &GenOptions::sized(9, 500));
+        let batches: Vec<MiniBatch> = (0..ds.len())
+            .collect::<Vec<_>>()
+            .chunks(64)
+            .map(|c| MiniBatch::gather(&ds, c, BatchKind::Hot))
+            .collect();
+        let order: Vec<usize> = (0..batches.len()).collect();
+        let third = AccessSet::of(&batches[2]);
+        let mut oracle = LookaheadOracle::spawn(Arc::new(batches), order, 1).expect("spawn");
+        oracle.skip(2);
+        assert_eq!(oracle.advance(), Some(third));
+    }
+}

@@ -34,6 +34,11 @@ pub struct HotEmbeddings {
     /// Per table: hot-local id -> global row id, sorted ascending.
     global_ids: Vec<Vec<u32>>,
     partitions: Vec<HotColdPartition>,
+    /// Per table: whether each hot-local row currently holds fresh bytes
+    /// on the devices. Full replication (the default, and the only mode
+    /// when the lookahead oracle is off) keeps every row resident; the
+    /// oracle's partial refreshes shrink this to the planned access set.
+    resident: Vec<Vec<bool>>,
     dim: usize,
     telemetry: Telemetry,
 }
@@ -58,7 +63,8 @@ impl HotEmbeddings {
             tables.push(ShardedEmbeddingTable::from_table(&bag, HOT_SHARDS));
             global_ids.push(ids);
         }
-        Self { tables, global_ids, partitions, dim, telemetry: Telemetry::disabled() }
+        let resident = global_ids.iter().map(|ids| vec![true; ids.len()]).collect();
+        Self { tables, global_ids, partitions, resident, dim, telemetry: Telemetry::disabled() }
     }
 
     /// Attaches a telemetry handle: refreshes and write-backs are counted
@@ -100,7 +106,7 @@ impl HotEmbeddings {
     }
 
     /// Cold→hot transition: pulls rows updated by cold batches back into
-    /// the bags.
+    /// the bags. Restores full residency.
     pub fn refresh_from(&mut self, master: &MasterEmbeddings) {
         let mut buf = vec![0.0f32; self.dim];
         for (t, (sharded, ids)) in self.tables.iter().zip(&self.global_ids).enumerate() {
@@ -109,8 +115,105 @@ impl HotEmbeddings {
                 sharded.set_row(local as u32, &buf);
             }
         }
+        for mask in &mut self.resident {
+            mask.fill(true);
+        }
         self.telemetry.counter_add("replicator.refreshes", 1);
         self.telemetry.counter_add("replicator.moved_bytes", self.sync_bytes() as u64);
+    }
+
+    /// Rows currently resident on the devices, across all tables.
+    pub fn resident_rows(&self) -> usize {
+        self.resident.iter().map(|m| m.iter().filter(|&&r| r).count()).sum()
+    }
+
+    /// Oracle-driven cold→hot transition: refreshes exactly the rows in
+    /// `plan` (per-table global ids, the union of the next window's
+    /// access sets) and marks everything else non-resident. Returns the
+    /// bytes moved and the number of previously-resident rows evicted
+    /// (eviction moves no bytes: the master already holds their values —
+    /// hot rows are only written on the devices *after* a refresh, and
+    /// written rows are written back before the next refresh).
+    pub fn refresh_rows(&mut self, master: &MasterEmbeddings, plan: &[Vec<u32>]) -> (u64, u64) {
+        assert_eq!(plan.len(), self.tables.len(), "one plan per table");
+        let mut buf = vec![0.0f32; self.dim];
+        let mut moved_rows = 0u64;
+        let mut evicted = 0u64;
+        for (t, rows) in plan.iter().enumerate() {
+            let sharded = &self.tables[t];
+            let p = &self.partitions[t];
+            let mask = &mut self.resident[t];
+            let mut next = vec![false; mask.len()];
+            for &g in rows {
+                // Cold ids in a plan would be input-processor corruption;
+                // they cannot be made resident, so skip rather than panic.
+                let Some(local) = p.hot_local(g) else { continue };
+                master.copy_row_into(t, g, &mut buf);
+                sharded.set_row(local, &buf);
+                next[local as usize] = true;
+                moved_rows += 1;
+            }
+            evicted += mask.iter().zip(&next).filter(|&(&was, &is)| was && !is).count() as u64;
+            *mask = next;
+        }
+        let moved_bytes = moved_rows * (self.dim * std::mem::size_of::<f32>()) as u64;
+        self.telemetry.counter_add("replicator.refreshes", 1);
+        self.telemetry.counter_add("replicator.moved_bytes", moved_bytes);
+        (moved_bytes, evicted)
+    }
+
+    /// Fetches every row of `sets` (per-table global ids) that is not
+    /// already resident — the oracle's sliding-window prefetch, and the
+    /// demand-miss path should a non-resident row ever be accessed.
+    /// Returns the rows and bytes moved.
+    pub fn fetch_missing(&mut self, master: &MasterEmbeddings, sets: &[Vec<u32>]) -> (u64, u64) {
+        assert_eq!(sets.len(), self.tables.len(), "one set per table");
+        let mut buf = vec![0.0f32; self.dim];
+        let mut rows_moved = 0u64;
+        for (t, rows) in sets.iter().enumerate() {
+            let sharded = &self.tables[t];
+            let p = &self.partitions[t];
+            let mask = &mut self.resident[t];
+            for &g in rows {
+                let Some(local) = p.hot_local(g) else { continue };
+                if mask[local as usize] {
+                    continue;
+                }
+                master.copy_row_into(t, g, &mut buf);
+                sharded.set_row(local, &buf);
+                mask[local as usize] = true;
+                rows_moved += 1;
+            }
+        }
+        let bytes = rows_moved * (self.dim * std::mem::size_of::<f32>()) as u64;
+        if rows_moved > 0 {
+            self.telemetry.counter_add("replicator.moved_bytes", bytes);
+        }
+        (rows_moved, bytes)
+    }
+
+    /// Hot→cold transition under the oracle: writes back only the
+    /// resident rows (non-resident rows were never readable on the
+    /// devices, so their device bytes are stale by construction and the
+    /// master copy is already authoritative). Returns bytes moved.
+    pub fn write_back_resident(&self, master: &mut MasterEmbeddings) -> u64 {
+        let mut rows_moved = 0u64;
+        for (t, ((sharded, ids), mask)) in
+            self.tables.iter().zip(&self.global_ids).zip(&self.resident).enumerate()
+        {
+            let snapshot = sharded.to_table();
+            for (local, &g) in ids.iter().enumerate() {
+                if !mask[local] {
+                    continue;
+                }
+                master.set_row(t, g, snapshot.row(local as u32));
+                rows_moved += 1;
+            }
+        }
+        let bytes = rows_moved * (self.dim * std::mem::size_of::<f32>()) as u64;
+        self.telemetry.counter_add("replicator.write_backs", 1);
+        self.telemetry.counter_add("replicator.moved_bytes", bytes);
+        bytes
     }
 
     fn translate(&self, t: usize, indices: &[u32]) -> Vec<u32> {
@@ -265,6 +368,54 @@ mod tests {
         assert!(hot.hot_bytes() > 0);
         // A transition moves the whole bag, so the two byte counts agree.
         assert_eq!(hot.sync_bytes(), hot.hot_bytes());
+    }
+
+    #[test]
+    fn partial_refresh_tracks_residency_and_evictions() {
+        let (master, mut hot) = setup();
+        let all = hot.resident_rows();
+        assert_eq!(all, hot.partitions().iter().map(|p| p.hot_count()).sum::<usize>());
+        // Plan only rows {0, 3} of table 0 (and nothing elsewhere).
+        let mut plan: Vec<Vec<u32>> = vec![Vec::new(); hot.num_tables()];
+        plan[0] = vec![0, 3];
+        let (moved, evicted) = hot.refresh_rows(&master, &plan);
+        assert_eq!(moved, 2 * (hot.dim() * 4) as u64);
+        assert_eq!(evicted as usize, all - 2);
+        assert_eq!(hot.resident_rows(), 2);
+        // Sliding prefetch: row 6 of table 0 was evicted; fetch it back.
+        let mut set: Vec<Vec<u32>> = vec![Vec::new(); hot.num_tables()];
+        set[0] = vec![0, 6];
+        let (rows, bytes) = hot.fetch_missing(&master, &set);
+        assert_eq!((rows, bytes), (1, (hot.dim() * 4) as u64));
+        assert_eq!(hot.resident_rows(), 3);
+        // Already-resident rows fetch nothing.
+        assert_eq!(hot.fetch_missing(&master, &set), (0, 0));
+        // A full refresh restores total residency.
+        hot.refresh_from(&master);
+        assert_eq!(hot.resident_rows(), all);
+    }
+
+    #[test]
+    fn resident_write_back_only_moves_resident_rows() {
+        let (mut master, mut hot) = setup();
+        let mut plan: Vec<Vec<u32>> = vec![Vec::new(); hot.num_tables()];
+        plan[0] = vec![3];
+        hot.refresh_rows(&master, &plan);
+        // Train resident row 3 on the devices.
+        let mut grads: Vec<SparseGrad> =
+            (0..hot.num_tables()).map(|_| SparseGrad::new(hot.dim())).collect();
+        grads[0].accumulate(3, &vec![2.0; hot.dim()]);
+        hot.apply_shared(&grads, 0.5);
+        let before_row6 = master.lookup(0, &[6], &[0, 1]);
+        let before_row3 = master.lookup(0, &[3], &[0, 1]);
+        let bytes = hot.write_back_resident(&mut master);
+        assert_eq!(bytes, (hot.dim() * 4) as u64);
+        // The trained resident row landed; the evicted row is untouched.
+        let after_row3 = master.lookup(0, &[3], &[0, 1]);
+        for (b, a) in before_row3.as_slice().iter().zip(after_row3.as_slice()) {
+            assert!((b - 1.0 - a).abs() < 1e-6);
+        }
+        assert_eq!(master.lookup(0, &[6], &[0, 1]).as_slice(), before_row6.as_slice());
     }
 
     #[test]

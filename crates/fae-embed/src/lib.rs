@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deferred;
 pub mod half;
 pub mod partition;
 pub mod quant;
@@ -31,6 +32,7 @@ pub mod sparse;
 pub mod stats;
 pub mod table;
 
+pub use deferred::{DeferredSparse, SkipStats};
 pub use half::Bf16EmbeddingTable;
 pub use partition::{HotColdPartition, RowClass};
 pub use quant::{dequantize, quantize_row, TieredTable};

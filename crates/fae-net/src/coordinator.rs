@@ -638,10 +638,13 @@ impl Drop for RemoteEngine {
 /// Extracts every hot row of every table — the payload of a
 /// `HotBagSync` and the bag half of a `Welcome`.
 fn snapshot_entries(master: &MasterEmbeddings, partitions: &[HotColdPartition]) -> Vec<HotEntry> {
+    // Row-level reads work in both storage modes, so a tiered master
+    // (never built on the distributed path today) would still snapshot
+    // instead of panicking.
     let mut out = Vec::new();
-    for (t, (table, p)) in master.tables().iter().zip(partitions).enumerate() {
+    for (t, p) in partitions.iter().enumerate().take(master.num_tables()) {
         for &g in p.hot_ids() {
-            out.push(HotEntry { table: t as u32, row: g, values: table.row(g).to_vec() });
+            out.push(HotEntry { table: t as u32, row: g, values: master.row(t, g) });
         }
     }
     out

@@ -35,7 +35,7 @@ use fae_core::replicator::HotEmbeddings;
 use fae_core::trainer::AnyModel;
 use fae_data::WorkloadSpec;
 use fae_embed::HotColdPartition;
-use fae_models::{MasterEmbeddings, RecModel};
+use fae_models::{EmbeddingSource, MasterEmbeddings, RecModel};
 use fae_telemetry::{JournalEvent, StepMode, TaggedEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -145,10 +145,16 @@ impl Replica {
 /// Overlays shipped hot rows onto the master tables, bounds-checked:
 /// a corrupt-but-CRC-valid frame must not be able to panic the node.
 fn apply_entries(master: &mut MasterEmbeddings, entries: &[HotEntry]) {
+    // Row-level writes work in both storage modes — no whole-table view
+    // needed, so a tiered master degrades to requantized cold writes
+    // instead of panicking.
     for e in entries {
-        let Some(table) = master.tables_mut().get_mut(e.table as usize) else { continue };
-        if (e.row as usize) < table.rows() && e.values.len() == table.dim() {
-            table.set_row(e.row, &e.values);
+        let t = e.table as usize;
+        if t < master.num_tables()
+            && (e.row as usize) < master.rows_in(t)
+            && e.values.len() == master.dim()
+        {
+            master.set_row(t, e.row, &e.values);
         }
     }
 }

@@ -38,5 +38,7 @@ pub use link::LinkSpec;
 pub use multinode::{cluster_step_cost, ClusterConfig};
 pub use overlap::{pipelining_headroom, step_dag, StepDag};
 pub use profile::ModelProfile;
-pub use step::{reshard_cost, step_cost, sync_cost, ExecMode, SystemConfig};
+pub use step::{
+    cold_sparse_optimizer_cost, reshard_cost, step_cost, sync_cost, ExecMode, SystemConfig,
+};
 pub use timeline::{Phase, Timeline};

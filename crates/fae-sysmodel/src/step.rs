@@ -264,6 +264,18 @@ pub fn step_cost(
     t
 }
 
+/// The CPU sparse-SGD term of one `BaselineHybrid` (cold) step in
+/// isolation — exactly the `cpu_sgd` component [`step_cost`] charges to
+/// [`Phase::Optimizer`] and to CPU residency. The stale-skip trainer uses
+/// it to rescale the optimizer charge by the fraction of row-updates it
+/// actually applied (deferred cold rows skip this work).
+pub fn cold_sparse_optimizer_cost(profile: &ModelProfile, sys: &SystemConfig, batch: usize) -> f64 {
+    let row_bytes = (profile.emb_dim * 4) as f64;
+    let upd_rows = profile.emb_rows_updated_per_sample() * batch as f64;
+    sys.cpu.gather_rows_time(2.0 * upd_rows, row_bytes * 1.5)
+        + profile.num_tables as f64 * sys.cpu.op_overhead
+}
+
 /// Cost of one hot-embedding synchronisation event (hot↔cold schedule
 /// transition): the hot bag moves CPU→each GPU (refresh) or GPU→CPU
 /// (write-back) over the contended PCIe links.

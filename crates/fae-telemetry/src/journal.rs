@@ -112,6 +112,12 @@ pub enum JournalEvent {
         /// Worker threads in the parallel execution engine (1 = serial;
         /// absent in pre-engine journals, parsed as 1).
         workers: usize,
+        /// Lookahead-oracle window in batches (0 = disabled; absent in
+        /// older journals, parsed as 0).
+        lookahead: u64,
+        /// Stale-skip threshold in weight-delta units (0 = disabled;
+        /// absent in older journals, parsed as 0).
+        stale_skip: f64,
     },
     /// One training step.
     Step {
@@ -360,6 +366,8 @@ impl JournalEvent {
                 minibatch_size,
                 initial_rate,
                 workers,
+                lookahead,
+                stale_skip,
             } => {
                 m.insert("workload".into(), Value::String(workload.clone()));
                 m.insert("seed".into(), serde_json::to_value(seed));
@@ -368,6 +376,8 @@ impl JournalEvent {
                 m.insert("minibatch_size".into(), serde_json::to_value(minibatch_size));
                 m.insert("initial_rate".into(), serde_json::to_value(initial_rate));
                 m.insert("workers".into(), serde_json::to_value(workers));
+                m.insert("lookahead".into(), serde_json::to_value(lookahead));
+                m.insert("stale_skip".into(), serde_json::to_value(stale_skip));
             }
             JournalEvent::Step { step, mode, rate, loss, phases } => {
                 m.insert("step".into(), serde_json::to_value(step));
@@ -549,6 +559,9 @@ impl JournalEvent {
                 initial_rate: get_u64("initial_rate")? as u32,
                 // Pre-engine journals have no workers field: serial run.
                 workers: v.get("workers").and_then(Value::as_u64).unwrap_or(1) as usize,
+                // Pre-oracle journals have neither of these: both off.
+                lookahead: v.get("lookahead").and_then(Value::as_u64).unwrap_or(0),
+                stale_skip: v.get("stale_skip").and_then(Value::as_f64).unwrap_or(0.0),
             },
             "step" => JournalEvent::Step {
                 step: get_u64("step")?,
@@ -842,6 +855,8 @@ mod tests {
                 minibatch_size: 64,
                 initial_rate: 50,
                 workers: 2,
+                lookahead: 0,
+                stale_skip: 0.0,
             },
             JournalEvent::Step {
                 step: 1,

@@ -500,6 +500,8 @@ mod tests {
                 epochs: 1,
                 minibatch_size: 8,
                 initial_rate: 100,
+                lookahead: 0,
+                stale_skip: 0.0,
             },
             JournalEvent::Step {
                 step: 1,

@@ -155,6 +155,8 @@ mod tests {
                     epochs: 1,
                     minibatch_size: 8,
                     initial_rate: 50,
+                    lookahead: 0,
+                    stale_skip: 0.0,
                 },
             ),
             tag(

@@ -51,11 +51,13 @@ fn main() {
     let test = full_batch(&ds, 256);
     use fae::models::{evaluate, MasterEmbeddings};
     let e1 = {
-        let emb = MasterEmbeddings::from_tables(single.embeddings(0).tables().to_vec());
+        let tables = single.embeddings(0).tables().expect("f32 master in this example");
+        let emb = MasterEmbeddings::from_tables(tables.to_vec());
         evaluate(single.model(0), &emb, std::slice::from_ref(&test))
     };
     let e4 = {
-        let emb = MasterEmbeddings::from_tables(quad.embeddings(0).tables().to_vec());
+        let tables = quad.embeddings(0).tables().expect("f32 master in this example");
+        let emb = MasterEmbeddings::from_tables(tables.to_vec());
         evaluate(quad.model(0), &emb, &[test])
     };
     println!("eval: 1-way loss {:.6} vs 4-way loss {:.6}", e1.loss, e4.loss);

@@ -6,6 +6,7 @@
 #   scripts/bench.sh               # bench_train -> results/BENCH_train.json
 #   scripts/bench.sh bench_serve   # serving sweep -> results/BENCH_serve.json
 #   scripts/bench.sh multinode     # distributed  -> results/BENCH_multinode.json
+#   scripts/bench.sh skip          # lookahead/stale-skip ablation -> results/abl_skip.json
 #
 # Extra arguments after the binary name are forwarded to it.
 set -euo pipefail
@@ -19,5 +20,6 @@ case "$BIN" in
   serve) BIN=bench_serve ;;
   multinode) BIN=bench_multinode ;;
   obs) BIN=bench_obs ;;
+  skip) BIN=bench_train; set -- --abl-skip "$@" ;;
 esac
 cargo run --release --locked -q -p fae-bench --bin "$BIN" -- "$@"

@@ -166,6 +166,8 @@ fn train_config(args: &Args, spec: &WorkloadSpec) -> Result<TrainConfig, String>
         workers: args.num("workers", 1usize)?,
         lr: args.num("lr", 0.05f32)?,
         quantize_cold: args.num("quantize-cold", false)?,
+        lookahead: args.num("lookahead", 0usize)?,
+        stale_skip: args.num("stale-skip", 0.0f32)?,
         ..Default::default()
     })
 }
@@ -279,6 +281,12 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         if cfg.quantize_cold {
             return Err(
                 "--quantize-cold is unsupported with --distributed: nodes ship whole-table f32 views"
+                    .into(),
+            );
+        }
+        if cfg.lookahead > 0 || cfg.stale_skip > 0.0 {
+            return Err(
+                "--lookahead/--stale-skip are unsupported with --distributed: nodes sync full hot bags and apply every sparse update eagerly"
                     .into(),
             );
         }
@@ -793,6 +801,16 @@ const USAGE: &str =
                 --quantize-cold true   (int8 cold tier for the master
                                         tables; hot rows stay exact f32.
                                         Not valid with --distributed)
+                --lookahead N    (oracle lookahead over the next N known
+                                  mini-batches: prefetch exactly the rows
+                                  they touch instead of resyncing the whole
+                                  hot bag. 0 = full-bag sync. Not valid
+                                  with --distributed)
+                --stale-skip T   (defer cold-row sparse updates until the
+                                  accumulated step lr*|grad| reaches T, the
+                                  row is about to be read, or a checkpoint
+                                  flushes. 0 = apply eagerly. Not valid
+                                  with --distributed)
                 --fault-plan 'kind@step,...'  --fault-seed S
                   (kinds: device-loss replication-oom sync-failure
                           artifact-corruption transient-io)

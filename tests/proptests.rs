@@ -358,6 +358,48 @@ fn timeline_never_goes_negative() {
     }
 }
 
+// ---------- fae-core oracle lookahead ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn oracle_lookahead_decisions_are_prefix_stable(
+        stream in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..64, 0..6), 3..=3),
+            1..24,
+        ),
+        window in 1usize..6,
+        cut in 0usize..64,
+    ) {
+        use fae::core::{plan_decisions, AccessSet};
+        let sets: Vec<AccessSet> = stream
+            .into_iter()
+            .map(|tables| AccessSet {
+                per_table: tables
+                    .into_iter()
+                    .map(|mut rows| {
+                        rows.sort_unstable();
+                        rows.dedup();
+                        rows
+                    })
+                    .collect(),
+            })
+            .collect();
+        let full = plan_decisions(&sets, window);
+        prop_assert_eq!(full.len(), sets.len());
+        let m = 1 + cut % sets.len(); // arbitrary prefix length 1..=n
+        let prefix = plan_decisions(&sets[..m], window);
+        // Decision i is a function of sets[0..i+window] alone, so every
+        // decision whose window fits inside the prefix must be identical
+        // to the full-stream decision: extending the known batch stream
+        // never rewrites prefetch choices already emitted.
+        let stable = (m + 1).saturating_sub(window);
+        for i in 0..stable {
+            prop_assert_eq!(&prefix[i], &full[i], "decision {} window {} prefix {}", i, window, m);
+        }
+    }
+}
+
 // ---------- fae-sysmodel ----------
 
 proptest! {
