@@ -36,7 +36,7 @@
 //!   stream, so a resumed run replays the exact batch order — resumption
 //!   is bit-identical to never having stopped.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -320,12 +320,15 @@ struct CostCache<'a> {
     profile: &'a fae_sysmodel::ModelProfile,
     sys: &'a SystemConfig,
     mode: ExecMode,
-    cache: BTreeMap<usize, Timeline>,
+    // Lookup-only (never iterated), so iteration order cannot reach
+    // the digest — which is what lets this be a HashMap under the
+    // flow-aware det-taint rule.
+    cache: HashMap<usize, Timeline>,
 }
 
 impl<'a> CostCache<'a> {
     fn new(profile: &'a fae_sysmodel::ModelProfile, sys: &'a SystemConfig, mode: ExecMode) -> Self {
-        Self { profile, sys, mode, cache: BTreeMap::new() }
+        Self { profile, sys, mode, cache: HashMap::new() }
     }
 
     fn charge(&mut self, timeline: &mut Timeline, batch: usize) {
@@ -345,8 +348,9 @@ struct FaeCostModel {
     profile: fae_sysmodel::ModelProfile,
     sys: SystemConfig,
     sync_bytes: f64,
-    cold: BTreeMap<usize, Timeline>,
-    hot: BTreeMap<usize, Timeline>,
+    // Lookup-only like `CostCache.cache`; see that field's note.
+    cold: HashMap<usize, Timeline>,
+    hot: HashMap<usize, Timeline>,
     sync: Timeline,
 }
 
@@ -354,7 +358,7 @@ impl FaeCostModel {
     fn new(profile: fae_sysmodel::ModelProfile, num_gpus: usize, sync_bytes: f64) -> Self {
         let sys = SystemConfig::paper_server(num_gpus);
         let sync = sync_cost(&sys, sync_bytes);
-        Self { profile, sys, sync_bytes, cold: BTreeMap::new(), hot: BTreeMap::new(), sync }
+        Self { profile, sys, sync_bytes, cold: HashMap::new(), hot: HashMap::new(), sync }
     }
 
     /// Re-shapes the machine to `num_gpus` survivors: every cached cost

@@ -1,0 +1,28 @@
+//! Seeded lock-order violations: two functions acquire the same pair
+//! of locks in opposite orders (a cycle), and one re-acquires a held
+//! lock. `tests/fixture.rs` pins each finding's line.
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let a = self.left.lock();
+        let b = self.right.lock(); // left→right while holding left (line 13)
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.right.lock();
+        let a = self.left.lock(); // right→left: closes the cycle (line 19)
+        *a + *b
+    }
+
+    pub fn reentrant(&self) -> u64 {
+        let a = self.left.lock();
+        let b = self.left.lock(); // self-deadlock on Pair.left (line 25)
+        *a + *b
+    }
+}

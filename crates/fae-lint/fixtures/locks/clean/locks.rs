@@ -1,0 +1,53 @@
+//! The same locks used safely: one global order, explicit release
+//! before re-ordering, statement-scoped guards, and read-read sharding.
+//! The pass must report nothing here.
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+pub struct Shards {
+    shards: Vec<RwLock<u64>>,
+}
+
+impl Pair {
+    pub fn ordered_sum(&self) -> u64 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *a + *b
+    }
+
+    pub fn ordered_product(&self) -> u64 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *a * *b
+    }
+
+    pub fn staged(&self) -> u64 {
+        let b = self.right.lock();
+        let x = *b;
+        drop(b);
+        let a = self.left.lock();
+        *a + x
+    }
+
+    pub fn scoped(&self) -> u64 {
+        // The right guard is consumed inside the match, so taking left
+        // afterwards overlaps nothing.
+        let x = match self.right.lock() {
+            Ok(g) => *g,
+            Err(_) => 0,
+        };
+        let a = self.left.lock();
+        *a + x
+    }
+}
+
+impl Shards {
+    pub fn read_two(&self) -> u64 {
+        let a = self.shards.read();
+        let b = self.shards.read(); // read-read on one class is fine
+        *a + *b
+    }
+}

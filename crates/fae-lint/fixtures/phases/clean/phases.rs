@@ -1,0 +1,42 @@
+//! The consistent counterpart of the bad phases fixture: every
+//! accounting surface agrees, so the pass must report nothing.
+
+pub enum Phase {
+    Load,
+    Work,
+    Drain,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 3] = [Phase::Load, Phase::Work, Phase::Drain];
+
+    pub const fn index(self) -> usize {
+        match self {
+            Phase::Load => 0,
+            Phase::Work => 1,
+            Phase::Drain => 2,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Load => "load",
+            Phase::Work => "work",
+            Phase::Drain => "drain",
+        }
+    }
+}
+
+pub struct Timeline {
+    seconds: [f64; 3],
+}
+
+impl Timeline {
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        self.seconds[phase.index()] += secs;
+    }
+}
+
+pub fn charge(t: &mut Timeline, secs: f64) {
+    t.add(Phase::Work, secs);
+}

@@ -1,0 +1,38 @@
+//! The same nondeterministic APIs used in digest-safe ways — the
+//! flow-aware pass must report nothing here. Each case is a pattern
+//! the retired lexical matchers would have flagged.
+
+pub fn unused_clock_read() -> u32 {
+    let _t = Instant::now();
+    3
+}
+
+pub fn pure_lookups(keys: &[u32]) -> u64 {
+    let mut m = HashMap::new();
+    for k in keys {
+        m.insert(*k, 1u64);
+    }
+    let mut acc = 0u64;
+    for k in keys {
+        acc += *m.get(k).unwrap_or(&0);
+    }
+    acc
+}
+
+pub fn sorted_iteration() -> Vec<u32> {
+    let m = HashMap::new();
+    let mut v: Vec<u32> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn rehomed_into_btree() -> usize {
+    let m = HashMap::new();
+    let s: BTreeSet<u32> = m.keys().copied().collect();
+    s.len()
+}
+
+pub fn order_free_aggregate() -> usize {
+    let m = HashMap::new();
+    m.len()
+}

@@ -1,0 +1,57 @@
+//! Seeded determinism-taint flows: every case below lets a
+//! nondeterministic source reach digest-affecting state (a pub return,
+//! a `self` write). `tests/fixture.rs` pins the exact rule and line of
+//! each finding — always the *source* line, not the escape site.
+
+use std::collections::HashMap as FastMap;
+
+pub fn clock_flow() -> u64 {
+    let t = Instant::now(); // wall-clock (line 9)
+    let e = t.elapsed();
+    e.as_nanos() as u64
+}
+
+pub fn hash_order_escapes() -> Vec<u32> {
+    let m = HashMap::new();
+    let v: Vec<u32> = m.keys().copied().collect(); // hash-container (line 16)
+    v
+}
+
+pub fn renamed_import_flows() -> Vec<u32> {
+    let m: FastMap<u32, u32> = FastMap::new();
+    let v: Vec<u32> = m.keys().copied().collect(); // hash-container (line 22)
+    v
+}
+
+pub struct Counter {
+    seed: u64,
+    hits: u64,
+}
+
+impl Counter {
+    pub fn reseed(&mut self) {
+        let r = thread_rng(); // ambient-rng (line 33)
+        self.seed = r.gen();
+    }
+
+    pub fn timed_poke(&mut self) {
+        let t = Instant::now(); // wall-clock via control flow (line 38)
+        if t.elapsed().as_secs() > 1 {
+            self.hits = self.hits + 1;
+        }
+    }
+}
+
+fn stamp() -> u64 {
+    let t = SystemTime::now(); // wall-clock, reported here (line 46)
+    t.as_nanos() as u64
+}
+
+pub fn indirect_clock() -> u64 {
+    stamp()
+}
+
+pub fn address_flow(buf: &[u8]) -> usize {
+    let p = buf.as_ptr() as usize; // det-taint (line 54)
+    p
+}

@@ -1,24 +1,25 @@
 //! Seeded determinism violations. Every marked line below must produce a
 //! diagnostic; `tests/fixture.rs` pins the exact rule and line numbers,
 //! and CI runs fae-lint over this tree expecting a non-zero exit.
-
-use std::collections::HashMap; // hash-container
-use std::time::Instant; // wall-clock
+//! The `use` lines and the innocent HashMap below are deliberately
+//! diagnostic-free: the flow-aware pass flags escaping flows, not
+//! mentions.
 
 pub fn stamp() -> Instant {
-    // wall-clock
+    // wall-clock: the host-clock read escapes through the pub return.
     Instant::now()
 }
 
 pub fn entropy() -> u64 {
-    // ambient-rng
+    // ambient-rng: the ambient generator's output escapes (line 15).
     let mut r = rand::thread_rng();
     r.next_u64()
 }
 
 pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
-   
-    let mut m = HashMap::new(); // hash-container
+    // Clean: building and returning a HashMap is order-independent;
+    // only *iterating* one into digest-affecting state is a violation.
+    let mut m = HashMap::new();
     for &x in xs {
         *m.entry(x).or_insert(0) += 1;
     }
@@ -26,6 +27,5 @@ pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
 }
 
 pub fn charge(timeline: &mut Timeline, secs: f64) {
-    // timeline-phase — the charge names no Phase constant.
-    timeline.add(secs, 1.0);
+    timeline.add(secs, 1.0); // timeline-phase: no Phase constant named
 }

@@ -1,0 +1,49 @@
+//! A miniature of fae-net::wire with fully consistent tags: every
+//! variant tagged once, decode is the inverse of tag, name/encode
+//! cover everything, and each tag sits inside a declared range. The
+//! wire-compat pass must report nothing.
+
+pub enum Message {
+    Hello,
+    Data { bytes: u32 },
+    Poll,
+    Stats { count: u64 },
+}
+
+impl Message {
+    pub fn tag(&self) -> u8 {
+        match self {
+            Message::Hello => 0,
+            Message::Data { .. } => 1,
+            Message::Poll => 10,
+            Message::Stats { .. } => 11,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello => "hello",
+            Message::Data { .. } => "data",
+            Message::Poll => "poll",
+            Message::Stats { .. } => "stats",
+        }
+    }
+
+    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::Hello | Message::Poll => {}
+            Message::Data { bytes } => put_u32(out, *bytes),
+            Message::Stats { count } => put_u64(out, *count),
+        }
+    }
+
+    pub fn decode_payload(kind: u8, rd: &mut Reader) -> Result<Message, WireError> {
+        Ok(match kind {
+            0 => Message::Hello,
+            1 => Message::Data { bytes: rd.u32()? },
+            10 => Message::Poll,
+            11 => Message::Stats { count: rd.u64()? },
+            other => return Err(WireError::Corrupt(other)),
+        })
+    }
+}

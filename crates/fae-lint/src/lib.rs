@@ -45,9 +45,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod flow;
+pub mod passes;
 pub mod regions;
 pub mod rules;
 pub mod scrub;
+pub mod tokens;
+pub mod tree;
 
 pub use rules::{RuleInfo, Scope, RULES};
 
@@ -110,9 +114,69 @@ pub struct FileClass {
     pub metrics: bool,
 }
 
-/// Lints one file's source text. `label` is used in diagnostics.
-pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnostic> {
-    let scrubbed = scrub::scrub(source);
+/// One rule hit before suppression. `offset` is the absolute byte
+/// offset of the match in the file, so `#[cfg(test)]` regions apply
+/// uniformly to lexical matches, per-file flow findings, and workspace
+/// pass findings alike.
+#[derive(Debug, Clone)]
+struct Candidate {
+    line: usize,
+    offset: usize,
+    rule: String,
+    message: String,
+}
+
+/// The per-file rule hits: lexical matchers plus (for determinism-scope
+/// files) the flow-aware determinism-taint pass.
+fn file_candidates(source: &str, scrubbed: &scrub::Scrubbed, class: FileClass) -> Vec<Candidate> {
+    let mut cands = Vec::new();
+    let mut offset = 0usize;
+    // The scrubber preserves byte offsets exactly, so scrubbed and raw
+    // lines pair up one-to-one; the metric-name rule needs both (the
+    // scrubbed line to locate real call sites, the raw line to read the
+    // literal's body, which scrubbing blanks).
+    for (idx, (line, raw_line)) in scrubbed.text.lines().zip(source.lines()).enumerate() {
+        let line_no = idx + 1;
+        let mut matches = Vec::new();
+        if class.deterministic {
+            rules::deterministic_matches(line, &mut matches);
+        }
+        if !class.binary {
+            rules::no_panic_matches(line, &mut matches);
+            rules::float_fuse_matches(line, &mut matches);
+        }
+        if class.net {
+            rules::net_deadline_matches(line, &mut matches);
+        }
+        if class.metrics {
+            rules::metric_name_matches(line, raw_line, &mut matches);
+        }
+        for m in matches {
+            cands.push(Candidate {
+                line: line_no,
+                offset: offset + m.col,
+                rule: m.rule.to_string(),
+                message: m.message,
+            });
+        }
+        offset += line.len() + 1;
+    }
+    if class.deterministic {
+        for (line, offset, rule, message) in passes::det_taint::run(source, true) {
+            cands.push(Candidate { line, offset, rule: rule.to_string(), message });
+        }
+    }
+    cands
+}
+
+/// Applies pragma and test-region suppression to `cands` and appends
+/// the pragma-hygiene diagnostics (`bad-pragma`, `unused-pragma`).
+fn finalize(
+    label: &Path,
+    source: &str,
+    scrubbed: &scrub::Scrubbed,
+    cands: Vec<Candidate>,
+) -> Vec<Diagnostic> {
     let regions = regions::test_regions(&scrubbed.text);
     let mut diags = Vec::new();
 
@@ -149,47 +213,30 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
     }
 
     let mut used_pragmas: BTreeSet<usize> = BTreeSet::new();
-    let mut offset = 0usize;
-    // The scrubber preserves byte offsets exactly, so scrubbed and raw
-    // lines pair up one-to-one; the metric-name rule needs both (the
-    // scrubbed line to locate real call sites, the raw line to read the
-    // literal's body, which scrubbing blanks).
-    for (idx, (line, raw_line)) in scrubbed.text.lines().zip(source.lines()).enumerate() {
-        let line_no = idx + 1;
-        let mut matches = Vec::new();
-        if class.deterministic {
-            rules::deterministic_matches(line, &mut matches);
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for c in cands {
+        if regions.contains(c.offset) {
+            continue;
         }
-        if !class.binary {
-            rules::no_panic_matches(line, &mut matches);
-            rules::float_fuse_matches(line, &mut matches);
+        // A pragma on this line or the line above suppresses the rule.
+        let allowed = scrubbed.pragmas.iter().enumerate().find(|(_, p)| {
+            (p.line == c.line || p.line + 1 == c.line) && p.rules.iter().any(|r| r == &c.rule)
+        });
+        if let Some((pi, _)) = allowed {
+            used_pragmas.insert(pi);
+            continue;
         }
-        if class.net {
-            rules::net_deadline_matches(line, &mut matches);
+        // Lexical and flow findings can coincide (same line, same
+        // rule); report each (line, rule) pair once.
+        if !seen.insert((c.line, c.rule.clone())) {
+            continue;
         }
-        if class.metrics {
-            rules::metric_name_matches(line, raw_line, &mut matches);
-        }
-        for m in matches {
-            if regions.contains(offset + m.col) {
-                continue;
-            }
-            // A pragma on this line or the line above suppresses the rule.
-            let allowed = scrubbed.pragmas.iter().enumerate().find(|(_, p)| {
-                (p.line == line_no || p.line + 1 == line_no) && p.rules.iter().any(|r| r == m.rule)
-            });
-            if let Some((pi, _)) = allowed {
-                used_pragmas.insert(pi);
-                continue;
-            }
-            diags.push(Diagnostic {
-                file: label.to_path_buf(),
-                line: line_no,
-                rule: m.rule.to_string(),
-                message: m.message,
-            });
-        }
-        offset += line.len() + 1;
+        diags.push(Diagnostic {
+            file: label.to_path_buf(),
+            line: c.line,
+            rule: c.rule,
+            message: c.message,
+        });
     }
 
     for (pi, p) in scrubbed.pragmas.iter().enumerate() {
@@ -212,6 +259,13 @@ pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnost
 
     diags.sort();
     diags
+}
+
+/// Lints one file's source text. `label` is used in diagnostics.
+pub fn lint_source(label: &Path, source: &str, class: FileClass) -> Vec<Diagnostic> {
+    let scrubbed = scrub::scrub(source);
+    let cands = file_candidates(source, &scrubbed, class);
+    finalize(label, source, &scrubbed, cands)
 }
 
 /// Byte offset of the start of 1-based `line` in `source`.
@@ -276,8 +330,66 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), WalkError> {
     Ok(())
 }
 
+/// Routes workspace-pass findings into per-file candidate lists, keyed
+/// by the path the pass saw.
+fn route_pass_diags(
+    pass_diags: Vec<passes::PassDiag>,
+    extra: &mut std::collections::BTreeMap<PathBuf, Vec<Candidate>>,
+) {
+    for d in pass_diags {
+        extra.entry(d.file).or_default().push(Candidate {
+            line: d.line,
+            offset: d.offset,
+            rule: d.rule.to_string(),
+            message: d.message,
+        });
+    }
+}
+
+/// Lints a set of already-read files: per-file rules first, then the
+/// cross-file passes (phase-balance, lock-order, and — when `design`
+/// text is supplied — wire-compat on the wire file), with every finding
+/// funneled through the same pragma/test-region suppression.
+fn lint_file_set(
+    files: Vec<(PathBuf, String, FileClass)>,
+    design: Option<&str>,
+) -> Vec<Diagnostic> {
+    let pass_files: Vec<passes::PassFile> = files
+        .iter()
+        .map(|(rel, source, class)| passes::PassFile {
+            rel: rel.clone(),
+            source: source.clone(),
+            class: *class,
+        })
+        .collect();
+    let mut extra: std::collections::BTreeMap<PathBuf, Vec<Candidate>> =
+        std::collections::BTreeMap::new();
+    route_pass_diags(passes::phase_balance::run(&pass_files), &mut extra);
+    route_pass_diags(passes::lock_order::run(&pass_files), &mut extra);
+    if let Some(design) = design {
+        if let Some(wire) = pass_files
+            .iter()
+            .find(|f| f.class.net && f.rel.file_name().is_some_and(|n| n == "wire.rs"))
+        {
+            route_pass_diags(passes::wire_compat::run(wire, design), &mut extra);
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (rel, source, class) in &files {
+        let scrubbed = scrub::scrub(source);
+        let mut cands = file_candidates(source, &scrubbed, *class);
+        cands.extend(extra.remove(rel).unwrap_or_default());
+        diags.extend(finalize(rel, source, &scrubbed, cands));
+    }
+    diags.sort();
+    diags
+}
+
 /// Lints a whole workspace rooted at `root`: the root package's `src/`
-/// plus every `crates/*/src/`. Returns sorted diagnostics.
+/// plus every `crates/*/src/`, per-file rules plus the cross-file
+/// passes (wire-compat reads the tag ranges out of `root/DESIGN.md`).
+/// Returns sorted diagnostics.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
     let mut files = Vec::new();
     let root_src = root.join("src");
@@ -300,32 +412,53 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, WalkError> {
         }
     }
 
-    let mut diags = Vec::new();
+    let mut set = Vec::new();
     for file in files {
-        let rel = file.strip_prefix(root).unwrap_or(&file);
-        let Some(class) = classify(rel) else { continue };
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let Some(class) = classify(&rel) else { continue };
         let source =
             fs::read_to_string(&file).map_err(|source| WalkError { path: file.clone(), source })?;
-        diags.extend(lint_source(rel, &source, class));
+        set.push((rel, source, class));
     }
-    diags.sort();
-    Ok(diags)
+    let design = fs::read_to_string(root.join("DESIGN.md")).ok();
+    Ok(lint_file_set(set, design.as_deref()))
 }
 
 /// Lints every `.rs` file under `dir` with a fixed [`FileClass`] —
-/// used for the seeded-violation fixture tree, where the files are not
-/// workspace members.
+/// used for the seeded-violation fixture trees, where the files are not
+/// workspace members. The cross-file passes (phase-balance, lock-order)
+/// run over the tree too, so fixture trees can seed their violations;
+/// wire-compat needs a DESIGN.md and is exercised via [`lint_wire`].
 pub fn lint_tree(dir: &Path, class: FileClass) -> Result<Vec<Diagnostic>, WalkError> {
     let mut files = Vec::new();
     walk(dir, &mut files)?;
-    let mut diags = Vec::new();
+    let mut set = Vec::new();
     for file in files {
         let source =
             fs::read_to_string(&file).map_err(|source| WalkError { path: file.clone(), source })?;
-        diags.extend(lint_source(&file, &source, class));
+        set.push((file, source, class));
     }
-    diags.sort();
-    Ok(diags)
+    Ok(lint_file_set(set, None))
+}
+
+/// Runs the wire-compat pass on a fixture directory holding `wire.rs`
+/// (the message module) and `design.md` (the declared tag ranges).
+/// Pragmas and test regions in `wire.rs` apply as usual.
+pub fn lint_wire(dir: &Path) -> Result<Vec<Diagnostic>, WalkError> {
+    let wire_path = dir.join("wire.rs");
+    let design_path = dir.join("design.md");
+    let source = fs::read_to_string(&wire_path)
+        .map_err(|source| WalkError { path: wire_path.clone(), source })?;
+    let design = fs::read_to_string(&design_path)
+        .map_err(|source| WalkError { path: design_path.clone(), source })?;
+    let class = FileClass { deterministic: false, binary: false, net: true, metrics: false };
+    let wire = passes::PassFile { rel: wire_path.clone(), source: source.clone(), class };
+    let mut extra: std::collections::BTreeMap<PathBuf, Vec<Candidate>> =
+        std::collections::BTreeMap::new();
+    route_pass_diags(passes::wire_compat::run(&wire, &design), &mut extra);
+    let scrubbed = scrub::scrub(&source);
+    let cands = extra.remove(&wire_path).unwrap_or_default();
+    Ok(finalize(&wire_path, &source, &scrubbed, cands))
 }
 
 #[cfg(test)]
@@ -368,10 +501,13 @@ mod tests {
     #[test]
     fn binary_skips_no_panic_keeps_determinism() {
         let bin = FileClass { deterministic: true, binary: true, net: false, metrics: true };
-        let src = "fn main() { args.next().unwrap(); let t = Instant::now(); }\n";
+        // The unwrap is exempt (binary target); the clock read flowing
+        // into the public return is not.
+        let src = "pub fn run() -> u64 {\n    args.next().unwrap();\n    let t = Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n";
         let d = lint_source(Path::new("bin.rs"), src, bin);
-        assert_eq!(d.len(), 1);
+        assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "wall-clock");
+        assert_eq!(d[0].line, 3, "reported at the clock read, not the return");
     }
 
     #[test]

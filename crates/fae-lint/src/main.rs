@@ -5,20 +5,30 @@
 //! fae-lint --root DIR           lint the workspace rooted at DIR
 //! fae-lint --tree DIR [--det] [--lib] [--net] [--metrics]
 //!                               lint a bare directory of .rs files with a
-//!                               fixed classification (fixture testing)
+//!                               fixed classification (fixture testing);
+//!                               phase-balance and lock-order run too
+//! fae-lint --wire DIR           run wire-compat on DIR/wire.rs against
+//!                               DIR/design.md (fixture testing)
+//! fae-lint --format json        machine-readable diagnostics (an array
+//!                               of {file, line, rule, message} records)
 //! fae-lint --list-rules         print the rule table
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//!
+//! Text output ends with a per-crate summary table so CI logs show at a
+//! glance which crate regressed.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fae_lint::{lint_tree, lint_workspace, FileClass, DET_CRATES, RULES};
+use fae_lint::{lint_tree, lint_wire, lint_workspace, Diagnostic, FileClass, DET_CRATES, RULES};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fae-lint [--root DIR] [--tree DIR [--det] [--lib] [--net] [--metrics]] [--list-rules]\n\
+        "usage: fae-lint [--root DIR] [--tree DIR [--det] [--lib] [--net] [--metrics]]\n\
+         \u{20}               [--wire DIR] [--format text|json] [--list-rules]\n\
          see DESIGN.md §11 for the rule table and pragma syntax"
     );
     ExitCode::from(2)
@@ -37,23 +47,93 @@ fn find_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One `{file, line, rule, message}` record per diagnostic.
+fn print_json(diags: &[Diagnostic]) {
+    println!("[");
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 == diags.len() { "" } else { "," };
+        println!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+            json_escape(&d.file.display().to_string()),
+            d.line,
+            json_escape(&d.rule),
+            json_escape(&d.message),
+        );
+    }
+    println!("]");
+}
+
+/// The crate a workspace-relative diagnostic path belongs to.
+fn crate_of(file: &Path) -> String {
+    let mut comps = file.components().map(|c| c.as_os_str().to_string_lossy().into_owned());
+    match comps.next().as_deref() {
+        Some("crates") => comps.next().unwrap_or_else(|| "?".to_string()),
+        Some("src") => "fae (root)".to_string(),
+        _ => file.display().to_string(),
+    }
+}
+
+/// Per-crate violation counts, one row per crate with findings.
+fn print_summary(diags: &[Diagnostic]) {
+    let mut per_crate: BTreeMap<String, BTreeMap<&str, usize>> = BTreeMap::new();
+    for d in diags {
+        *per_crate.entry(crate_of(&d.file)).or_default().entry(d.rule.as_str()).or_insert(0) += 1;
+    }
+    let width = per_crate.keys().map(|k| k.len()).max().unwrap_or(5).max(5);
+    eprintln!();
+    eprintln!("{:width$}  violations", "crate");
+    for (krate, rules) in &per_crate {
+        let total: usize = rules.values().sum();
+        let breakdown: Vec<String> = rules.iter().map(|(rule, n)| format!("{rule} x{n}")).collect();
+        eprintln!("{krate:width$}  {total:>4}  ({})", breakdown.join(", "));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut tree: Option<PathBuf> = None;
+    let mut wire: Option<PathBuf> = None;
     let mut det = false;
     let mut lib = false;
     let mut net = false;
     let mut metrics = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--root" | "--tree" => {
+            "--root" | "--tree" | "--wire" => {
                 let Some(value) = args.get(i + 1) else { return usage() };
-                if args[i] == "--root" {
-                    root = Some(PathBuf::from(value));
-                } else {
-                    tree = Some(PathBuf::from(value));
+                match args[i].as_str() {
+                    "--root" => root = Some(PathBuf::from(value)),
+                    "--tree" => tree = Some(PathBuf::from(value)),
+                    _ => wire = Some(PathBuf::from(value)),
+                }
+                i += 2;
+            }
+            "--format" => {
+                let Some(value) = args.get(i + 1) else { return usage() };
+                match value.as_str() {
+                    "json" => json = true,
+                    "text" => json = false,
+                    _ => return usage(),
                 }
                 i += 2;
             }
@@ -84,7 +164,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let result = if let Some(dir) = tree {
+    let workspace_run = tree.is_none() && wire.is_none();
+    let result = if let Some(dir) = wire {
+        lint_wire(&dir)
+    } else if let Some(dir) = tree {
         lint_tree(&dir, FileClass { deterministic: det, binary: !lib, net, metrics })
     } else {
         let root = match root {
@@ -105,12 +188,23 @@ fn main() -> ExitCode {
 
     match result {
         Ok(diags) if diags.is_empty() => {
-            println!("fae-lint: clean");
+            if json {
+                print_json(&diags);
+            } else {
+                println!("fae-lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            if json {
+                print_json(&diags);
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                if workspace_run {
+                    print_summary(&diags);
+                }
             }
             eprintln!("fae-lint: {} violation(s)", diags.len());
             ExitCode::FAILURE

@@ -1,0 +1,25 @@
+//! The determinism-taint pass — a thin per-file adapter over the
+//! engine in [`crate::flow`].
+//!
+//! Replaces PR 5's lexical `wall-clock`/`ambient-rng`/`hash-container`
+//! matches: instead of flagging every *mention* of a nondeterministic
+//! API, it flags only flows where the nondeterministic value reaches
+//! digest-relevant state (a `pub fn` return, a `self` write, a
+//! parameter mutation). Pure lookups into a `HashMap`, or a clock read
+//! whose value never escapes, are no longer violations — which is what
+//! lets the det-5 crates use `HashMap` for hot-path lookups without
+//! pragma noise (see DESIGN.md §16).
+
+use crate::flow;
+use crate::tree::{items, TreeView};
+
+/// Diagnostics for one file: `(line, offset, rule, message)` tuples in
+/// source order. `det` gates reporting to the det-5 crates.
+pub fn run(source: &str, det: bool) -> Vec<(usize, usize, &'static str, String)> {
+    let view = TreeView::new(source);
+    let it = items(&view);
+    flow::det_taint_file(&view, &it, det)
+        .into_iter()
+        .map(|d| (d.line, d.offset, d.rule, d.message))
+        .collect()
+}

@@ -39,17 +39,41 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "wall-clock",
         scope: Scope::Deterministic,
-        summary: "std::time::{Instant,SystemTime} forbidden on simulated-clock paths",
+        summary: "a host-clock read (Instant/SystemTime) flows into digest-affecting state",
     },
     RuleInfo {
         id: "ambient-rng",
         scope: Scope::Deterministic,
-        summary: "thread_rng/from_entropy/OsRng/rand::random forbidden; thread the seeded RNG",
+        summary: "ambient randomness (thread_rng/OsRng/...) flows into digest-affecting state",
     },
     RuleInfo {
         id: "hash-container",
         scope: Scope::Deterministic,
-        summary: "HashMap/HashSet iteration order is unstable; use BTreeMap/BTreeSet or a Vec",
+        summary: "HashMap/HashSet *iteration* flows into digest-affecting state (lookups are fine)",
+    },
+    RuleInfo {
+        id: "det-taint",
+        scope: Scope::Deterministic,
+        summary: "another nondeterministic source (thread id, pointer address) flows into \
+                  digest-affecting state",
+    },
+    RuleInfo {
+        id: "phase-balance",
+        scope: Scope::Deterministic,
+        summary: "Phase enum / Phase::ALL / index() / phase arrays / charge sites must agree, \
+                  so the journal's phase-sum invariant holds statically",
+    },
+    RuleInfo {
+        id: "lock-order",
+        scope: Scope::AllLibs,
+        summary: "lock acquisitions must follow one global order; cycles and same-class \
+                  re-acquisition are deadlocks-in-waiting",
+    },
+    RuleInfo {
+        id: "wire-compat",
+        scope: Scope::Net,
+        summary: "fae-net wire tags must be unique, encode/decode-consistent, and inside the \
+                  ranges DESIGN.md §12 declares",
     },
     RuleInfo {
         id: "no-panic",
@@ -120,17 +144,31 @@ fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
     out
 }
 
-/// Runs the determinism rules over one scrubbed line.
+/// Runs the lexical determinism rules over one scrubbed line.
+///
+/// Since the flow-aware analyzer landed, the only *lexical* determinism
+/// rule left is `timeline-phase` (a purely local shape check). The old
+/// mention-based wall-clock/ambient-rng/hash-container matchers were
+/// retired in favour of the taint pass ([`crate::flow`]), which flags
+/// flows into digest-affecting state instead of every mention; the v1
+/// matchers survive as [`legacy_det_matches`] so tests can demonstrate
+/// how many pragmas the upgrade retired.
 pub fn deterministic_matches(line: &str, out: &mut Vec<Match>) {
+    timeline_matches(line, out);
+}
+
+/// The retired PR-5 lexical matchers: every *mention* of a wall-clock
+/// type, ambient-RNG constructor or hash container fired, forcing a
+/// pragma on each innocent lookup table. Kept (not wired into any lint
+/// path) so the pragma-retirement test can count how many suppressions
+/// the flow-aware pass made unnecessary.
+pub fn legacy_det_matches(line: &str, out: &mut Vec<Match>) {
     for tok in ["Instant", "SystemTime"] {
         for col in token_positions(line, tok) {
             out.push(Match {
                 col,
                 rule: "wall-clock",
-                message: format!(
-                    "`{tok}` reads the host clock; simulated-clock paths must stay \
-                     reproducible — charge the Timeline instead"
-                ),
+                message: format!("`{tok}` mentioned (legacy lexical rule)"),
             });
         }
     }
@@ -139,9 +177,7 @@ pub fn deterministic_matches(line: &str, out: &mut Vec<Match>) {
             out.push(Match {
                 col,
                 rule: "ambient-rng",
-                message: format!(
-                    "`{tok}` draws ambient randomness; thread the run's seeded RNG instead"
-                ),
+                message: format!("`{tok}` mentioned (legacy lexical rule)"),
             });
         }
     }
@@ -150,14 +186,10 @@ pub fn deterministic_matches(line: &str, out: &mut Vec<Match>) {
             out.push(Match {
                 col,
                 rule: "hash-container",
-                message: format!(
-                    "`{tok}` iteration order varies between runs; use BTreeMap/BTreeSet \
-                     or an index-keyed Vec so output stays byte-identical"
-                ),
+                message: format!("`{tok}` mentioned (legacy lexical rule)"),
             });
         }
     }
-    timeline_matches(line, out);
 }
 
 /// Runs the no-panic rule over one scrubbed line.
@@ -392,12 +424,26 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_and_rng_and_hash() {
-        assert_eq!(det("let t = Instant::now();"), vec!["wall-clock"]);
-        assert_eq!(det("use std::time::SystemTime;"), vec!["wall-clock"]);
-        assert_eq!(det("let mut r = thread_rng();"), vec!["ambient-rng"]);
-        assert_eq!(det("let m: HashMap<u32, f32> = HashMap::new();").len(), 2);
+    fn lexical_det_rule_is_timeline_only_now() {
+        // The mention-based matchers moved to `legacy_det_matches`; the
+        // live lexical path must no longer fire on mere mentions.
+        assert!(det("let t = Instant::now();").is_empty());
+        assert!(det("let m: HashMap<u32, f32> = HashMap::new();").is_empty());
         assert!(det("let x = instant_rate;").is_empty());
+    }
+
+    #[test]
+    fn legacy_matchers_still_count_mentions() {
+        let legacy = |line: &str| {
+            let mut m = Vec::new();
+            legacy_det_matches(line, &mut m);
+            m.into_iter().map(|x| x.rule).collect::<Vec<_>>()
+        };
+        assert_eq!(legacy("let t = Instant::now();"), vec!["wall-clock"]);
+        assert_eq!(legacy("use std::time::SystemTime;"), vec!["wall-clock"]);
+        assert_eq!(legacy("let mut r = thread_rng();"), vec!["ambient-rng"]);
+        assert_eq!(legacy("let m: HashMap<u32, f32> = HashMap::new();").len(), 2);
+        assert!(legacy("let x = instant_rate;").is_empty());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! A minimal Rust tokenizer over *raw* source text.
+//!
+//! The lexical rules work on [`crate::scrub`]'s blanked text; the flow
+//! passes need real tokens with byte spans and line numbers. The two
+//! must agree on what is code and what is comment/literal — this
+//! tokenizer re-implements the same comment/string/char/lifetime
+//! scanning rules as `scrub.rs`, and a proptest
+//! (`tests/token_scrub.rs`) pins the agreement: every token's span
+//! survives scrubbing byte-for-byte, and the token's line number equals
+//! the newline count of the scrubbed prefix plus one.
+//!
+//! Deliberately *not* a full lexer: multi-byte operators (`::`, `=>`,
+//! `->`, `..`) come out as adjacent single-byte [`TokKind::Punct`]
+//! tokens, which the tree/flow layers reassemble by adjacency where it
+//! matters. That keeps the scanner small enough to audit by eye.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `self`, ...).
+    Ident,
+    /// Numeric literal (integers, floats, prefixed forms).
+    Num,
+    /// String literal, including the quotes (`"..."`, `b"..."` body).
+    Str,
+    /// Raw string literal, including `r`/hashes/quotes.
+    RawStr,
+    /// Char literal, including the quotes.
+    Char,
+    /// Lifetime (`'a`) — the tick plus the identifier.
+    Lifetime,
+    /// Any other single byte of punctuation.
+    Punct,
+}
+
+/// One token: kind plus its byte span and 1-based line number.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// What it is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `source`.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// If `rest` begins a raw-string opener (`#*"`), returns the hash count.
+/// Mirrors `scrub::raw_string_hashes` exactly.
+fn raw_string_hashes(rest: &[u8]) -> Option<usize> {
+    let mut n = 0;
+    while n < rest.len() && rest[n] == b'#' {
+        n += 1;
+    }
+    if rest.get(n) == Some(&b'"') {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Tokenizes `source`, skipping whitespace and comments.
+///
+/// Same scanning decisions as the scrubber: line comments run to the
+/// newline, block comments nest, ordinary strings honour `\` escapes,
+/// raw strings honour their hash count, and a `'` is a char literal
+/// (bounded at 12 bytes, like scrub) when the scrubber would treat it
+/// as one, a lifetime otherwise.
+pub fn tokenize(source: &str) -> Vec<Tok> {
+    let src = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    while i < src.len() {
+        let b = src[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let prev_ident = i > 0 && is_ident(src[i - 1]);
+        if b == b'/' && i + 1 < src.len() && src[i + 1] == b'/' {
+            while i < src.len() && src[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if b == b'/' && i + 1 < src.len() && src[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < src.len() {
+                if src[i] == b'/' && i + 1 < src.len() && src[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && i + 1 < src.len() && src[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if src[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if b == b'"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < src.len() {
+                if src[i] == b'\\' && i + 1 < src.len() {
+                    if src[i] == b'\n' || src[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if src[i] == b'"' {
+                    i += 1;
+                    break;
+                } else {
+                    if src[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Str, start, end: i, line: start_line });
+            continue;
+        }
+        if b == b'r' && !prev_ident {
+            if let Some(hashes) = raw_string_hashes(&src[i + 1..]) {
+                let start = i;
+                let start_line = line;
+                i += 1 + hashes + 1; // r, hashes, opening quote
+                while i < src.len() {
+                    if src[i] == b'"' && src[i + 1..].iter().take(hashes).all(|&c| c == b'#') {
+                        i += 1 + hashes.min(src.len() - i - 1);
+                        break;
+                    }
+                    if src[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::RawStr, start, end: i, line: start_line });
+                continue;
+            }
+        }
+        if b == b'\'' {
+            // Char literal vs lifetime: the exact test scrub.rs uses.
+            let next = src.get(i + 1).copied().unwrap_or(0);
+            let after = src.get(i + 2).copied().unwrap_or(0);
+            if next == b'\\' || (!is_ident(next) && next != b'\'') || after == b'\'' {
+                let start = i;
+                let start_line = line;
+                i += 1;
+                let mut n = 0;
+                while i < src.len() && n < 12 {
+                    if src[i] == b'\\' && i + 1 < src.len() {
+                        i += 2;
+                        n += 2;
+                    } else if src[i] == b'\'' {
+                        i += 1;
+                        break;
+                    } else {
+                        if src[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                        n += 1;
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Char, start, end: i, line: start_line });
+            } else {
+                // Lifetime: tick plus identifier run.
+                let start = i;
+                i += 1;
+                while i < src.len() && is_ident(src[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, start, end: i, line });
+            }
+            continue;
+        }
+        if is_ident_start(b) {
+            let start = i;
+            while i < src.len() && is_ident(src[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, start, end: i, line });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < src.len() && (is_ident(src[i]) || src[i] == b'.') {
+                // `0..n` is a range, not a float: stop before `..`.
+                if src[i] == b'.'
+                    && (src.get(i + 1) == Some(&b'.')
+                        || !src.get(i + 1).copied().unwrap_or(b' ').is_ascii_digit())
+                {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Num, start, end: i, line });
+            continue;
+        }
+        toks.push(Tok { kind: TokKind::Punct, start: i, end: i + 1, line });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let got = kinds("let x = 42;");
+        assert_eq!(got[0], (TokKind::Ident, "let".into()));
+        assert_eq!(got[1], (TokKind::Ident, "x".into()));
+        assert_eq!(got[2], (TokKind::Punct, "=".into()));
+        assert_eq!(got[3], (TokKind::Num, "42".into()));
+        assert_eq!(got[4], (TokKind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn comments_vanish_and_lines_advance() {
+        let src = "a // HashMap\n/* b\nc */ d";
+        let t = tokenize(src);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].text(src), "a");
+        assert_eq!(t[0].line, 1);
+        assert_eq!(t[1].text(src), "d");
+        assert_eq!(t[1].line, 3);
+    }
+
+    #[test]
+    fn strings_are_single_tokens() {
+        let src = "f(\"a b\", r#\"c \" d\"#, 'x', '\\n')";
+        let t = tokenize(src);
+        let texts: Vec<_> = t.iter().map(|t| t.text(src)).collect();
+        assert!(texts.contains(&"\"a b\""));
+        assert!(texts.contains(&"r#\"c \" d\"#"));
+        assert!(texts.contains(&"'x'"));
+        assert!(texts.contains(&"'\\n'"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; }";
+        let t = tokenize(src);
+        let lifes: Vec<_> =
+            t.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text(src)).collect();
+        assert_eq!(lifes, vec!["'a", "'a"]);
+        assert!(t.iter().any(|t| t.kind == TokKind::Char && t.text(src) == "'y'"));
+    }
+
+    #[test]
+    fn floats_and_ranges() {
+        let src = "a(1.5, 0..8, x.0)";
+        let t = tokenize(src);
+        let nums: Vec<_> =
+            t.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text(src)).collect();
+        assert_eq!(nums, vec!["1.5", "0", "8", "0"]);
+    }
+
+    #[test]
+    fn raw_ident_prefix_is_not_a_raw_string() {
+        // `prev_ident` guard: `for r in ..` must not treat `r` + later
+        // quote as a raw-string opener.
+        let src = "for r in v { g(r, \"s\") }";
+        let t = tokenize(src);
+        assert!(t.iter().any(|t| t.kind == TokKind::Str && t.text(src) == "\"s\""));
+    }
+}

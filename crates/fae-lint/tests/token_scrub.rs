@@ -1,0 +1,146 @@
+//! Property test pinning the agreement between the raw-source tokenizer
+//! (`fae_lint::tokens`) and the scrubber (`fae_lint::scrub`).
+//!
+//! The two modules re-implement the same comment/string/char/lifetime
+//! scanning rules independently — the scrubber blanks what the
+//! tokenizer skips. If they ever drift (say, one treats `'a'` inside a
+//! generic as a char literal and the other as a lifetime), the flow
+//! passes and the lexical rules would disagree about where code is.
+//! The properties below make that drift a test failure on arbitrary
+//! interleavings of the tricky fragments.
+
+use proptest::prelude::*;
+
+use fae_lint::scrub::scrub;
+use fae_lint::tokens::{tokenize, TokKind};
+
+/// Source fragments chosen to stress every scanner rule: nested block
+/// comments, escapes inside strings, raw-string hash counts, byte
+/// strings, char-vs-lifetime ticks, and comment markers nested inside
+/// literals (and vice versa).
+const FRAGMENTS: &[&str] = &[
+    "fn f() { g(); }",
+    "let x = 1;",
+    "0x1f ",
+    "1.5e3 ",
+    "ident_2 ",
+    "// line comment\n",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "// fae-lint: allow(no-panic, reason = \"test\")\n",
+    "/* block */",
+    "/* nested /* deeper */ still out */",
+    "/* unterminated-newline \n */",
+    "\"plain string\"",
+    "\"has // not a comment\"",
+    "\"has /* not a comment\"",
+    "\"escaped \\\" quote\"",
+    "\"trailing backslash \\\\\"",
+    "b\"byte string\"",
+    "r\"raw string\"",
+    "r#\"raw with \" inside\"#",
+    "r##\"raw with \"# inside\"##",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "'x' ",
+    "'static ",
+    "'a, 'b>",
+    "<'a>",
+    "\n",
+    "\n\n",
+    "  \t ",
+    "x.y::z",
+    "=> -> ..",
+];
+
+/// Picks one fragment (the vendored proptest shim has no `prop_oneof`,
+/// so this indexes the table instead).
+fn fragment() -> impl Strategy<Value = &'static str> {
+    (0usize..FRAGMENTS.len()).prop_map(|i| FRAGMENTS[i])
+}
+
+/// A token is a literal (its body is blanked by the scrubber) or code
+/// (it must survive scrubbing byte-for-byte).
+fn is_literal(kind: TokKind) -> bool {
+    matches!(kind, TokKind::Str | TokKind::RawStr | TokKind::Char)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn tokenizer_and_scrubber_agree(frags in prop::collection::vec(fragment(), 0..40)) {
+        let source: String = frags.concat();
+        let scrubbed = scrub(&source);
+        let toks = tokenize(&source);
+
+        // Scrubbing never changes length — offsets are shared currency.
+        prop_assert_eq!(scrubbed.text.len(), source.len());
+
+        let src = source.as_bytes();
+        let blanked = scrubbed.text.as_bytes();
+        let mut covered = vec![false; src.len()];
+
+        for t in &toks {
+            prop_assert!(t.start < t.end && t.end <= src.len());
+            covered[t.start..t.end].fill(true);
+
+            // Line agreement: the token's line number equals the newline
+            // count of the scrubbed prefix plus one (scrub keeps every
+            // newline, so the source prefix gives the same count).
+            let line = 1 + blanked[..t.start].iter().filter(|&&b| b == b'\n').count();
+            prop_assert_eq!(t.line, line, "token at byte {} line mismatch", t.start);
+
+            // Column agreement, via the shared byte offsets: the distance
+            // to the previous newline is identical in both views.
+            let col_src = t.start - src[..t.start].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            let col_scrub = t.start - blanked[..t.start].iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            prop_assert_eq!(col_src, col_scrub);
+
+            if is_literal(t.kind) {
+                // The scrubber must have blanked this span's body: any
+                // byte it kept must match the source (delimiters), and
+                // at least the interior must not leak comment markers.
+                for i in t.start..t.end {
+                    prop_assert!(
+                        blanked[i] == src[i] || blanked[i] == b' ' || blanked[i] == b'\n',
+                        "scrub rewrote byte {} inside a literal", i
+                    );
+                }
+            } else {
+                // Code tokens survive scrubbing byte-for-byte. If the
+                // scrubber thought this span was comment or literal body
+                // it would be spaces here, and this fails.
+                prop_assert_eq!(
+                    &scrubbed.text[t.start..t.end],
+                    &source[t.start..t.end],
+                    "scrub blanked a code token at byte {}", t.start
+                );
+            }
+        }
+
+        // Converse: every byte the scrubber kept as code is inside some
+        // token (the tokenizer skipped nothing the scrubber kept).
+        for i in 0..src.len() {
+            let b = blanked[i];
+            if b != b' ' && b != b'\n' && !b.is_ascii_whitespace() {
+                prop_assert!(covered[i], "scrub kept byte {} ({:?}) but no token covers it", i, b as char);
+            }
+        }
+    }
+
+    /// The scrubber's pragma line numbers agree with the tokenizer's
+    /// line accounting: a pragma reported on line N means no token that
+    /// starts on line N precedes it in the comment (pragmas live in
+    /// comments, which tokens skip entirely).
+    #[test]
+    fn pragma_lines_are_real_lines(frags in prop::collection::vec(fragment(), 0..30)) {
+        let source: String = frags.concat();
+        let scrubbed = scrub(&source);
+        let total_lines = 1 + source.bytes().filter(|&b| b == b'\n').count();
+        for p in &scrubbed.pragmas {
+            prop_assert!(p.line >= 1 && p.line <= total_lines);
+        }
+    }
+}

@@ -19,7 +19,7 @@
 //! with the smallest `(count, row id)` pair, so identical access streams
 //! produce identical cache states on every run.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use fae_data::MiniBatch;
 use fae_embed::HotColdPartition;
@@ -80,7 +80,11 @@ pub struct FreqCache {
     pinned: BTreeSet<u32>,
     capacity: usize,
     resident: BTreeSet<u32>,
-    freq: BTreeMap<u32, u32>,
+    // Windowed access counts, looked up by row id and aged via
+    // `retain` — never iterated for output, so HashMap is safe under
+    // the flow-aware det-taint rule (victim scans walk `resident`,
+    // which stays ordered).
+    freq: HashMap<u32, u32>,
     window: usize,
     cold_accesses: usize,
     stats: CacheStats,
@@ -95,7 +99,7 @@ impl FreqCache {
             pinned: pinned.into_iter().collect(),
             capacity,
             resident: BTreeSet::new(),
-            freq: BTreeMap::new(),
+            freq: HashMap::new(),
             window,
             cold_accesses: 0,
             stats: CacheStats::default(),

@@ -10,14 +10,14 @@
 //! and reports the makespan, quantifying the headroom pipelining leaves
 //! on the table for both the baseline and FAE.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::profile::ModelProfile;
 use crate::step::{ExecMode, SystemConfig};
 use crate::timeline::Phase;
 
 /// An execution resource a task occupies exclusively.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Resource {
     /// Host CPU (embedding gather, sparse optimizer).
     Cpu,
@@ -77,8 +77,8 @@ impl StepDag {
     /// finished *and* its resource is free (insertion order breaks ties).
     /// Returns the makespan in seconds.
     pub fn makespan(&self) -> f64 {
-        let mut finish: BTreeMap<&str, f64> = BTreeMap::new();
-        let mut resource_free: BTreeMap<Resource, f64> = BTreeMap::new();
+        let mut finish: HashMap<&str, f64> = HashMap::new();
+        let mut resource_free: HashMap<Resource, f64> = HashMap::new();
         let mut end = 0.0f64;
         for t in &self.tasks {
             let deps_done = t.deps.iter().map(|d| finish[*d]).fold(0.0f64, f64::max);
